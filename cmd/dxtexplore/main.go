@@ -1,0 +1,89 @@
+// Command dxtexplore renders a Darshan trace's DXT data as terminal
+// visualizations (the DXT-Explorer analogue): a rank×time activity
+// heatmap, the busiest file's rank×offset map, the access-size
+// histogram, and a per-rank load table.
+//
+// Usage:
+//
+//	dxtexplore -log trace.darshan
+//	dxtexplore -log trace.darshan -view timeline -op write -width 100
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"ion/internal/darshan"
+	"ion/internal/dxtexplore"
+)
+
+func main() {
+	var (
+		logPath = flag.String("log", "", "Darshan log to visualize")
+		view    = flag.String("view", "all", "view: all, timeline, offsets, sizes, ranks, osts")
+		op      = flag.String("op", "", "filter events: read, write, or empty for both")
+		width   = flag.Int("width", 80, "plot width in characters")
+		rows    = flag.Int("rows", 16, "maximum rank rows (ranks band together beyond this)")
+		fileArg = flag.String("file", "", "file path for the offsets view (default: busiest file)")
+	)
+	flag.Parse()
+	if *logPath == "" {
+		fmt.Fprintln(os.Stderr, "dxtexplore: -log is required")
+		flag.Usage()
+		os.Exit(2)
+	}
+	log, err := darshan.Load(*logPath)
+	if err != nil {
+		fatal(err)
+	}
+	opts := dxtexplore.Options{Width: *width, MaxRows: *rows, Op: *op}
+	switch *view {
+	case "all":
+		fmt.Print(dxtexplore.Explore(log, opts))
+	case "timeline":
+		fmt.Print(dxtexplore.Timeline(log, opts))
+	case "sizes":
+		fmt.Print(dxtexplore.SizeHistogram(log, opts))
+	case "ranks":
+		fmt.Print(dxtexplore.RankSummary(log, opts))
+	case "osts":
+		fmt.Print(dxtexplore.OSTLoad(log, opts))
+	case "offsets":
+		id, err := resolveFile(log, *fileArg)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Print(dxtexplore.OffsetMap(log, id, opts))
+	default:
+		fatal(fmt.Errorf("unknown view %q", *view))
+	}
+}
+
+func resolveFile(log *darshan.Log, path string) (uint64, error) {
+	if path == "" {
+		var busiest uint64
+		most := -1
+		for _, tr := range log.DXT {
+			if len(tr.Events) > most {
+				most = len(tr.Events)
+				busiest = tr.FileID
+			}
+		}
+		if most < 0 {
+			return 0, fmt.Errorf("trace has no DXT data")
+		}
+		return busiest, nil
+	}
+	for id, name := range log.Names {
+		if name == path {
+			return id, nil
+		}
+	}
+	return 0, fmt.Errorf("file %q not found in trace", path)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "dxtexplore:", err)
+	os.Exit(1)
+}

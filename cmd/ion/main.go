@@ -1,0 +1,232 @@
+// Command ion analyzes a Darshan trace with the ION framework: it
+// extracts the log into per-module CSVs, fans per-issue diagnosis
+// prompts out to the configured language-model backend, prints the
+// diagnosis report with its chain-of-thought steps and generated
+// analysis code, and optionally opens the interactive Q&A interface.
+//
+// Usage:
+//
+//	ion -log trace.darshan
+//	ion -log trace.darshan -interactive
+//	ion -log trace.darshan -backend openai -base-url http://localhost:8000/v1
+package main
+
+import (
+	"bufio"
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"ion/internal/advisor"
+	"ion/internal/consistency"
+	"ion/internal/darshan"
+	"ion/internal/dxtexplore"
+	"ion/internal/expertsim"
+	"ion/internal/extractor"
+	"ion/internal/ion"
+	"ion/internal/issue"
+	"ion/internal/knowledge"
+	"ion/internal/llm"
+	"ion/internal/rag"
+	"ion/internal/report"
+)
+
+func main() {
+	var (
+		logPath     = flag.String("log", "", "Darshan log to analyze (binary container or parser text)")
+		workdir     = flag.String("workdir", "", "directory for extracted CSVs (default: <log>.csv)")
+		issuesFlag  = flag.String("issues", "", "comma-separated issue subset (default: all)")
+		backend     = flag.String("backend", "expertsim", "LLM backend: expertsim or openai")
+		baseURL     = flag.String("base-url", "https://api.openai.com/v1", "OpenAI-compatible endpoint (backend=openai)")
+		apiKey      = flag.String("api-key", os.Getenv("OPENAI_API_KEY"), "API key (backend=openai)")
+		model       = flag.String("model", "gpt-4-1106-preview", "model name (backend=openai)")
+		record      = flag.String("record", "", "record completions into this directory")
+		replay      = flag.String("replay", "", "replay completions from this directory")
+		interactive = flag.Bool("interactive", false, "open the Q&A interface after the diagnosis")
+		showCode    = flag.Bool("code", false, "show the generated analysis code")
+		hideSteps   = flag.Bool("no-steps", false, "hide the chain-of-thought steps")
+		color       = flag.Bool("color", false, "ANSI colors")
+		everything  = flag.Bool("verbose", false, "include issues with a clear verdict")
+		summary     = flag.Bool("summary", true, "include the global diagnosis summary")
+		verify      = flag.Bool("verify", false, "run the consistency checker over the diagnosis")
+		useRAG      = flag.Bool("rag", false, "use retrieval-augmented context in interactive mode")
+		explore     = flag.Bool("explore", false, "print DXT visualizations before the diagnosis")
+		advise      = flag.Bool("advise", false, "print the ranked optimization plan after the diagnosis")
+		saveReport  = flag.String("save-report", "", "save the diagnosis as JSON to this path")
+		kbDir       = flag.String("kb", "", "directory of JSON knowledge-context overrides")
+	)
+	flag.Parse()
+	if *logPath == "" {
+		fmt.Fprintln(os.Stderr, "ion: -log is required")
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	client, err := buildClient(*backend, *baseURL, *apiKey, *model, *record, *replay)
+	if err != nil {
+		fatal(err)
+	}
+
+	var issues []issue.ID
+	if *issuesFlag != "" {
+		for _, s := range strings.Split(*issuesFlag, ",") {
+			issues = append(issues, issue.ID(strings.TrimSpace(s)))
+		}
+	}
+
+	var kb *knowledge.Base
+	if *kbDir != "" {
+		kb = knowledge.NewBase(knowledge.DefaultHyperparams())
+		n, err := kb.LoadOverrides(*kbDir)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "ion: loaded %d knowledge override(s) from %s\n", n, *kbDir)
+	}
+
+	fw, err := ion.New(ion.Config{Client: client, KB: kb, Issues: issues, SkipSummary: !*summary})
+	if err != nil {
+		fatal(err)
+	}
+	dir := *workdir
+	if dir == "" {
+		dir = *logPath + ".csv"
+	}
+	rep, err := fw.AnalyzeFile(context.Background(), *logPath, dir)
+	if err != nil {
+		fatal(err)
+	}
+
+	if *saveReport != "" {
+		if err := rep.SaveJSON(*saveReport); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "ion: report saved to %s\n", *saveReport)
+	}
+
+	if *explore {
+		traceLog, err := darshan.Load(*logPath)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(dxtexplore.Explore(traceLog, dxtexplore.Options{Width: 72, MaxRows: 12}))
+	}
+
+	opts := report.Options{
+		Color:        *color,
+		ShowCode:     *showCode,
+		ShowSteps:    !*hideSteps,
+		OnlyFindings: !*everything,
+	}
+	if err := report.WriteReport(os.Stdout, rep, opts); err != nil {
+		fatal(err)
+	}
+
+	if *advise {
+		out, err := extractor.LoadDir(dir)
+		if err != nil {
+			fatal(err)
+		}
+		plan, err := advisor.Recommend(rep, out)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println()
+		fmt.Print(plan.Render())
+	}
+
+	if *verify {
+		out, err := extractor.LoadDir(dir)
+		if err != nil {
+			fatal(err)
+		}
+		res, err := consistency.Check(rep, out)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("\nconsistency: %d rules checked, %d violation(s)\n", res.RulesChecked, len(res.Violations))
+		for _, v := range res.Violations {
+			fmt.Printf("  [%s] %s: %s\n", v.Severity, v.Rule, v.Detail)
+		}
+		if !res.Consistent() {
+			fmt.Println("consistency: ERROR-level violations found — treat this diagnosis with suspicion")
+		}
+	}
+
+	if *interactive {
+		if err := repl(client, rep, *useRAG); err != nil {
+			fatal(err)
+		}
+	}
+}
+
+func buildClient(backend, baseURL, apiKey, model, record, replay string) (llm.Client, error) {
+	var client llm.Client
+	switch backend {
+	case "expertsim":
+		client = expertsim.New()
+	case "openai":
+		c, err := llm.NewOpenAI(llm.OpenAIConfig{BaseURL: baseURL, APIKey: apiKey, Model: model})
+		if err != nil {
+			return nil, err
+		}
+		client = c
+	default:
+		return nil, fmt.Errorf("ion: unknown backend %q", backend)
+	}
+	if record != "" {
+		rec, err := llm.NewRecorder(client, record)
+		if err != nil {
+			return nil, err
+		}
+		client = rec
+	}
+	if replay != "" {
+		rp, err := llm.NewReplay(replay, client)
+		if err != nil {
+			return nil, err
+		}
+		client = rp
+	}
+	return client, nil
+}
+
+func repl(client llm.Client, rep *ion.Report, useRAG bool) error {
+	session, err := ion.NewSession(client, rep)
+	if err != nil {
+		return err
+	}
+	if useRAG {
+		provider, err := rag.ContextProvider(rep, knowledge.NewBase(knowledge.DefaultHyperparams()), 4)
+		if err != nil {
+			return err
+		}
+		session.SetContextProvider(provider)
+	}
+	fmt.Println("\nInteractive mode — ask about the diagnosis (empty line or 'exit' to quit).")
+	sc := bufio.NewScanner(os.Stdin)
+	for {
+		fmt.Print("ion> ")
+		if !sc.Scan() {
+			break
+		}
+		q := strings.TrimSpace(sc.Text())
+		if q == "" || q == "exit" || q == "quit" {
+			break
+		}
+		answer, err := session.Ask(context.Background(), q)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "ion:", err)
+			continue
+		}
+		fmt.Println(answer)
+	}
+	return sc.Err()
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "ion:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,66 @@
+// Command iondiff diagnoses two Darshan traces of the same application
+// (before and after a change) and reports which I/O issues the change
+// fixed, which persist, and which regressed.
+//
+// Usage:
+//
+//	iondiff -before baseline.darshan -after optimized.darshan
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"ion/internal/diffreport"
+	"ion/internal/expertsim"
+	"ion/internal/ion"
+)
+
+func main() {
+	var (
+		before  = flag.String("before", "", "baseline Darshan log")
+		after   = flag.String("after", "", "changed-run Darshan log")
+		workdir = flag.String("workdir", "", "directory for extracted CSVs (default: temp)")
+	)
+	flag.Parse()
+	if *before == "" || *after == "" {
+		fmt.Fprintln(os.Stderr, "iondiff: -before and -after are required")
+		flag.Usage()
+		os.Exit(2)
+	}
+	dir := *workdir
+	if dir == "" {
+		var err error
+		dir, err = os.MkdirTemp("", "iondiff-")
+		if err != nil {
+			fatal(err)
+		}
+		defer os.RemoveAll(dir)
+	}
+
+	fw, err := ion.New(ion.Config{Client: expertsim.New(), SkipSummary: true})
+	if err != nil {
+		fatal(err)
+	}
+	repBefore, err := fw.AnalyzeFile(context.Background(), *before, filepath.Join(dir, "before"))
+	if err != nil {
+		fatal(err)
+	}
+	repAfter, err := fw.AnalyzeFile(context.Background(), *after, filepath.Join(dir, "after"))
+	if err != nil {
+		fatal(err)
+	}
+	d, err := diffreport.Compare(repBefore, repAfter)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Print(d.Render())
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "iondiff:", err)
+	os.Exit(1)
+}

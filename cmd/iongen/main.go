@@ -1,0 +1,103 @@
+// Command iongen generates the evaluation's synthetic Darshan traces:
+// the six IO500-derived workloads of Figure 2 and the OpenPMD / E2E
+// application traces of Figure 3, each executed on the Lustre-like
+// simulator and written as a Darshan log (binary container by default,
+// darshan-parser text on request).
+//
+// Usage:
+//
+//	iongen -list
+//	iongen -workload ior-hard -out traces/
+//	iongen -all -out traces/ -format text
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"ion/internal/workloads"
+)
+
+func main() {
+	var (
+		list     = flag.Bool("list", false, "list available workloads and exit")
+		workload = flag.String("workload", "", "workload to generate (see -list)")
+		all      = flag.Bool("all", false, "generate every workload")
+		out      = flag.String("out", ".", "output directory")
+		format   = flag.String("format", "binary", "log format: binary (.darshan) or text (.darshan.txt)")
+		withDXT  = flag.Bool("dxt", true, "include the DXT text section in text output")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, w := range workloads.All() {
+			fmt.Printf("%-22s %s\n", w.Name, w.Description)
+		}
+		return
+	}
+
+	var targets []workloads.Workload
+	switch {
+	case *all:
+		targets = workloads.All()
+	case *workload != "":
+		w, err := workloads.ByName(*workload)
+		if err != nil {
+			fatal(err)
+		}
+		targets = []workloads.Workload{w}
+	default:
+		fmt.Fprintln(os.Stderr, "iongen: need -workload <name>, -all, or -list")
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	if err := os.MkdirAll(*out, 0o755); err != nil {
+		fatal(err)
+	}
+	for _, w := range targets {
+		log, stats, err := w.GenerateWithStats()
+		if err != nil {
+			fatal(err)
+		}
+		var path string
+		switch *format {
+		case "binary":
+			path = filepath.Join(*out, w.Name+".darshan")
+			if err := log.WriteFile(path); err != nil {
+				fatal(err)
+			}
+		case "text":
+			path = filepath.Join(*out, w.Name+".darshan.txt")
+			f, err := os.Create(path)
+			if err != nil {
+				fatal(err)
+			}
+			if err := log.WriteText(f); err != nil {
+				fatal(err)
+			}
+			if *withDXT {
+				if err := log.WriteDXTText(f); err != nil {
+					fatal(err)
+				}
+			}
+			if err := f.Close(); err != nil {
+				fatal(err)
+			}
+		default:
+			fatal(fmt.Errorf("iongen: unknown format %q", *format))
+		}
+		fmt.Printf("%-22s -> %s (%d ranks, %d ops, %.3fs simulated, %d lock conflicts)\n",
+			w.Name, path, w.NProcs, stats.TotalOps, stats.Makespan, stats.LockConflicts)
+		for _, e := range w.Truth {
+			fmt.Printf("    ground truth: %-20s %-12s %s\n", e.Issue, e.Want, e.Note)
+		}
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "iongen:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,101 @@
+// Command ionserve analyzes a Darshan trace and serves the diagnosis
+// through the paper's web front end (Figure 1): the report page with
+// per-issue modals plus the interactive message window, backed by a
+// JSON chat API.
+//
+// Usage:
+//
+//	ionserve -log trace.darshan -addr :8080
+//	# then open http://localhost:8080
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+
+	"ion/internal/expertsim"
+	"ion/internal/ion"
+	"ion/internal/webui"
+)
+
+func main() {
+	var (
+		logPath    = flag.String("log", "", "Darshan log to analyze and serve")
+		reportPath = flag.String("report", "", "serve a previously saved report JSON instead of analyzing a log")
+		workdir    = flag.String("workdir", "", "directory for extracted CSVs (default: <log>.csv)")
+		addr       = flag.String("addr", "127.0.0.1:8080", "listen address")
+		htmlOut    = flag.String("html", "", "write the report page to this file and exit (no server)")
+	)
+	flag.Parse()
+	if *logPath == "" && *reportPath == "" {
+		fmt.Fprintln(os.Stderr, "ionserve: -log or -report is required")
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	client := expertsim.New()
+	var (
+		rep *ion.Report
+		err error
+	)
+	if *reportPath != "" {
+		rep, err = ion.LoadJSON(*reportPath)
+	} else {
+		dir := *workdir
+		if dir == "" {
+			dir = *logPath + ".csv"
+		}
+		var fw *ion.Framework
+		fw, err = ion.New(ion.Config{Client: client})
+		if err == nil {
+			rep, err = fw.AnalyzeFile(context.Background(), *logPath, dir)
+		}
+	}
+	if err != nil {
+		fatal(err)
+	}
+
+	srv, err := webui.New(client, rep)
+	if err != nil {
+		fatal(err)
+	}
+
+	if *htmlOut != "" {
+		f, err := os.Create(*htmlOut)
+		if err != nil {
+			fatal(err)
+		}
+		req, _ := http.NewRequest(http.MethodGet, "/", nil)
+		rec := &fileResponse{f: f, header: http.Header{}}
+		srv.Handler().ServeHTTP(rec, req)
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("ionserve: wrote %s\n", *htmlOut)
+		return
+	}
+
+	fmt.Printf("ionserve: diagnosis of %s ready — http://%s\n", rep.Trace, *addr)
+	if err := http.ListenAndServe(*addr, srv.Handler()); err != nil {
+		fatal(err)
+	}
+}
+
+// fileResponse adapts an os.File into an http.ResponseWriter for the
+// -html render-to-file mode.
+type fileResponse struct {
+	f      *os.File
+	header http.Header
+}
+
+func (r *fileResponse) Header() http.Header         { return r.header }
+func (r *fileResponse) WriteHeader(int)             {}
+func (r *fileResponse) Write(p []byte) (int, error) { return r.f.Write(p) }
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "ionserve:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,58 @@
+// before_after: the paper's baseline-vs-optimized evaluation flow as a
+// user workflow — diagnose both E2E traces (with and without the
+// fill-value bug) and diff the diagnoses to see exactly what the fix
+// bought and what remains open.
+//
+//	go run ./examples/before_after
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+
+	"ion/internal/diffreport"
+	"ion/internal/expertsim"
+	"ion/internal/ion"
+	"ion/internal/workloads"
+)
+
+func main() {
+	dir, err := os.MkdirTemp("", "ion-diff-")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+
+	fw, err := ion.New(ion.Config{Client: expertsim.New(), SkipSummary: true})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	diagnose := func(optimized bool, sub string) *ion.Report {
+		w := workloads.E2E(optimized)
+		trace, err := w.Generate()
+		if err != nil {
+			log.Fatal(err)
+		}
+		rep, err := fw.AnalyzeLog(context.Background(), trace, w.Title, filepath.Join(dir, sub))
+		if err != nil {
+			log.Fatal(err)
+		}
+		return rep
+	}
+
+	fmt.Println("diagnosing E2E baseline (fill values on)...")
+	before := diagnose(false, "before")
+	fmt.Println("diagnosing E2E optimized (fill values off)...")
+	after := diagnose(true, "after")
+
+	d, err := diffreport.Compare(before, after)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println()
+	fmt.Print(d.Render())
+}

@@ -1,0 +1,65 @@
+// compare_drishti: the paper's Figure 3 scenario on one trace — run
+// both ION and the reimplemented Drishti baseline over the OpenPMD
+// application trace (HDF5 collective-I/O bug) and print their outputs
+// side by side, issue by issue.
+//
+//	go run ./examples/compare_drishti            # baseline (buggy) trace
+//	go run ./examples/compare_drishti -optimized # fixed trace
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+
+	"ion/internal/drishti"
+	"ion/internal/expertsim"
+	"ion/internal/extractor"
+	"ion/internal/ion"
+	"ion/internal/report"
+	"ion/internal/workloads"
+)
+
+func main() {
+	optimized := flag.Bool("optimized", false, "analyze the fixed (optimized) trace")
+	flag.Parse()
+
+	w := workloads.OpenPMD(*optimized)
+	fmt.Printf("workload: %s — %s\n\n", w.Title, w.Description)
+	trace, err := w.Generate()
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	dir, err := os.MkdirTemp("", "ion-compare-")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+	workDir := filepath.Join(dir, "csv")
+
+	fw, err := ion.New(ion.Config{Client: expertsim.New(), SkipSummary: true})
+	if err != nil {
+		log.Fatal(err)
+	}
+	ionRep, err := fw.AnalyzeLog(context.Background(), trace, w.Title, workDir)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	out, err := extractor.LoadDir(workDir)
+	if err != nil {
+		log.Fatal(err)
+	}
+	drishtiRep, err := drishti.Analyze(out, drishti.DefaultConfig())
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	if err := report.WriteComparison(os.Stdout, ionRep, drishtiRep, report.DefaultOptions()); err != nil {
+		log.Fatal(err)
+	}
+}

@@ -1,0 +1,62 @@
+// interactive: the paper's conversational interface. After diagnosing
+// the E2E baseline trace (the rank-0 fill-value pathology), the example
+// plays a scripted Q&A session against the diagnosis — the same
+// interface `ion -interactive` exposes as a live REPL.
+//
+//	go run ./examples/interactive
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+
+	"ion/internal/expertsim"
+	"ion/internal/ion"
+	"ion/internal/workloads"
+)
+
+func main() {
+	w := workloads.E2E(false)
+	trace, err := w.Generate()
+	if err != nil {
+		log.Fatal(err)
+	}
+	dir, err := os.MkdirTemp("", "ion-interactive-")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+
+	client := expertsim.New()
+	fw, err := ion.New(ion.Config{Client: client, SkipSummary: true})
+	if err != nil {
+		log.Fatal(err)
+	}
+	rep, err := fw.AnalyzeLog(context.Background(), trace, w.Title, filepath.Join(dir, "csv"))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("diagnosed %s: %d issue(s) detected, %d noted as benign\n\n",
+		w.Title, len(rep.Detected()), len(rep.Mitigated()))
+
+	session, err := ion.NewSession(client, rep)
+	if err != nil {
+		log.Fatal(err)
+	}
+	questions := []string{
+		"Which rank is responsible for the load imbalance, and how bad is it?",
+		"How do I fix the imbalance?",
+		"Is the file misalignment related to the netCDF header?",
+	}
+	for _, q := range questions {
+		fmt.Printf("user> %s\n\n", q)
+		answer, err := session.Ask(context.Background(), q)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("ion> %s\n\n%s\n", answer, "----------------------------------------")
+	}
+}

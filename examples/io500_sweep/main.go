@@ -1,0 +1,70 @@
+// io500_sweep: run ION over every IO500-derived controlled workload
+// (the paper's Figure 2 set) and print, per workload, the verdicts
+// against the injected ground truth — a compact regression sweep for
+// the diagnosis quality.
+//
+//	go run ./examples/io500_sweep
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+
+	"ion/internal/expertsim"
+	"ion/internal/ion"
+	"ion/internal/issue"
+	"ion/internal/workloads"
+)
+
+func main() {
+	dir, err := os.MkdirTemp("", "ion-sweep-")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+
+	fw, err := ion.New(ion.Config{Client: expertsim.New(), SkipSummary: true})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("%-22s %-20s %-12s %-12s %s\n", "workload", "issue", "verdict", "expected", "")
+	for _, w := range workloads.Figure2() {
+		trace, err := w.Generate()
+		if err != nil {
+			log.Fatal(err)
+		}
+		rep, err := fw.AnalyzeLog(context.Background(), trace, w.Name, filepath.Join(dir, w.Name))
+		if err != nil {
+			log.Fatal(err)
+		}
+		want := map[issue.ID]issue.Verdict{}
+		for _, e := range w.Truth {
+			want[e.Issue] = e.Want
+		}
+		for _, id := range rep.Order {
+			got := rep.Verdict(id)
+			exp, listed := want[id]
+			if !listed && got == issue.VerdictNotDetected {
+				continue // keep the sweep output compact
+			}
+			mark := "ok"
+			switch {
+			case listed && got != exp:
+				mark = "MISMATCH"
+			case !listed && got == issue.VerdictDetected:
+				mark = "FALSE-POSITIVE"
+			case !listed:
+				mark = "(context note)"
+			}
+			expStr := "-"
+			if listed {
+				expStr = string(exp)
+			}
+			fmt.Printf("%-22s %-20s %-12s %-12s %s\n", w.Name, id, got, expStr, mark)
+		}
+	}
+}

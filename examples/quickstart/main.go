@@ -1,0 +1,59 @@
+// Quickstart: generate a Darshan trace with a known I/O pathology, run
+// the full ION pipeline over it (extract → per-issue diagnosis →
+// summary), and print the expert report.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+
+	"ion/internal/expertsim"
+	"ion/internal/ion"
+	"ion/internal/report"
+	"ion/internal/workloads"
+)
+
+func main() {
+	// 1. Produce a trace. In production this file comes from a Darshan
+	// deployment; here the ior-hard workload (small strided writes on a
+	// shared file) runs on the bundled parallel-file-system simulator.
+	w, err := workloads.ByName("ior-hard")
+	if err != nil {
+		log.Fatal(err)
+	}
+	trace, err := w.Generate()
+	if err != nil {
+		log.Fatal(err)
+	}
+	dir, err := os.MkdirTemp("", "ion-quickstart-")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+	logPath := filepath.Join(dir, "ior-hard.darshan")
+	if err := trace.WriteFile(logPath); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("wrote %s (%d ranks, %d I/O operations)\n\n", logPath, trace.Header.NProcs, trace.TotalOps())
+
+	// 2. Analyze it. The expertsim backend is the bundled offline
+	// expert model; swap in llm.NewOpenAI(...) for a live endpoint.
+	fw, err := ion.New(ion.Config{Client: expertsim.New()})
+	if err != nil {
+		log.Fatal(err)
+	}
+	rep, err := fw.AnalyzeFile(context.Background(), logPath, filepath.Join(dir, "csv"))
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// 3. Print the diagnosis.
+	if err := report.WriteReport(os.Stdout, rep, report.DefaultOptions()); err != nil {
+		log.Fatal(err)
+	}
+}

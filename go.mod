@@ -1,0 +1,3 @@
+module ion
+
+go 1.22

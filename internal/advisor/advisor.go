@@ -1,0 +1,282 @@
+// Package advisor turns a diagnosis into a ranked optimization plan: a
+// catalog of concrete tuning actions (library calls, file-system
+// commands, MPI-IO hints, restructuring patterns), each mapped to the
+// issues it addresses, with prerequisites checked against the trace.
+// Where the conclusions of ION explain what is wrong, the advisor
+// enumerates exactly what to type — the "actionable tasks" dimension on
+// which the paper compares diagnosis tools.
+package advisor
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"ion/internal/analysis"
+	"ion/internal/extractor"
+	"ion/internal/ion"
+	"ion/internal/issue"
+	"ion/internal/knowledge"
+)
+
+// Effort grades how invasive an action is.
+type Effort string
+
+// Effort levels, from configuration-only to code restructuring.
+const (
+	EffortConfig  Effort = "config"  // environment / mount / job-script level
+	EffortLibrary Effort = "library" // API parameter or hint changes
+	EffortCode    Effort = "code"    // restructuring the application's I/O
+)
+
+// Action is one catalog entry.
+type Action struct {
+	ID     string
+	Title  string
+	Effort Effort
+	// Addresses lists the issues the action helps with.
+	Addresses []issue.ID
+	// Detail explains the mechanism.
+	Detail string
+	// Command is the concrete invocation (shell, API, or hint).
+	Command string
+	// Applies decides whether the action makes sense for this trace;
+	// nil means always applicable when an addressed issue fired.
+	Applies func(*analysis.Env) bool
+}
+
+// Recommendation is one ranked plan entry.
+type Recommendation struct {
+	Action Action
+	// Issues lists which detected/mitigated issues triggered it.
+	Issues []issue.ID
+	// Score orders the plan: detected issues outweigh mitigated ones,
+	// and cheap actions outrank invasive ones at equal impact.
+	Score float64
+	// Rationale ties the action to the trace's numbers.
+	Rationale string
+}
+
+// Plan is the advisor's output.
+type Plan struct {
+	Recommendations []Recommendation
+	// Considered counts catalog entries evaluated.
+	Considered int
+}
+
+// Render prints the plan as a numbered action list.
+func (p *Plan) Render() string {
+	var b strings.Builder
+	if len(p.Recommendations) == 0 {
+		b.WriteString("No optimization actions recommended: the trace shows no actionable issues.\n")
+		return b.String()
+	}
+	fmt.Fprintf(&b, "Optimization plan (%d actions, most impactful first)\n", len(p.Recommendations))
+	b.WriteString(strings.Repeat("=", 60) + "\n")
+	for i, r := range p.Recommendations {
+		fmt.Fprintf(&b, "\n%d. %s  [%s effort]\n", i+1, r.Action.Title, r.Action.Effort)
+		fmt.Fprintf(&b, "   addresses: %s\n", issueList(r.Issues))
+		fmt.Fprintf(&b, "   why: %s\n", r.Rationale)
+		fmt.Fprintf(&b, "   how: %s\n", r.Action.Detail)
+		if r.Action.Command != "" {
+			fmt.Fprintf(&b, "   do:  %s\n", r.Action.Command)
+		}
+	}
+	return b.String()
+}
+
+func issueList(ids []issue.ID) string {
+	parts := make([]string, len(ids))
+	for i, id := range ids {
+		parts[i] = string(id)
+	}
+	return strings.Join(parts, ", ")
+}
+
+// Catalog returns the built-in action catalog.
+func Catalog() []Action {
+	return []Action{
+		{
+			ID: "collective-io", Title: "Route shared-file I/O through MPI-IO collectives",
+			Effort:    EffortLibrary,
+			Addresses: []issue.ID{issue.SmallIO, issue.SharedFile, issue.Interface, issue.RandomAccess},
+			Detail:    "Collective buffering (two-phase I/O) funnels many ranks' small or strided requests through a few aggregator nodes that issue large, aligned writes.",
+			Command:   "MPI_File_write_all / H5Pset_dxpl_mpio(..., H5FD_MPIO_COLLECTIVE); hints: romio_cb_write=enable",
+		},
+		{
+			ID: "stripe-align", Title: "Align record sizes and offsets to the Lustre stripe unit",
+			Effort:    EffortLibrary,
+			Addresses: []issue.ID{issue.MisalignedIO},
+			Detail:    "Stripe-aligned accesses touch one OST each and keep extent-lock ranges narrow; pad records or set the library alignment so offsets land on stripe boundaries.",
+			Command:   "H5Pset_alignment(fapl, 0, stripe_size) or pad records to LUSTRE_STRIPE_SIZE",
+		},
+		{
+			ID: "restripe-wide", Title: "Restripe the shared output file across more OSTs",
+			Effort:    EffortConfig,
+			Addresses: []issue.ID{issue.SharedFile},
+			Detail:    "A wider stripe count spreads concurrent writers over more servers, cutting per-OST queueing and lock pressure.",
+			Command:   "lfs setstripe -c -1 -S 1m <output-dir>",
+			Applies: func(env *analysis.Env) bool {
+				r, err := analysis.SharedFile(env)
+				return err == nil && r.SharedFiles > 0
+			},
+		},
+		{
+			ID: "buffer-small", Title: "Buffer small requests into stripe-sized transfers",
+			Effort:    EffortCode,
+			Addresses: []issue.ID{issue.SmallIO},
+			Detail:    "Accumulate output in a user-space buffer and flush in multiples of the stripe size, so every RPC carries a full payload.",
+			Command:   "aggregate to >= LUSTRE_STRIPE_SIZE before write(); or setvbuf/larger HDF5 chunk cache",
+		},
+		{
+			ID: "disable-fill", Title: "Disable fill values for overwritten datasets",
+			Effort:    EffortLibrary,
+			Addresses: []issue.ID{issue.LoadImbalance},
+			Detail:    "netCDF/HDF5 pre-write fill values for every allocated block — usually from rank 0 — doubling the data volume for datasets that are fully overwritten anyway.",
+			Command:   "nc_def_var_fill(ncid, varid, NC_NOFILL, NULL) / H5Pset_fill_time(dcpl, H5D_FILL_TIME_NEVER)",
+			Applies: func(env *analysis.Env) bool {
+				r, err := analysis.Imbalance(env)
+				return err == nil && r.Pattern == "single-rank"
+			},
+		},
+		{
+			ID: "rebalance", Title: "Distribute I/O across ranks or explicit aggregators",
+			Effort:    EffortCode,
+			Addresses: []issue.ID{issue.LoadImbalance, issue.TimeImbalance},
+			Detail:    "Split the output domain so every rank (or a deliberate aggregator subset sized to the stripe count) writes a comparable share.",
+			Command:   "domain-decompose writes; or set cb_nodes=<stripe count> and use collectives",
+		},
+		{
+			ID: "keep-open", Title: "Keep file handles open across iterations",
+			Effort:    EffortCode,
+			Addresses: []issue.ID{issue.Metadata},
+			Detail:    "Opening and closing around every access turns each iteration into metadata-server round trips; open once, I/O many times, close once.",
+			Command:   "hoist open()/close() out of the iteration loop",
+		},
+		{
+			ID: "pack-files", Title: "Pack many small files into a shared container",
+			Effort:    EffortCode,
+			Addresses: []issue.ID{issue.Metadata},
+			Detail:    "Thousands of per-rank object files multiply MDS load; a container format (HDF5, ADIOS BP, tar) turns file churn into offset arithmetic.",
+			Command:   "one HDF5 file with per-rank groups instead of per-object files",
+			Applies: func(env *analysis.Env) bool {
+				return analysis.FileCount(env) > 64
+			},
+		},
+		{
+			ID: "adopt-mpiio", Title: "Adopt MPI-IO (directly or via HDF5/PnetCDF)",
+			Effort:    EffortLibrary,
+			Addresses: []issue.ID{issue.Interface},
+			Detail:    "Raw POSIX from many ranks leaves collective buffering, data sieving, and hint-based tuning on the table; the parallel libraries add them without changing the data model.",
+			Command:   "link MPI-IO and replace write() with MPI_File_write_at_all (or move to HDF5 parallel)",
+		},
+		{
+			ID: "force-collective", Title: "Force collective mode / upgrade the I/O library",
+			Effort:    EffortConfig,
+			Addresses: []issue.ID{issue.CollectiveIO},
+			Detail:    "Collective opens that degrade into independent small accesses indicate a library defect (e.g. the HDF5 collective-metadata bug) or disabled two-phase I/O.",
+			Command:   "export ROMIO_HINTS: romio_cb_write=enable romio_ds_write=enable; upgrade HDF5 >= 1.10.x fix",
+		},
+		{
+			ID: "sort-accesses", Title: "Sort or batch non-contiguous accesses before issuing",
+			Effort:    EffortCode,
+			Addresses: []issue.ID{issue.RandomAccess},
+			Detail:    "Sorting requests by offset (or building an MPI datatype describing the full pattern) converts random streams into sequential ones the servers can service cheaply.",
+			Command:   "sort offsets per batch; or MPI_Type_create_hindexed + one collective call",
+		},
+		{
+			ID: "readahead-hint", Title: "Tune client readahead for the access pattern",
+			Effort:    EffortConfig,
+			Addresses: []issue.ID{issue.RandomAccess},
+			Detail:    "Random reads thrash default readahead; shrinking it avoids wasted prefetch, while genuinely sequential phases want it large.",
+			Command:   "lctl set_param llite.*.max_read_ahead_mb=<size>",
+		},
+	}
+}
+
+// Recommend builds the ranked plan for a report against its trace.
+func Recommend(rep *ion.Report, out *extractor.Output) (*Plan, error) {
+	if rep == nil || out == nil {
+		return nil, fmt.Errorf("advisor: report and extraction are required")
+	}
+	env := analysis.NewEnv(out, knowledge.FromExtract(out))
+	weight := map[issue.Verdict]float64{
+		issue.VerdictDetected:  1.0,
+		issue.VerdictMitigated: 0.25,
+	}
+	effortBonus := map[Effort]float64{
+		EffortConfig:  0.20,
+		EffortLibrary: 0.10,
+		EffortCode:    0.0,
+	}
+	plan := &Plan{}
+	for _, a := range Catalog() {
+		plan.Considered++
+		var score float64
+		var hit []issue.ID
+		var worst issue.Verdict = issue.VerdictNotDetected
+		for _, id := range a.Addresses {
+			v := rep.Verdict(id)
+			if w := weight[v]; w > 0 {
+				score += w
+				hit = append(hit, id)
+				if v == issue.VerdictDetected {
+					worst = issue.VerdictDetected
+				} else if worst != issue.VerdictDetected {
+					worst = issue.VerdictMitigated
+				}
+			}
+		}
+		if len(hit) == 0 || worst != issue.VerdictDetected {
+			continue // only plan actions for confirmed problems
+		}
+		if a.Applies != nil && !a.Applies(env) {
+			continue
+		}
+		score += effortBonus[a.Effort]
+		plan.Recommendations = append(plan.Recommendations, Recommendation{
+			Action:    a,
+			Issues:    hit,
+			Score:     score,
+			Rationale: rationale(rep, hit),
+		})
+	}
+	sort.SliceStable(plan.Recommendations, func(i, j int) bool {
+		if plan.Recommendations[i].Score != plan.Recommendations[j].Score {
+			return plan.Recommendations[i].Score > plan.Recommendations[j].Score
+		}
+		return plan.Recommendations[i].Action.ID < plan.Recommendations[j].Action.ID
+	})
+	return plan, nil
+}
+
+// rationale quotes the first sentence of the strongest diagnosis.
+func rationale(rep *ion.Report, ids []issue.ID) string {
+	for _, id := range ids {
+		if rep.Verdict(id) != issue.VerdictDetected {
+			continue
+		}
+		if d := rep.Diagnoses[id]; d != nil {
+			return firstSentence(d.Conclusion)
+		}
+	}
+	for _, id := range ids {
+		if d := rep.Diagnoses[id]; d != nil {
+			return firstSentence(d.Conclusion)
+		}
+	}
+	return "addresses issues present in the trace"
+}
+
+func firstSentence(s string) string {
+	s = strings.Join(strings.Fields(s), " ")
+	for i := 0; i < len(s); i++ {
+		if s[i] == '.' && (i+1 == len(s) || s[i+1] == ' ') {
+			return s[:i+1]
+		}
+		if s[i] == ';' {
+			return s[:i]
+		}
+	}
+	return s
+}

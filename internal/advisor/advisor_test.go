@@ -1,0 +1,181 @@
+package advisor
+
+import (
+	"context"
+	"strings"
+	"testing"
+
+	"ion/internal/expertsim"
+	"ion/internal/extractor"
+	"ion/internal/ion"
+	"ion/internal/issue"
+	"ion/internal/testutil"
+)
+
+func planFor(t *testing.T, name string) (*Plan, *ion.Report) {
+	t.Helper()
+	out, _, err := testutil.Extracted(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fw, err := ion.New(ion.Config{Client: expertsim.New(), SkipSummary: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := fw.AnalyzeExtracted(context.Background(), out, name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err := Recommend(rep, out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return plan, rep
+}
+
+func TestCatalogSanity(t *testing.T) {
+	seen := map[string]bool{}
+	for _, a := range Catalog() {
+		if a.ID == "" || a.Title == "" || a.Detail == "" {
+			t.Errorf("incomplete action %+v", a)
+		}
+		if seen[a.ID] {
+			t.Errorf("duplicate action id %s", a.ID)
+		}
+		seen[a.ID] = true
+		if len(a.Addresses) == 0 {
+			t.Errorf("%s addresses nothing", a.ID)
+		}
+		for _, id := range a.Addresses {
+			if !issue.Valid(id) {
+				t.Errorf("%s addresses unknown issue %q", a.ID, id)
+			}
+		}
+		switch a.Effort {
+		case EffortConfig, EffortLibrary, EffortCode:
+		default:
+			t.Errorf("%s has invalid effort %q", a.ID, a.Effort)
+		}
+	}
+	if len(seen) < 10 {
+		t.Errorf("catalog too small: %d actions", len(seen))
+	}
+	// Every issue type has at least one action.
+	for _, id := range issue.All {
+		covered := false
+		for _, a := range Catalog() {
+			for _, aid := range a.Addresses {
+				if aid == id {
+					covered = true
+				}
+			}
+		}
+		if !covered {
+			t.Errorf("no catalog action addresses %s", id)
+		}
+	}
+}
+
+func TestPlanForIORHard(t *testing.T) {
+	plan, _ := planFor(t, "ior-hard")
+	if len(plan.Recommendations) == 0 {
+		t.Fatal("no recommendations for the pathological workload")
+	}
+	// The collective-I/O route addresses four of ior-hard's five issues:
+	// it must rank first.
+	if plan.Recommendations[0].Action.ID != "collective-io" {
+		t.Errorf("top action = %s, want collective-io", plan.Recommendations[0].Action.ID)
+	}
+	ids := map[string]bool{}
+	for _, r := range plan.Recommendations {
+		ids[r.Action.ID] = true
+		if r.Rationale == "" {
+			t.Errorf("%s has no rationale", r.Action.ID)
+		}
+		if r.Score <= 0 {
+			t.Errorf("%s has non-positive score", r.Action.ID)
+		}
+	}
+	for _, want := range []string{"stripe-align", "restripe-wide", "adopt-mpiio", "sort-accesses"} {
+		if !ids[want] {
+			t.Errorf("plan misses %s", want)
+		}
+	}
+	// Scores descend.
+	for i := 1; i < len(plan.Recommendations); i++ {
+		if plan.Recommendations[i].Score > plan.Recommendations[i-1].Score {
+			t.Fatal("plan not sorted by score")
+		}
+	}
+}
+
+func TestFillValueActionTargetsE2E(t *testing.T) {
+	plan, _ := planFor(t, "e2e-baseline")
+	found := false
+	for _, r := range plan.Recommendations {
+		if r.Action.ID == "disable-fill" {
+			found = true
+			if !strings.Contains(r.Rationale, "rank 0") {
+				t.Errorf("fill-value rationale should cite rank 0: %s", r.Rationale)
+			}
+		}
+	}
+	if !found {
+		t.Error("disable-fill not recommended for the single-rank fill pathology")
+	}
+	// And NOT for the subset-balanced optimized run (imbalance only
+	// mitigated there).
+	planOpt, _ := planFor(t, "e2e-optimized")
+	for _, r := range planOpt.Recommendations {
+		if r.Action.ID == "disable-fill" {
+			t.Error("disable-fill recommended without a single-rank pathology")
+		}
+	}
+}
+
+func TestMetadataActionsForMDWorkbench(t *testing.T) {
+	plan, _ := planFor(t, "md-workbench")
+	var keepOpen, pack bool
+	for _, r := range plan.Recommendations {
+		switch r.Action.ID {
+		case "keep-open":
+			keepOpen = true
+		case "pack-files":
+			pack = true
+		}
+	}
+	if !keepOpen || !pack {
+		t.Errorf("metadata actions missing: keep-open=%v pack-files=%v", keepOpen, pack)
+	}
+}
+
+func TestCleanTraceGetsNoDetectedPlan(t *testing.T) {
+	// openpmd-optimized has only mitigated findings: the plan must not
+	// prescribe actions for a healthy run.
+	plan, rep := planFor(t, "openpmd-optimized")
+	if len(rep.Detected()) != 0 {
+		t.Skip("workload unexpectedly has detected issues")
+	}
+	if len(plan.Recommendations) != 0 {
+		t.Errorf("plan for a clean trace: %+v", plan.Recommendations)
+	}
+	if !strings.Contains(plan.Render(), "No optimization actions") {
+		t.Error("empty plan rendering wrong")
+	}
+}
+
+func TestRenderShape(t *testing.T) {
+	plan, _ := planFor(t, "ior-hard")
+	text := plan.Render()
+	for _, want := range []string{"Optimization plan", "addresses:", "why:", "how:", "do:"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("render missing %q", want)
+		}
+	}
+}
+
+func TestRecommendValidation(t *testing.T) {
+	if _, err := Recommend(nil, &extractor.Output{}); err == nil {
+		t.Error("nil report accepted")
+	}
+}

@@ -1,0 +1,276 @@
+// Package consistency implements the diagnosis consistency checking the
+// paper lists as planned work (§5): after the Analyzer collects the
+// per-issue completions, the checker (1) re-derives the ground metrics
+// from the extracted trace and verifies each verdict against them
+// (catching a model that hallucinated a conclusion its own numbers do
+// not support), and (2) applies cross-issue coherence rules (two
+// diagnoses asserting physically contradictory facts about the same
+// trace). With the deterministic expert backend the checker passes by
+// construction; against a live LLM it is the guardrail.
+package consistency
+
+import (
+	"fmt"
+
+	"ion/internal/analysis"
+	"ion/internal/extractor"
+	"ion/internal/ion"
+	"ion/internal/issue"
+	"ion/internal/knowledge"
+)
+
+// Severity grades a violation.
+type Severity string
+
+// Violation severities: Error marks a verdict the trace contradicts;
+// Warn marks a suspicious combination worth a second completion pass.
+const (
+	SeverityError Severity = "error"
+	SeverityWarn  Severity = "warn"
+)
+
+// Violation is one failed consistency rule.
+type Violation struct {
+	Rule     string
+	Severity Severity
+	Issues   []issue.ID
+	Detail   string
+}
+
+// Result is the checker's output.
+type Result struct {
+	Violations []Violation
+	// RulesChecked counts evaluated rules, for reporting.
+	RulesChecked int
+}
+
+// Consistent reports whether no error-level violation was found.
+func (r *Result) Consistent() bool {
+	for _, v := range r.Violations {
+		if v.Severity == SeverityError {
+			return false
+		}
+	}
+	return true
+}
+
+// Check verifies a report against its extracted trace.
+func Check(rep *ion.Report, out *extractor.Output) (*Result, error) {
+	if rep == nil || out == nil {
+		return nil, fmt.Errorf("consistency: report and extraction are required")
+	}
+	env := analysis.NewEnv(out, knowledge.FromExtract(out))
+	res := &Result{}
+
+	checks := []func(*ion.Report, *analysis.Env, *Result) error{
+		verifySmallIO,
+		verifyAlignment,
+		verifyRandom,
+		verifySharedFile,
+		verifyImbalance,
+		verifyMetadata,
+		verifyInterface,
+		crossSmallVsRandom,
+		crossInterfaceVsCollective,
+		crossSharedVsFPP,
+		crossImbalanceVsTime,
+	}
+	for _, c := range checks {
+		res.RulesChecked++
+		if err := c(rep, env, res); err != nil {
+			return nil, err
+		}
+	}
+	return res, nil
+}
+
+func add(res *Result, rule string, sev Severity, detail string, issues ...issue.ID) {
+	res.Violations = append(res.Violations, Violation{
+		Rule: rule, Severity: sev, Issues: issues, Detail: detail,
+	})
+}
+
+// --- ground-metric verification ---
+
+// verifySmallIO: a detected small-I/O issue needs a meaningful small
+// share; a not-detected verdict contradicts a dominant small share.
+func verifySmallIO(rep *ion.Report, env *analysis.Env, res *Result) error {
+	v := rep.Verdict(issue.SmallIO)
+	r, err := analysis.SmallIO(env)
+	if err != nil {
+		return nil // no DXT: nothing to verify against
+	}
+	switch v {
+	case issue.VerdictDetected:
+		if r.TinyShare < 0.05 && r.SmallShare < 0.05 {
+			add(res, "small-io-support", SeverityError,
+				fmt.Sprintf("small-io detected but only %s of ops are below the RPC size", analysis.Pct(r.SmallShare)),
+				issue.SmallIO)
+		}
+	case issue.VerdictNotDetected:
+		if r.TinyShare > 0.5 {
+			add(res, "small-io-support", SeverityError,
+				fmt.Sprintf("small-io not-detected but %s of ops are below the stripe unit", analysis.Pct(r.TinyShare)),
+				issue.SmallIO)
+		}
+	}
+	return nil
+}
+
+func verifyAlignment(rep *ion.Report, env *analysis.Env, res *Result) error {
+	v := rep.Verdict(issue.MisalignedIO)
+	r, err := analysis.Alignment(env)
+	if err != nil {
+		return nil
+	}
+	if v == issue.VerdictDetected && r.FileShare < 0.02 {
+		add(res, "alignment-support", SeverityError,
+			fmt.Sprintf("misaligned-io detected but the counter share is %s", analysis.Pct(r.FileShare)),
+			issue.MisalignedIO)
+	}
+	if v == issue.VerdictNotDetected && r.FileShare > 0.5 {
+		add(res, "alignment-support", SeverityError,
+			fmt.Sprintf("misaligned-io not-detected but the counter share is %s", analysis.Pct(r.FileShare)),
+			issue.MisalignedIO)
+	}
+	return nil
+}
+
+func verifyRandom(rep *ion.Report, env *analysis.Env, res *Result) error {
+	v := rep.Verdict(issue.RandomAccess)
+	r, err := analysis.Pattern(env)
+	if err != nil {
+		return nil
+	}
+	if v == issue.VerdictDetected && r.NonContigShare < 0.02 {
+		add(res, "random-support", SeverityError,
+			fmt.Sprintf("random-access detected but only %s of accesses are non-contiguous", analysis.Pct(r.NonContigShare)),
+			issue.RandomAccess)
+	}
+	return nil
+}
+
+func verifySharedFile(rep *ion.Report, env *analysis.Env, res *Result) error {
+	v := rep.Verdict(issue.SharedFile)
+	r, err := analysis.SharedFile(env)
+	if err != nil {
+		return nil
+	}
+	if v == issue.VerdictDetected && r.SharedFiles == 0 {
+		add(res, "shared-file-support", SeverityError,
+			"shared-file contention detected but no file is accessed by more than one rank",
+			issue.SharedFile)
+	}
+	if v == issue.VerdictDetected && r.ConflictStripes == 0 && r.OverlapEvents == 0 {
+		add(res, "shared-file-support", SeverityError,
+			"shared-file contention detected but no stripe is shared between writers",
+			issue.SharedFile)
+	}
+	return nil
+}
+
+func verifyImbalance(rep *ion.Report, env *analysis.Env, res *Result) error {
+	v := rep.Verdict(issue.LoadImbalance)
+	r, err := analysis.Imbalance(env)
+	if err != nil {
+		return nil
+	}
+	if v == issue.VerdictDetected && r.ImbalancePct < 0.3 {
+		add(res, "imbalance-support", SeverityError,
+			fmt.Sprintf("load-imbalance detected but the imbalance metric is %s", analysis.Pct(r.ImbalancePct)),
+			issue.LoadImbalance)
+	}
+	return nil
+}
+
+func verifyMetadata(rep *ion.Report, env *analysis.Env, res *Result) error {
+	v := rep.Verdict(issue.Metadata)
+	r, err := analysis.Metadata(env)
+	if err != nil {
+		return nil
+	}
+	if v == issue.VerdictDetected && r.Ratio < 0.1 && r.TimeShare < 0.1 {
+		add(res, "metadata-support", SeverityError,
+			fmt.Sprintf("metadata issue detected but the op ratio is %.3f and time share %s", r.Ratio, analysis.Pct(r.TimeShare)),
+			issue.Metadata)
+	}
+	return nil
+}
+
+func verifyInterface(rep *ion.Report, env *analysis.Env, res *Result) error {
+	v := rep.Verdict(issue.Interface)
+	r, err := analysis.Interface(env)
+	if err != nil {
+		return nil
+	}
+	if v == issue.VerdictDetected && r.UsesMPIIO {
+		add(res, "interface-support", SeverityError,
+			"interface issue (POSIX-only) detected but the MPI-IO module carries data operations",
+			issue.Interface)
+	}
+	return nil
+}
+
+// --- cross-issue coherence ---
+
+// crossSmallVsRandom: claiming small I/O is mitigated *by aggregation*
+// while also claiming the access pattern is dominantly random asserts
+// contradictory facts about the same offset stream.
+func crossSmallVsRandom(rep *ion.Report, env *analysis.Env, res *Result) error {
+	if rep.Verdict(issue.SmallIO) == issue.VerdictMitigated &&
+		rep.Verdict(issue.RandomAccess) == issue.VerdictDetected {
+		// Only contradictory when the mitigation argument is aggregation
+		// (consecutiveness); verify against the trace.
+		r, err := analysis.SmallIO(env)
+		if err == nil && r.ConsecShare > 0.5 {
+			return nil // consecutive AND some random elsewhere can coexist across files
+		}
+		add(res, "small-vs-random", SeverityError,
+			"small-io called mitigated (aggregation) while random-access is detected on the same stream",
+			issue.SmallIO, issue.RandomAccess)
+	}
+	return nil
+}
+
+// crossInterfaceVsCollective: a POSIX-only diagnosis contradicts a
+// collective-I/O diagnosis, which requires MPI-IO activity.
+func crossInterfaceVsCollective(rep *ion.Report, env *analysis.Env, res *Result) error {
+	if rep.Verdict(issue.Interface) == issue.VerdictDetected &&
+		rep.Verdict(issue.CollectiveIO) == issue.VerdictDetected {
+		add(res, "interface-vs-collective", SeverityError,
+			"POSIX-only interface issue and MPI-IO collective issue detected simultaneously",
+			issue.Interface, issue.CollectiveIO)
+	}
+	return nil
+}
+
+// crossSharedVsFPP: shared-file contention alongside an interface
+// analysis that found zero shared files.
+func crossSharedVsFPP(rep *ion.Report, env *analysis.Env, res *Result) error {
+	if rep.Verdict(issue.SharedFile) != issue.VerdictDetected {
+		return nil
+	}
+	r, err := analysis.Interface(env)
+	if err != nil {
+		return nil
+	}
+	if r.SharedFiles == 0 {
+		add(res, "shared-vs-fpp", SeverityError,
+			"shared-file contention detected in a file-per-process trace",
+			issue.SharedFile, issue.Interface)
+	}
+	return nil
+}
+
+// crossImbalanceVsTime: a severe byte imbalance without any time
+// divergence is suspicious (warn: the overloaded rank may overlap its
+// I/O, but it usually shows up in time too).
+func crossImbalanceVsTime(rep *ion.Report, env *analysis.Env, res *Result) error {
+	if rep.Verdict(issue.LoadImbalance) == issue.VerdictDetected &&
+		rep.Verdict(issue.TimeImbalance) == issue.VerdictNotDetected {
+		add(res, "imbalance-vs-time", SeverityWarn,
+			"byte load imbalance detected while rank I/O times are uniform — worth a second pass",
+			issue.LoadImbalance, issue.TimeImbalance)
+	}
+	return nil
+}

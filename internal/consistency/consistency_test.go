@@ -1,0 +1,202 @@
+package consistency
+
+import (
+	"context"
+	"testing"
+
+	"ion/internal/expertsim"
+	"ion/internal/ion"
+	"ion/internal/issue"
+	"ion/internal/testutil"
+	"ion/internal/workloads"
+)
+
+func reportFor(t *testing.T, name string) (*ion.Report, *Result) {
+	t.Helper()
+	out, _, err := testutil.Extracted(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fw, err := ion.New(ion.Config{Client: expertsim.New(), SkipSummary: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := fw.AnalyzeExtracted(context.Background(), out, name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Check(rep, out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rep, res
+}
+
+func TestExpertReportsAreConsistent(t *testing.T) {
+	// The deterministic expert computes its verdicts from the same
+	// metrics the checker verifies: every workload must check clean of
+	// error-level violations.
+	for _, w := range workloads.All() {
+		w := w
+		t.Run(w.Name, func(t *testing.T) {
+			_, res := reportFor(t, w.Name)
+			if !res.Consistent() {
+				t.Errorf("violations: %+v", res.Violations)
+			}
+			if res.RulesChecked < 10 {
+				t.Errorf("rules checked = %d", res.RulesChecked)
+			}
+		})
+	}
+}
+
+// tamper flips a verdict to simulate a hallucinating backend.
+func tamper(rep *ion.Report, id issue.ID, v issue.Verdict) {
+	d, ok := rep.Diagnoses[id]
+	if !ok {
+		d = &ion.IssueDiagnosis{Issue: id, Title: issue.Title(id)}
+		rep.Diagnoses[id] = d
+		rep.Order = append(rep.Order, id)
+	}
+	d.Verdict = v
+}
+
+func TestCatchesUnsupportedDetection(t *testing.T) {
+	// ior-easy-1m-shared has 0% misalignment; claiming misaligned-io
+	// detected must be flagged.
+	rep, _ := reportFor(t, "ior-easy-1m-shared")
+	out, _, err := testutil.Extracted("ior-easy-1m-shared")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tamper(rep, issue.MisalignedIO, issue.VerdictDetected)
+	res, err := Check(rep, out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Consistent() {
+		t.Error("hallucinated misalignment not caught")
+	}
+	found := false
+	for _, v := range res.Violations {
+		if v.Rule == "alignment-support" && v.Severity == SeverityError {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("expected alignment-support violation, got %+v", res.Violations)
+	}
+}
+
+func TestCatchesMissedDominantSignal(t *testing.T) {
+	// ior-hard is 100% tiny ops; claiming small-io not-detected must be
+	// flagged.
+	rep, _ := reportFor(t, "ior-hard")
+	out, _, err := testutil.Extracted("ior-hard")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tamper(rep, issue.SmallIO, issue.VerdictNotDetected)
+	res, err := Check(rep, out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Consistent() {
+		t.Error("missed dominant small-I/O signal not caught")
+	}
+}
+
+func TestCatchesCrossIssueContradiction(t *testing.T) {
+	// POSIX-only interface issue + MPI-IO collective issue cannot both
+	// hold.
+	rep, _ := reportFor(t, "ior-hard")
+	out, _, err := testutil.Extracted("ior-hard")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tamper(rep, issue.CollectiveIO, issue.VerdictDetected)
+	res, err := Check(rep, out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var found bool
+	for _, v := range res.Violations {
+		if v.Rule == "interface-vs-collective" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("contradiction not caught: %+v", res.Violations)
+	}
+}
+
+func TestCatchesSharedFileOnFPP(t *testing.T) {
+	rep, _ := reportFor(t, "ior-easy-1m-fpp")
+	out, _, err := testutil.Extracted("ior-easy-1m-fpp")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tamper(rep, issue.SharedFile, issue.VerdictDetected)
+	res, err := Check(rep, out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Consistent() {
+		t.Error("shared-file detection on FPP trace not caught")
+	}
+}
+
+func TestCatchesSmallVsRandomContradiction(t *testing.T) {
+	// ior-rnd4k: small-io mitigated (aggregation) + random detected is
+	// contradictory because the stream is NOT consecutive.
+	rep, _ := reportFor(t, "ior-rnd4k")
+	out, _, err := testutil.Extracted("ior-rnd4k")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tamper(rep, issue.SmallIO, issue.VerdictMitigated)
+	res, err := Check(rep, out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var found bool
+	for _, v := range res.Violations {
+		if v.Rule == "small-vs-random" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("small-vs-random contradiction not caught: %+v", res.Violations)
+	}
+}
+
+func TestWarnOnImbalanceWithoutTimeSkew(t *testing.T) {
+	rep, _ := reportFor(t, "ior-easy-1m-shared")
+	out, _, err := testutil.Extracted("ior-easy-1m-shared")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Hallucinate both an imbalance and uniform times: the checker
+	// raises the support error AND the cross-check warning.
+	tamper(rep, issue.LoadImbalance, issue.VerdictDetected)
+	tamper(rep, issue.TimeImbalance, issue.VerdictNotDetected)
+	res, err := Check(rep, out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var warned bool
+	for _, v := range res.Violations {
+		if v.Rule == "imbalance-vs-time" && v.Severity == SeverityWarn {
+			warned = true
+		}
+	}
+	if !warned {
+		t.Errorf("warning not raised: %+v", res.Violations)
+	}
+}
+
+func TestCheckValidation(t *testing.T) {
+	if _, err := Check(nil, nil); err == nil {
+		t.Error("nil inputs accepted")
+	}
+}

@@ -1,0 +1,81 @@
+package darshan
+
+import (
+	"os"
+	"testing"
+)
+
+// TestParseRealWorldSample feeds the parser a transcript shaped like
+// genuine darshan-parser/darshan-dxt-parser output, including artifacts
+// our writer never produces: compression/ascii-time header comments,
+// counters outside our canonical set (POSIX_MODE), Darshan's -1
+// "not measured" values, huge record ids, and a read/write mix in one
+// DXT block. The parser must be tolerant of all of it.
+func TestParseRealWorldSample(t *testing.T) {
+	f, err := os.Open("testdata/real_sample.txt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	log, err := ParseText(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if log.Header.NProcs != 64 || log.Header.JobID != 4478544 {
+		t.Errorf("header: %+v", log.Header)
+	}
+	if log.Header.RunTime != 42.7181 {
+		t.Errorf("run time: %v", log.Header.RunTime)
+	}
+	if log.Header.Metadata["lib_ver"] != "3.1.3" {
+		t.Errorf("metadata: %v", log.Header.Metadata)
+	}
+	if log.Header.Metadata["h"] != "romio_no_indep_rw=true;cb_nodes=4" {
+		t.Errorf("hint metadata with embedded '=' mangled: %v", log.Header.Metadata)
+	}
+
+	rec := log.Module(ModPOSIX).Find(9457796068806373448, SharedRank)
+	if rec == nil {
+		t.Fatal("POSIX record missing")
+	}
+	if rec.C(CPosixReads) != 1024 {
+		t.Errorf("reads = %d", rec.C(CPosixReads))
+	}
+	// Unknown counters are preserved verbatim.
+	if rec.C("POSIX_MODE") != 438 {
+		t.Errorf("unknown counter dropped: %d", rec.C("POSIX_MODE"))
+	}
+	// Darshan's -1 "not measured" values survive.
+	if rec.C(CPosixMmaps) != -1 {
+		t.Errorf("-1 sentinel lost: %d", rec.C(CPosixMmaps))
+	}
+	if rec.F(FPosixReadTime) != 11.224557 {
+		t.Errorf("float counter: %v", rec.F(FPosixReadTime))
+	}
+
+	lrec := log.Module(ModLustre).Find(9457796068806373448, SharedRank)
+	if lrec == nil || lrec.C(CLustreStripeSize) != 1048576 {
+		t.Fatalf("lustre record: %+v", lrec)
+	}
+	if lrec.C("LUSTRE_OST_ID_1") != 11 {
+		t.Errorf("OST ids: %v", lrec.Counters)
+	}
+
+	if len(log.DXT) != 1 {
+		t.Fatalf("DXT traces = %d", len(log.DXT))
+	}
+	tr := log.DXT[0]
+	w, r := tr.Counts()
+	if w != 2 || r != 1 {
+		t.Errorf("DXT counts = %d writes, %d reads", w, r)
+	}
+	if tr.Hostname != "nid00211" {
+		t.Errorf("hostname = %q", tr.Hostname)
+	}
+	if log.Name(9457796068806373448) != "/global/cscratch1/ior/testFile" {
+		t.Errorf("file name = %q", log.Name(9457796068806373448))
+	}
+	if log.MountFor("/global/cscratch1/ior/testFile").FSType != "lustre" {
+		t.Errorf("mounts: %+v", log.Mounts)
+	}
+}

@@ -1,0 +1,370 @@
+package darshan
+
+import "fmt"
+
+// This file defines the counter vocabulary for each module, following
+// the Darshan 3.4 runtime. The ordered name slices drive deterministic
+// serialization; the description maps feed the prompt builder, which
+// must describe every CSV column to the language model.
+
+// Canonical POSIX integer counter names.
+const (
+	CPosixOpens          = "POSIX_OPENS"
+	CPosixFilenos        = "POSIX_FILENOS"
+	CPosixReads          = "POSIX_READS"
+	CPosixWrites         = "POSIX_WRITES"
+	CPosixSeeks          = "POSIX_SEEKS"
+	CPosixStats          = "POSIX_STATS"
+	CPosixMmaps          = "POSIX_MMAPS"
+	CPosixFsyncs         = "POSIX_FSYNCS"
+	CPosixFdsyncs        = "POSIX_FDSYNCS"
+	CPosixBytesRead      = "POSIX_BYTES_READ"
+	CPosixBytesWritten   = "POSIX_BYTES_WRITTEN"
+	CPosixMaxByteRead    = "POSIX_MAX_BYTE_READ"
+	CPosixMaxByteWritten = "POSIX_MAX_BYTE_WRITTEN"
+	CPosixConsecReads    = "POSIX_CONSEC_READS"
+	CPosixConsecWrites   = "POSIX_CONSEC_WRITES"
+	CPosixSeqReads       = "POSIX_SEQ_READS"
+	CPosixSeqWrites      = "POSIX_SEQ_WRITES"
+	CPosixRWSwitches     = "POSIX_RW_SWITCHES"
+	CPosixMemNotAligned  = "POSIX_MEM_NOT_ALIGNED"
+	CPosixMemAlignment   = "POSIX_MEM_ALIGNMENT"
+	CPosixFileNotAligned = "POSIX_FILE_NOT_ALIGNED"
+	CPosixFileAlignment  = "POSIX_FILE_ALIGNMENT"
+	CPosixFastestRank    = "POSIX_FASTEST_RANK"
+	CPosixFastestBytes   = "POSIX_FASTEST_RANK_BYTES"
+	CPosixSlowestRank    = "POSIX_SLOWEST_RANK"
+	CPosixSlowestBytes   = "POSIX_SLOWEST_RANK_BYTES"
+)
+
+// Canonical POSIX float counter names.
+const (
+	FPosixOpenStart     = "POSIX_F_OPEN_START_TIMESTAMP"
+	FPosixReadStart     = "POSIX_F_READ_START_TIMESTAMP"
+	FPosixWriteStart    = "POSIX_F_WRITE_START_TIMESTAMP"
+	FPosixCloseStart    = "POSIX_F_CLOSE_START_TIMESTAMP"
+	FPosixOpenEnd       = "POSIX_F_OPEN_END_TIMESTAMP"
+	FPosixReadEnd       = "POSIX_F_READ_END_TIMESTAMP"
+	FPosixWriteEnd      = "POSIX_F_WRITE_END_TIMESTAMP"
+	FPosixCloseEnd      = "POSIX_F_CLOSE_END_TIMESTAMP"
+	FPosixReadTime      = "POSIX_F_READ_TIME"
+	FPosixWriteTime     = "POSIX_F_WRITE_TIME"
+	FPosixMetaTime      = "POSIX_F_META_TIME"
+	FPosixMaxReadTime   = "POSIX_F_MAX_READ_TIME"
+	FPosixMaxWriteTime  = "POSIX_F_MAX_WRITE_TIME"
+	FPosixFastestTime   = "POSIX_F_FASTEST_RANK_TIME"
+	FPosixSlowestTime   = "POSIX_F_SLOWEST_RANK_TIME"
+	FPosixVarianceTime  = "POSIX_F_VARIANCE_RANK_TIME"
+	FPosixVarianceBytes = "POSIX_F_VARIANCE_RANK_BYTES"
+)
+
+// Canonical MPI-IO counter names.
+const (
+	CMpiioIndepOpens   = "MPIIO_INDEP_OPENS"
+	CMpiioCollOpens    = "MPIIO_COLL_OPENS"
+	CMpiioIndepReads   = "MPIIO_INDEP_READS"
+	CMpiioIndepWrites  = "MPIIO_INDEP_WRITES"
+	CMpiioCollReads    = "MPIIO_COLL_READS"
+	CMpiioCollWrites   = "MPIIO_COLL_WRITES"
+	CMpiioSplitReads   = "MPIIO_SPLIT_READS"
+	CMpiioSplitWrites  = "MPIIO_SPLIT_WRITES"
+	CMpiioNBReads      = "MPIIO_NB_READS"
+	CMpiioNBWrites     = "MPIIO_NB_WRITES"
+	CMpiioSyncs        = "MPIIO_SYNCS"
+	CMpiioHints        = "MPIIO_HINTS"
+	CMpiioViews        = "MPIIO_VIEWS"
+	CMpiioBytesRead    = "MPIIO_BYTES_READ"
+	CMpiioBytesWritten = "MPIIO_BYTES_WRITTEN"
+	CMpiioRWSwitches   = "MPIIO_RW_SWITCHES"
+)
+
+// Canonical MPI-IO float counter names.
+const (
+	FMpiioOpenStart     = "MPIIO_F_OPEN_START_TIMESTAMP"
+	FMpiioReadTime      = "MPIIO_F_READ_TIME"
+	FMpiioWriteTime     = "MPIIO_F_WRITE_TIME"
+	FMpiioMetaTime      = "MPIIO_F_META_TIME"
+	FMpiioCloseEnd      = "MPIIO_F_CLOSE_END_TIMESTAMP"
+	FMpiioVarianceTime  = "MPIIO_F_VARIANCE_RANK_TIME"
+	FMpiioVarianceBytes = "MPIIO_F_VARIANCE_RANK_BYTES"
+)
+
+// Canonical STDIO counter names.
+const (
+	CStdioOpens        = "STDIO_OPENS"
+	CStdioReads        = "STDIO_READS"
+	CStdioWrites       = "STDIO_WRITES"
+	CStdioSeeks        = "STDIO_SEEKS"
+	CStdioFlushes      = "STDIO_FLUSHES"
+	CStdioBytesRead    = "STDIO_BYTES_READ"
+	CStdioBytesWritten = "STDIO_BYTES_WRITTEN"
+)
+
+// Canonical STDIO float counter names.
+const (
+	FStdioMetaTime  = "STDIO_F_META_TIME"
+	FStdioWriteTime = "STDIO_F_WRITE_TIME"
+	FStdioReadTime  = "STDIO_F_READ_TIME"
+)
+
+// Canonical Lustre counter names. LUSTRE_OST_ID_<k> entries follow
+// LustreCounters and are emitted per stripe.
+const (
+	CLustreOSTs         = "LUSTRE_OSTS"
+	CLustreMDTs         = "LUSTRE_MDTS"
+	CLustreStripeOffset = "LUSTRE_STRIPE_OFFSET"
+	CLustreStripeSize   = "LUSTRE_STRIPE_SIZE"
+	CLustreStripeWidth  = "LUSTRE_STRIPE_WIDTH"
+)
+
+// SizeBin describes one access-size histogram bucket.
+type SizeBin struct {
+	Suffix string // e.g. "0_100"
+	Lo     int64  // inclusive lower bound in bytes
+	Hi     int64  // exclusive upper bound; -1 means unbounded
+}
+
+// SizeBins is the Darshan access-size histogram, shared by the
+// POSIX_SIZE_READ_*/POSIX_SIZE_WRITE_* and MPIIO_SIZE_*_AGG_* counters.
+var SizeBins = []SizeBin{
+	{"0_100", 0, 100},
+	{"100_1K", 100, 1 << 10},
+	{"1K_10K", 1 << 10, 10 << 10},
+	{"10K_100K", 10 << 10, 100 << 10},
+	{"100K_1M", 100 << 10, 1 << 20},
+	{"1M_4M", 1 << 20, 4 << 20},
+	{"4M_10M", 4 << 20, 10 << 20},
+	{"10M_100M", 10 << 20, 100 << 20},
+	{"100M_1G", 100 << 20, 1 << 30},
+	{"1G_PLUS", 1 << 30, -1},
+}
+
+// SizeBinFor returns the histogram bucket suffix for an access size.
+func SizeBinFor(size int64) string {
+	for _, b := range SizeBins {
+		if size >= b.Lo && (b.Hi < 0 || size < b.Hi) {
+			return b.Suffix
+		}
+	}
+	return SizeBins[len(SizeBins)-1].Suffix
+}
+
+// posixSizeCounters returns the 20 histogram counter names.
+func posixSizeCounters() []string {
+	out := make([]string, 0, 2*len(SizeBins))
+	for _, b := range SizeBins {
+		out = append(out, "POSIX_SIZE_READ_"+b.Suffix)
+	}
+	for _, b := range SizeBins {
+		out = append(out, "POSIX_SIZE_WRITE_"+b.Suffix)
+	}
+	return out
+}
+
+func mpiioSizeCounters() []string {
+	out := make([]string, 0, 2*len(SizeBins))
+	for _, b := range SizeBins {
+		out = append(out, "MPIIO_SIZE_READ_AGG_"+b.Suffix)
+	}
+	for _, b := range SizeBins {
+		out = append(out, "MPIIO_SIZE_WRITE_AGG_"+b.Suffix)
+	}
+	return out
+}
+
+// PosixCounters lists the POSIX integer counters in serialization order.
+var PosixCounters = append([]string{
+	CPosixOpens, CPosixFilenos, CPosixReads, CPosixWrites, CPosixSeeks,
+	CPosixStats, CPosixMmaps, CPosixFsyncs, CPosixFdsyncs,
+	CPosixBytesRead, CPosixBytesWritten,
+	CPosixMaxByteRead, CPosixMaxByteWritten,
+	CPosixConsecReads, CPosixConsecWrites,
+	CPosixSeqReads, CPosixSeqWrites,
+	CPosixRWSwitches,
+	CPosixMemAlignment, CPosixMemNotAligned,
+	CPosixFileAlignment, CPosixFileNotAligned,
+	CPosixFastestRank, CPosixFastestBytes,
+	CPosixSlowestRank, CPosixSlowestBytes,
+}, posixSizeCounters()...)
+
+// PosixFCounters lists the POSIX float counters in serialization order.
+var PosixFCounters = []string{
+	FPosixOpenStart, FPosixReadStart, FPosixWriteStart, FPosixCloseStart,
+	FPosixOpenEnd, FPosixReadEnd, FPosixWriteEnd, FPosixCloseEnd,
+	FPosixReadTime, FPosixWriteTime, FPosixMetaTime,
+	FPosixMaxReadTime, FPosixMaxWriteTime,
+	FPosixFastestTime, FPosixSlowestTime,
+	FPosixVarianceTime, FPosixVarianceBytes,
+}
+
+// MpiioCounters lists the MPI-IO integer counters in serialization order.
+var MpiioCounters = append([]string{
+	CMpiioIndepOpens, CMpiioCollOpens,
+	CMpiioIndepReads, CMpiioIndepWrites,
+	CMpiioCollReads, CMpiioCollWrites,
+	CMpiioSplitReads, CMpiioSplitWrites,
+	CMpiioNBReads, CMpiioNBWrites,
+	CMpiioSyncs, CMpiioHints, CMpiioViews,
+	CMpiioBytesRead, CMpiioBytesWritten,
+	CMpiioRWSwitches,
+}, mpiioSizeCounters()...)
+
+// MpiioFCounters lists the MPI-IO float counters in serialization order.
+var MpiioFCounters = []string{
+	FMpiioOpenStart, FMpiioReadTime, FMpiioWriteTime, FMpiioMetaTime,
+	FMpiioCloseEnd, FMpiioVarianceTime, FMpiioVarianceBytes,
+}
+
+// StdioCounters lists the STDIO integer counters in serialization order.
+var StdioCounters = []string{
+	CStdioOpens, CStdioReads, CStdioWrites, CStdioSeeks, CStdioFlushes,
+	CStdioBytesRead, CStdioBytesWritten,
+}
+
+// StdioFCounters lists the STDIO float counters in serialization order.
+var StdioFCounters = []string{FStdioMetaTime, FStdioWriteTime, FStdioReadTime}
+
+// LustreCounters lists the fixed Lustre counters; per-stripe
+// LUSTRE_OST_ID_<k> counters follow them in serialization order.
+var LustreCounters = []string{
+	CLustreOSTs, CLustreMDTs, CLustreStripeOffset,
+	CLustreStripeSize, CLustreStripeWidth,
+}
+
+// CountersFor returns the ordered integer counter names for a module.
+// Lustre OST id counters are dynamic and handled by the writer.
+func CountersFor(module string) []string {
+	switch module {
+	case ModPOSIX:
+		return PosixCounters
+	case ModMPIIO:
+		return MpiioCounters
+	case ModSTDIO:
+		return StdioCounters
+	case ModLustre:
+		return LustreCounters
+	}
+	return nil
+}
+
+// FCountersFor returns the ordered float counter names for a module.
+func FCountersFor(module string) []string {
+	switch module {
+	case ModPOSIX:
+		return PosixFCounters
+	case ModMPIIO:
+		return MpiioFCounters
+	case ModSTDIO:
+		return StdioFCounters
+	}
+	return nil
+}
+
+// CounterDoc holds human-readable documentation for counters; the prompt
+// builder injects these as CSV column descriptions.
+var CounterDoc = map[string]string{
+	CPosixOpens:          "number of POSIX open/creat calls",
+	CPosixFilenos:        "number of fileno operations",
+	CPosixReads:          "number of POSIX read operations",
+	CPosixWrites:         "number of POSIX write operations",
+	CPosixSeeks:          "number of POSIX seek operations",
+	CPosixStats:          "number of stat/fstat/lstat calls",
+	CPosixMmaps:          "number of mmap calls",
+	CPosixFsyncs:         "number of fsync calls",
+	CPosixFdsyncs:        "number of fdatasync calls",
+	CPosixBytesRead:      "total bytes read through POSIX",
+	CPosixBytesWritten:   "total bytes written through POSIX",
+	CPosixMaxByteRead:    "highest file offset read",
+	CPosixMaxByteWritten: "highest file offset written",
+	CPosixConsecReads:    "reads starting exactly where the previous access ended (consecutive)",
+	CPosixConsecWrites:   "writes starting exactly where the previous access ended (consecutive)",
+	CPosixSeqReads:       "reads at an offset greater than or equal to the previous access (sequential)",
+	CPosixSeqWrites:      "writes at an offset greater than or equal to the previous access (sequential)",
+	CPosixRWSwitches:     "number of times access alternated between read and write",
+	CPosixMemNotAligned:  "accesses whose memory buffer was not aligned to POSIX_MEM_ALIGNMENT",
+	CPosixMemAlignment:   "memory alignment boundary in bytes",
+	CPosixFileNotAligned: "accesses whose file offset was not aligned to POSIX_FILE_ALIGNMENT",
+	CPosixFileAlignment:  "file alignment boundary in bytes (typically the file system block or stripe unit)",
+	CPosixFastestRank:    "rank that spent the least time in I/O for this shared file",
+	CPosixFastestBytes:   "bytes moved by the fastest rank",
+	CPosixSlowestRank:    "rank that spent the most time in I/O for this shared file",
+	CPosixSlowestBytes:   "bytes moved by the slowest rank",
+
+	FPosixReadTime:      "cumulative seconds spent in POSIX reads",
+	FPosixWriteTime:     "cumulative seconds spent in POSIX writes",
+	FPosixMetaTime:      "cumulative seconds spent in POSIX metadata operations (open/close/stat/seek)",
+	FPosixMaxReadTime:   "duration of the single slowest read",
+	FPosixMaxWriteTime:  "duration of the single slowest write",
+	FPosixFastestTime:   "I/O seconds of the fastest rank on this shared file",
+	FPosixSlowestTime:   "I/O seconds of the slowest rank on this shared file",
+	FPosixVarianceTime:  "variance of per-rank I/O time on this shared file",
+	FPosixVarianceBytes: "variance of per-rank bytes moved on this shared file",
+
+	CMpiioIndepOpens:    "independent MPI_File_open calls",
+	CMpiioCollOpens:     "collective MPI_File_open calls",
+	CMpiioIndepReads:    "independent MPI-IO reads",
+	CMpiioIndepWrites:   "independent MPI-IO writes",
+	CMpiioCollReads:     "collective MPI-IO reads",
+	CMpiioCollWrites:    "collective MPI-IO writes",
+	CMpiioSplitReads:    "split-collective MPI-IO reads",
+	CMpiioSplitWrites:   "split-collective MPI-IO writes",
+	CMpiioNBReads:       "non-blocking MPI-IO reads",
+	CMpiioNBWrites:      "non-blocking MPI-IO writes",
+	CMpiioSyncs:         "MPI_File_sync calls",
+	CMpiioHints:         "MPI-IO hints set",
+	CMpiioViews:         "MPI_File_set_view calls",
+	CMpiioBytesRead:     "total bytes read through MPI-IO",
+	CMpiioBytesWritten:  "total bytes written through MPI-IO",
+	CMpiioRWSwitches:    "read/write alternations at the MPI-IO level",
+	FMpiioReadTime:      "cumulative seconds in MPI-IO reads",
+	FMpiioWriteTime:     "cumulative seconds in MPI-IO writes",
+	FMpiioMetaTime:      "cumulative seconds in MPI-IO metadata operations",
+	FMpiioVarianceTime:  "variance of per-rank MPI-IO time on this shared file",
+	FMpiioVarianceBytes: "variance of per-rank MPI-IO bytes moved on this shared file",
+
+	CStdioOpens:        "number of fopen calls",
+	CStdioReads:        "number of fread calls",
+	CStdioWrites:       "number of fwrite calls",
+	CStdioSeeks:        "number of fseek calls",
+	CStdioFlushes:      "number of fflush calls",
+	CStdioBytesRead:    "total bytes read through STDIO",
+	CStdioBytesWritten: "total bytes written through STDIO",
+	FStdioMetaTime:     "cumulative seconds in STDIO metadata operations",
+	FStdioWriteTime:    "cumulative seconds in fwrite",
+	FStdioReadTime:     "cumulative seconds in fread",
+
+	CLustreOSTs:         "number of Lustre OSTs (object storage targets) in the file system",
+	CLustreMDTs:         "number of Lustre metadata targets",
+	CLustreStripeOffset: "index of the first OST the file is striped over",
+	CLustreStripeSize:   "Lustre stripe size in bytes",
+	CLustreStripeWidth:  "number of OSTs the file is striped across (stripe count)",
+}
+
+func init() {
+	for _, b := range SizeBins {
+		hi := "and larger"
+		if b.Hi >= 0 {
+			hi = "to " + byteSize(b.Hi)
+		}
+		CounterDoc["POSIX_SIZE_READ_"+b.Suffix] = "POSIX reads of size " + byteSize(b.Lo) + " " + hi
+		CounterDoc["POSIX_SIZE_WRITE_"+b.Suffix] = "POSIX writes of size " + byteSize(b.Lo) + " " + hi
+		CounterDoc["MPIIO_SIZE_READ_AGG_"+b.Suffix] = "MPI-IO reads of aggregate size " + byteSize(b.Lo) + " " + hi
+		CounterDoc["MPIIO_SIZE_WRITE_AGG_"+b.Suffix] = "MPI-IO writes of aggregate size " + byteSize(b.Lo) + " " + hi
+	}
+}
+
+func byteSize(n int64) string {
+	switch {
+	case n >= 1<<30:
+		return itoa(n>>30) + "GiB"
+	case n >= 1<<20:
+		return itoa(n>>20) + "MiB"
+	case n >= 1<<10:
+		return itoa(n>>10) + "KiB"
+	}
+	return itoa(n) + "B"
+}
+
+func itoa(n int64) string {
+	return fmt.Sprintf("%d", n)
+}

@@ -1,0 +1,320 @@
+// Package darshan models Darshan I/O characterization logs.
+//
+// Darshan is the de-facto standard lightweight I/O profiler on HPC
+// systems. For every file an application touches, Darshan records a set
+// of integer counters and floating-point timers per instrumented I/O
+// interface ("module"): POSIX, MPI-IO, STDIO, and the Lustre file-system
+// module. The optional DXT (Darshan eXtended Tracing) modules
+// additionally record every individual read/write operation with its
+// offset, length, and wall-clock interval.
+//
+// This package provides:
+//
+//   - an in-memory representation of a Darshan log (Log, Module, Record,
+//     DXTFileTrace),
+//   - a text serialization that mirrors the output of the reference
+//     darshan-parser and darshan-dxt-parser utilities (see write.go and
+//     parse.go), and
+//   - a compact binary container format, analogous to the .darshan file a
+//     real deployment produces, so downstream tooling exercises a true
+//     unpack-then-parse pipeline (see binfmt.go).
+//
+// The counter vocabulary (counters.go) follows the Darshan 3.4 runtime.
+package darshan
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Module identifiers as they appear in darshan-parser output.
+const (
+	ModPOSIX  = "POSIX"
+	ModMPIIO  = "MPI-IO"
+	ModSTDIO  = "STDIO"
+	ModLustre = "LUSTRE"
+
+	// DXT module names used in trace lines.
+	DXTPosix = "X_POSIX"
+	DXTMPIIO = "X_MPIIO"
+)
+
+// SharedRank is the rank value Darshan uses for records that aggregate
+// activity across all ranks of a shared file.
+const SharedRank = -1
+
+// Header carries job-level metadata recorded at the top of every log.
+type Header struct {
+	Version   string            // darshan log format version, e.g. "3.41"
+	Exe       string            // executable command line
+	UID       int               // numeric user id
+	JobID     int64             // scheduler job id
+	NProcs    int               // number of MPI processes
+	StartTime int64             // epoch seconds at MPI_Init
+	EndTime   int64             // epoch seconds at MPI_Finalize
+	RunTime   float64           // wall-clock seconds
+	Metadata  map[string]string // free-form "# metadata:" entries
+}
+
+// Mount describes one mount-table entry captured at runtime; the parser
+// uses it to attribute files to file systems (e.g. lustre vs tmpfs).
+type Mount struct {
+	Point  string // mount point path, e.g. "/lustre"
+	FSType string // file system type, e.g. "lustre"
+}
+
+// Record is one (file, rank) row of a module: the full set of integer
+// counters and float counters Darshan kept for that file on that rank.
+// Rank == SharedRank denotes a shared-file record reduced across ranks.
+type Record struct {
+	FileID    uint64
+	Rank      int64
+	Counters  map[string]int64
+	FCounters map[string]float64
+}
+
+// NewRecord returns a Record with allocated counter maps.
+func NewRecord(fileID uint64, rank int64) *Record {
+	return &Record{
+		FileID:    fileID,
+		Rank:      rank,
+		Counters:  make(map[string]int64),
+		FCounters: make(map[string]float64),
+	}
+}
+
+// C returns the integer counter value, or zero when absent (Darshan
+// semantics: unset counters read as zero).
+func (r *Record) C(name string) int64 { return r.Counters[name] }
+
+// F returns the float counter value, or zero when absent.
+func (r *Record) F(name string) float64 { return r.FCounters[name] }
+
+// Add increments an integer counter.
+func (r *Record) Add(name string, delta int64) { r.Counters[name] += delta }
+
+// FAdd increments a float counter.
+func (r *Record) FAdd(name string, delta float64) { r.FCounters[name] += delta }
+
+// SetMax raises an integer counter to v if v is larger.
+func (r *Record) SetMax(name string, v int64) {
+	if v > r.Counters[name] {
+		r.Counters[name] = v
+	}
+}
+
+// FSetMax raises a float counter to v if v is larger.
+func (r *Record) FSetMax(name string, v float64) {
+	if v > r.FCounters[name] {
+		r.FCounters[name] = v
+	}
+}
+
+// FSetMin lowers a float counter to v if v is smaller or the counter is
+// unset. Darshan stores "start timestamp" counters this way.
+func (r *Record) FSetMin(name string, v float64) {
+	cur, ok := r.FCounters[name]
+	if !ok || v < cur {
+		r.FCounters[name] = v
+	}
+}
+
+// Module groups the records of one instrumentation module.
+type Module struct {
+	Name    string
+	Records []*Record
+}
+
+// Record returns the record for (fileID, rank), creating it on demand.
+func (m *Module) Record(fileID uint64, rank int64) *Record {
+	for _, r := range m.Records {
+		if r.FileID == fileID && r.Rank == rank {
+			return r
+		}
+	}
+	r := NewRecord(fileID, rank)
+	m.Records = append(m.Records, r)
+	return r
+}
+
+// Find returns the record for (fileID, rank) or nil when absent.
+func (m *Module) Find(fileID uint64, rank int64) *Record {
+	for _, r := range m.Records {
+		if r.FileID == fileID && r.Rank == rank {
+			return r
+		}
+	}
+	return nil
+}
+
+// Log is a complete Darshan log: header, per-module counter records,
+// the file-name table, mount table, and optional DXT traces.
+type Log struct {
+	Header  Header
+	Modules map[string]*Module
+	// Names maps Darshan record (file) ids to full paths.
+	Names map[uint64]string
+	// Mounts is the captured mount table.
+	Mounts []Mount
+	// DXT holds fine-grained traces keyed by file, in insertion order.
+	DXT []*DXTFileTrace
+}
+
+// NewLog returns an empty log with allocated tables and a current
+// format version.
+func NewLog() *Log {
+	return &Log{
+		Header: Header{
+			Version:  "3.41",
+			Metadata: map[string]string{},
+		},
+		Modules: make(map[string]*Module),
+		Names:   make(map[uint64]string),
+	}
+}
+
+// Module returns the named module, creating it on demand.
+func (l *Log) Module(name string) *Module {
+	m, ok := l.Modules[name]
+	if !ok {
+		m = &Module{Name: name}
+		l.Modules[name] = m
+	}
+	return m
+}
+
+// HasModule reports whether the log contains any records for module name.
+func (l *Log) HasModule(name string) bool {
+	m, ok := l.Modules[name]
+	return ok && len(m.Records) > 0
+}
+
+// ModuleNames returns the populated module names in canonical order
+// (POSIX, MPI-IO, STDIO, LUSTRE, then others alphabetically).
+func (l *Log) ModuleNames() []string {
+	canon := []string{ModPOSIX, ModMPIIO, ModSTDIO, ModLustre}
+	var out []string
+	seen := map[string]bool{}
+	for _, n := range canon {
+		if l.HasModule(n) {
+			out = append(out, n)
+			seen[n] = true
+		}
+	}
+	var rest []string
+	for n := range l.Modules {
+		if !seen[n] && l.HasModule(n) {
+			rest = append(rest, n)
+		}
+	}
+	sort.Strings(rest)
+	return append(out, rest...)
+}
+
+// Name returns the path recorded for a file id, or a hex placeholder.
+func (l *Log) Name(fileID uint64) string {
+	if n, ok := l.Names[fileID]; ok {
+		return n
+	}
+	return fmt.Sprintf("<unknown:%x>", fileID)
+}
+
+// MountFor returns the mount entry whose mount point is the longest
+// prefix of path. The zero Mount is returned when nothing matches.
+func (l *Log) MountFor(path string) Mount {
+	best := Mount{Point: "/", FSType: "unknown"}
+	bestLen := 0
+	for _, m := range l.Mounts {
+		if strings.HasPrefix(path, m.Point) && len(m.Point) > bestLen {
+			best = m
+			bestLen = len(m.Point)
+		}
+	}
+	return best
+}
+
+// DXTForFile returns the DXT trace for fileID, creating it on demand.
+func (l *Log) DXTForFile(fileID uint64) *DXTFileTrace {
+	for _, t := range l.DXT {
+		if t.FileID == fileID {
+			return t
+		}
+	}
+	t := &DXTFileTrace{FileID: fileID}
+	l.DXT = append(l.DXT, t)
+	return t
+}
+
+// TotalOps sums the POSIX read+write operation counts across records.
+func (l *Log) TotalOps() int64 {
+	var n int64
+	if m, ok := l.Modules[ModPOSIX]; ok {
+		for _, r := range m.Records {
+			n += r.C(CPosixReads) + r.C(CPosixWrites)
+		}
+	}
+	return n
+}
+
+// Validate performs structural sanity checks and returns a descriptive
+// error for the first inconsistency found. A nil error means the log is
+// internally consistent (every record's file id resolves to a name, size
+// histograms sum to the op counts, DXT events are well-formed).
+func (l *Log) Validate() error {
+	if l.Header.NProcs <= 0 {
+		return fmt.Errorf("darshan: header nprocs %d must be positive", l.Header.NProcs)
+	}
+	if l.Header.RunTime < 0 {
+		return fmt.Errorf("darshan: negative run time %f", l.Header.RunTime)
+	}
+	for name, m := range l.Modules {
+		for _, r := range m.Records {
+			if _, ok := l.Names[r.FileID]; !ok {
+				return fmt.Errorf("darshan: module %s references unnamed file id %d", name, r.FileID)
+			}
+			if r.Rank < SharedRank {
+				return fmt.Errorf("darshan: module %s file %d has invalid rank %d", name, r.FileID, r.Rank)
+			}
+			if name == ModPOSIX {
+				if err := validatePosixHistogram(r); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	for _, t := range l.DXT {
+		if _, ok := l.Names[t.FileID]; !ok {
+			return fmt.Errorf("darshan: DXT trace references unnamed file id %d", t.FileID)
+		}
+		for i, ev := range t.Events {
+			if ev.End < ev.Start {
+				return fmt.Errorf("darshan: DXT event %d of file %d ends before it starts", i, t.FileID)
+			}
+			if ev.Length < 0 || ev.Offset < 0 {
+				return fmt.Errorf("darshan: DXT event %d of file %d has negative offset/length", i, t.FileID)
+			}
+			if ev.Op != OpRead && ev.Op != OpWrite {
+				return fmt.Errorf("darshan: DXT event %d of file %d has op %q", i, t.FileID, ev.Op)
+			}
+		}
+	}
+	return nil
+}
+
+func validatePosixHistogram(r *Record) error {
+	var readBins, writeBins int64
+	for _, b := range SizeBins {
+		readBins += r.C("POSIX_SIZE_READ_" + b.Suffix)
+		writeBins += r.C("POSIX_SIZE_WRITE_" + b.Suffix)
+	}
+	if reads := r.C(CPosixReads); readBins != reads {
+		return fmt.Errorf("darshan: file %d rank %d read histogram sums to %d, expected %d",
+			r.FileID, r.Rank, readBins, reads)
+	}
+	if writes := r.C(CPosixWrites); writeBins != writes {
+		return fmt.Errorf("darshan: file %d rank %d write histogram sums to %d, expected %d",
+			r.FileID, r.Rank, writeBins, writes)
+	}
+	return nil
+}

@@ -1,0 +1,376 @@
+package darshan
+
+import (
+	"bytes"
+	"os"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+// sampleLog builds a small but fully populated log used across tests.
+func sampleLog() *Log {
+	l := NewLog()
+	l.Header.Exe = "ior -a POSIX -t 2k -b 1m"
+	l.Header.UID = 1001
+	l.Header.JobID = 987654
+	l.Header.NProcs = 4
+	l.Header.StartTime = 1719000000
+	l.Header.EndTime = 1719000011
+	l.Header.RunTime = 11.25
+	l.Header.Metadata["lib_ver"] = "3.4.4"
+	l.Mounts = []Mount{{Point: "/lustre", FSType: "lustre"}, {Point: "/", FSType: "ext4"}}
+	l.Names[101] = "/lustre/testfile.00000000"
+	l.Names[202] = "/lustre/out/result.h5"
+
+	p := l.Module(ModPOSIX)
+	r := p.Record(101, SharedRank)
+	r.Add(CPosixOpens, 4)
+	r.Add(CPosixReads, 8)
+	r.Add(CPosixWrites, 8)
+	r.Add("POSIX_SIZE_READ_1K_10K", 8)
+	r.Add("POSIX_SIZE_WRITE_1K_10K", 8)
+	r.Add(CPosixBytesRead, 16384)
+	r.Add(CPosixBytesWritten, 16384)
+	r.FAdd(FPosixReadTime, 0.125)
+	r.FAdd(FPosixWriteTime, 0.25)
+	r.FCounters[FPosixVarianceTime] = 0.003
+
+	lu := l.Module(ModLustre)
+	lr := lu.Record(101, SharedRank)
+	lr.Counters[CLustreOSTs] = 8
+	lr.Counters[CLustreMDTs] = 1
+	lr.Counters[CLustreStripeSize] = 1 << 20
+	lr.Counters[CLustreStripeWidth] = 4
+	lr.Counters["LUSTRE_OST_ID_0"] = 3
+	lr.Counters["LUSTRE_OST_ID_1"] = 5
+	lr.Counters["LUSTRE_OST_ID_2"] = 0
+	lr.Counters["LUSTRE_OST_ID_3"] = 7
+
+	t := l.DXTForFile(101)
+	t.Hostname = "nid00001"
+	t.Events = append(t.Events,
+		DXTEvent{Module: DXTPosix, Rank: 0, Op: OpWrite, Segment: 0, Offset: 0, Length: 2048, Start: 0.001, End: 0.002, OSTs: []int{3}},
+		DXTEvent{Module: DXTPosix, Rank: 1, Op: OpRead, Segment: 0, Offset: 2048, Length: 2048, Start: 0.003, End: 0.004, OSTs: []int{3, 5}},
+	)
+	return l
+}
+
+func TestTextRoundTrip(t *testing.T) {
+	orig := sampleLog()
+	var buf bytes.Buffer
+	if err := orig.WriteText(&buf); err != nil {
+		t.Fatalf("WriteText: %v", err)
+	}
+	if err := orig.WriteDXTText(&buf); err != nil {
+		t.Fatalf("WriteDXTText: %v", err)
+	}
+	got, err := ParseText(&buf)
+	if err != nil {
+		t.Fatalf("ParseText: %v", err)
+	}
+	if got.Header.Exe != orig.Header.Exe {
+		t.Errorf("exe: got %q want %q", got.Header.Exe, orig.Header.Exe)
+	}
+	if got.Header.NProcs != 4 || got.Header.JobID != 987654 {
+		t.Errorf("header mismatch: %+v", got.Header)
+	}
+	if got.Header.RunTime != 11.25 {
+		t.Errorf("run time: got %v", got.Header.RunTime)
+	}
+	if got.Header.Metadata["lib_ver"] != "3.4.4" {
+		t.Errorf("metadata lost: %v", got.Header.Metadata)
+	}
+	r := got.Module(ModPOSIX).Find(101, SharedRank)
+	if r == nil {
+		t.Fatal("POSIX record lost in round trip")
+	}
+	if r.C(CPosixReads) != 8 || r.C("POSIX_SIZE_WRITE_1K_10K") != 8 {
+		t.Errorf("counters lost: %v", r.Counters)
+	}
+	if r.F(FPosixWriteTime) != 0.25 {
+		t.Errorf("fcounter: got %v", r.F(FPosixWriteTime))
+	}
+	lr := got.Module(ModLustre).Find(101, SharedRank)
+	if lr == nil || lr.C("LUSTRE_OST_ID_3") != 7 {
+		t.Errorf("lustre OST ids lost: %+v", lr)
+	}
+	if len(got.DXT) != 1 || len(got.DXT[0].Events) != 2 {
+		t.Fatalf("DXT lost: %+v", got.DXT)
+	}
+	ev := got.DXT[0].Events[1]
+	if ev.Op != OpRead || ev.Offset != 2048 || len(ev.OSTs) != 2 {
+		t.Errorf("DXT event mismatch: %+v", ev)
+	}
+	if got.Name(101) != "/lustre/testfile.00000000" {
+		t.Errorf("file name lost: %q", got.Name(101))
+	}
+	if got.MountFor("/lustre/x").FSType != "lustre" {
+		t.Errorf("mount table lost: %+v", got.Mounts)
+	}
+}
+
+func TestBinaryRoundTrip(t *testing.T) {
+	orig := sampleLog()
+	var buf bytes.Buffer
+	if err := orig.WriteBinary(&buf); err != nil {
+		t.Fatalf("WriteBinary: %v", err)
+	}
+	got, err := ReadBinary(&buf)
+	if err != nil {
+		t.Fatalf("ReadBinary: %v", err)
+	}
+	var a, b bytes.Buffer
+	if err := orig.WriteText(&a); err != nil {
+		t.Fatal(err)
+	}
+	if err := got.WriteText(&b); err != nil {
+		t.Fatal(err)
+	}
+	if a.String() != b.String() {
+		t.Error("binary round trip changed the text serialization")
+	}
+	var da, db bytes.Buffer
+	if err := orig.WriteDXTText(&da); err != nil {
+		t.Fatal(err)
+	}
+	if err := got.WriteDXTText(&db); err != nil {
+		t.Fatal(err)
+	}
+	if da.String() != db.String() {
+		t.Error("binary round trip changed the DXT serialization")
+	}
+}
+
+func TestLoadAutodetect(t *testing.T) {
+	dir := t.TempDir()
+	orig := sampleLog()
+
+	binPath := dir + "/log.darshan"
+	if err := orig.WriteFile(binPath); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Load(binPath)
+	if err != nil {
+		t.Fatalf("Load(binary): %v", err)
+	}
+	if got.Header.JobID != orig.Header.JobID {
+		t.Error("binary load lost header")
+	}
+
+	var buf bytes.Buffer
+	if err := orig.WriteText(&buf); err != nil {
+		t.Fatal(err)
+	}
+	txtPath := dir + "/log.txt"
+	if err := writeFile(txtPath, buf.Bytes()); err != nil {
+		t.Fatal(err)
+	}
+	got2, err := Load(txtPath)
+	if err != nil {
+		t.Fatalf("Load(text): %v", err)
+	}
+	if got2.Header.NProcs != 4 {
+		t.Error("text load lost header")
+	}
+}
+
+func TestReadBinaryRejectsGarbage(t *testing.T) {
+	_, err := ReadBinary(strings.NewReader("# darshan log version: 3.41\n"))
+	if err == nil {
+		t.Fatal("expected error for non-binary input")
+	}
+	if !strings.Contains(err.Error(), "magic") {
+		t.Errorf("unexpected error: %v", err)
+	}
+}
+
+func TestReadBinaryRejectsHugeCounts(t *testing.T) {
+	// A valid preamble followed by a gzip body whose first length prefix
+	// is absurd must be rejected, not allocated.
+	var buf bytes.Buffer
+	orig := sampleLog()
+	if err := orig.WriteBinary(&buf); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+	// Corrupt beyond the preamble: truncate the gzip body hard.
+	_, err := ReadBinary(bytes.NewReader(raw[:12]))
+	if err == nil {
+		t.Fatal("expected error for truncated log")
+	}
+}
+
+func TestValidate(t *testing.T) {
+	l := sampleLog()
+	if err := l.Validate(); err != nil {
+		t.Fatalf("valid log rejected: %v", err)
+	}
+
+	l2 := sampleLog()
+	l2.Module(ModPOSIX).Record(101, SharedRank).Counters[CPosixReads] = 99
+	if err := l2.Validate(); err == nil {
+		t.Error("histogram mismatch not detected")
+	}
+
+	l3 := sampleLog()
+	l3.Module(ModPOSIX).Record(555, 0).Add(CPosixOpens, 1)
+	if err := l3.Validate(); err == nil {
+		t.Error("unnamed file id not detected")
+	}
+
+	l4 := sampleLog()
+	l4.DXT[0].Events[0].End = -1
+	if err := l4.Validate(); err == nil {
+		t.Error("negative-duration DXT event not detected")
+	}
+
+	l5 := sampleLog()
+	l5.Header.NProcs = 0
+	if err := l5.Validate(); err == nil {
+		t.Error("zero nprocs not detected")
+	}
+}
+
+func TestSizeBinFor(t *testing.T) {
+	cases := []struct {
+		size int64
+		want string
+	}{
+		{0, "0_100"},
+		{99, "0_100"},
+		{100, "100_1K"},
+		{1023, "100_1K"},
+		{1024, "1K_10K"},
+		{2048, "1K_10K"},
+		{1 << 20, "1M_4M"},
+		{4 << 20, "4M_10M"},
+		{1 << 30, "1G_PLUS"},
+		{5 << 30, "1G_PLUS"},
+	}
+	for _, c := range cases {
+		if got := SizeBinFor(c.size); got != c.want {
+			t.Errorf("SizeBinFor(%d) = %q, want %q", c.size, got, c.want)
+		}
+	}
+}
+
+func TestSizeBinForProperty(t *testing.T) {
+	// Every non-negative size lands in exactly one bin, and the bin's
+	// bounds contain the size.
+	f := func(raw int64) bool {
+		size := raw
+		if size < 0 {
+			size = -size
+		}
+		suffix := SizeBinFor(size)
+		n := 0
+		var bin SizeBin
+		for _, b := range SizeBins {
+			if b.Suffix == suffix {
+				bin = b
+				n++
+			}
+		}
+		if n != 1 {
+			return false
+		}
+		return size >= bin.Lo && (bin.Hi < 0 || size < bin.Hi)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRecordHelpers(t *testing.T) {
+	r := NewRecord(1, 0)
+	r.SetMax("M", 5)
+	r.SetMax("M", 3)
+	if r.C("M") != 5 {
+		t.Errorf("SetMax: got %d", r.C("M"))
+	}
+	r.FSetMin("T", 2.0)
+	r.FSetMin("T", 1.0)
+	r.FSetMin("T", 3.0)
+	if r.F("T") != 1.0 {
+		t.Errorf("FSetMin: got %v", r.F("T"))
+	}
+	r.FSetMax("U", 1.0)
+	r.FSetMax("U", 4.0)
+	r.FSetMax("U", 2.0)
+	if r.F("U") != 4.0 {
+		t.Errorf("FSetMax: got %v", r.F("U"))
+	}
+}
+
+func TestModuleNamesOrder(t *testing.T) {
+	l := NewLog()
+	l.Module("ZZZ").Record(1, 0).Add("X", 1)
+	l.Module(ModSTDIO).Record(1, 0).Add(CStdioOpens, 1)
+	l.Module(ModPOSIX).Record(1, 0).Add(CPosixOpens, 1)
+	got := l.ModuleNames()
+	want := []string{ModPOSIX, ModSTDIO, "ZZZ"}
+	if len(got) != len(want) {
+		t.Fatalf("got %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("order: got %v want %v", got, want)
+		}
+	}
+}
+
+func TestParseTextErrors(t *testing.T) {
+	cases := []string{
+		"POSIX\tnotanumber\t1\tPOSIX_OPENS\t1\t/f\t/\text4",
+		"POSIX\t0\t1\tPOSIX_OPENS\tnotanumber\t/f\t/\text4",
+		"POSIX\t0\tbadid\tPOSIX_OPENS\t1\t/f\t/\text4",
+		" X_POSIX 0 write 0 0 10 0.1 0.2", // event before DXT header
+	}
+	for _, c := range cases {
+		if _, err := ParseText(strings.NewReader(c + "\n")); err == nil {
+			t.Errorf("expected parse error for %q", c)
+		}
+	}
+}
+
+func TestDXTCountsAndRanks(t *testing.T) {
+	l := sampleLog()
+	tr := l.DXT[0]
+	w, r := tr.Counts()
+	if w != 1 || r != 1 {
+		t.Errorf("Counts = %d,%d", w, r)
+	}
+	ranks := tr.Ranks()
+	if len(ranks) != 2 || ranks[0] != 0 || ranks[1] != 1 {
+		t.Errorf("Ranks = %v", ranks)
+	}
+}
+
+func TestCounterDocCoverage(t *testing.T) {
+	// Every canonical counter must carry documentation — the prompt
+	// builder relies on it to describe CSV columns to the model.
+	for _, mod := range []string{ModPOSIX, ModMPIIO, ModSTDIO, ModLustre} {
+		for _, c := range CountersFor(mod) {
+			if CounterDoc[c] == "" {
+				t.Errorf("counter %s has no documentation", c)
+			}
+		}
+		for _, c := range FCountersFor(mod) {
+			if isTimestamp(c) {
+				continue // timestamps are self-describing; not prompt-relevant
+			}
+			if CounterDoc[c] == "" {
+				t.Errorf("fcounter %s has no documentation", c)
+			}
+		}
+	}
+}
+
+func isTimestamp(name string) bool {
+	return strings.HasSuffix(name, "_TIMESTAMP")
+}
+
+func writeFile(path string, data []byte) error {
+	return os.WriteFile(path, data, 0o644)
+}

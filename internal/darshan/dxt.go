@@ -1,0 +1,76 @@
+package darshan
+
+import "sort"
+
+// Op distinguishes read from write events in DXT traces.
+type Op string
+
+// DXT operation kinds.
+const (
+	OpRead  Op = "read"
+	OpWrite Op = "write"
+)
+
+// DXTEvent is one traced I/O operation: the Darshan eXtended Tracing
+// record of a single read or write, including its byte range and
+// wall-clock interval relative to job start.
+type DXTEvent struct {
+	Module  string  // DXTPosix or DXTMPIIO
+	Rank    int64   // issuing MPI rank
+	Op      Op      // read or write
+	Segment int64   // per-rank sequence number within the file
+	Offset  int64   // file offset in bytes
+	Length  int64   // access size in bytes
+	Start   float64 // seconds since job start
+	End     float64 // seconds since job start
+	OSTs    []int   // Lustre OSTs served by this access (optional)
+}
+
+// DXTFileTrace groups the traced events of one file along with the
+// host metadata darshan-dxt-parser prints per file block.
+type DXTFileTrace struct {
+	FileID   uint64
+	Hostname string
+	Events   []DXTEvent
+}
+
+// Counts returns the number of write and read events in the trace.
+func (t *DXTFileTrace) Counts() (writes, reads int) {
+	for _, e := range t.Events {
+		if e.Op == OpWrite {
+			writes++
+		} else {
+			reads++
+		}
+	}
+	return writes, reads
+}
+
+// SortByStart orders events by start time, breaking ties by rank and
+// then segment, giving the writer and analyses a stable order.
+func (t *DXTFileTrace) SortByStart() {
+	sort.SliceStable(t.Events, func(i, j int) bool {
+		a, b := t.Events[i], t.Events[j]
+		if a.Start != b.Start {
+			return a.Start < b.Start
+		}
+		if a.Rank != b.Rank {
+			return a.Rank < b.Rank
+		}
+		return a.Segment < b.Segment
+	})
+}
+
+// Ranks returns the sorted distinct ranks that issued events.
+func (t *DXTFileTrace) Ranks() []int64 {
+	seen := map[int64]bool{}
+	for _, e := range t.Events {
+		seen[e.Rank] = true
+	}
+	out := make([]int64, 0, len(seen))
+	for r := range seen {
+		out = append(out, r)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}

@@ -1,0 +1,276 @@
+package darshan
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// ParseText reads a log in the darshan-parser text format produced by
+// WriteText, optionally followed by a darshan-dxt-parser section as
+// produced by WriteDXTText, and reconstructs the Log. Unknown counters
+// are preserved verbatim; unknown comment lines are ignored, matching
+// the tolerance of the reference tooling.
+func ParseText(r io.Reader) (*Log, error) {
+	log := NewLog()
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+
+	var (
+		dxtTrace *DXTFileTrace
+		dxtRank  int64
+		lineno   int
+	)
+	for sc.Scan() {
+		lineno++
+		line := sc.Text()
+		trimmed := strings.TrimSpace(line)
+		if trimmed == "" {
+			continue
+		}
+		if strings.HasPrefix(trimmed, "#") {
+			if err := log.parseComment(trimmed, &dxtTrace, &dxtRank); err != nil {
+				return nil, fmt.Errorf("darshan: line %d: %w", lineno, err)
+			}
+			continue
+		}
+		// Data row: either a counter record line (tab separated) or a
+		// DXT event line (space aligned, module starts with "X_").
+		if strings.HasPrefix(trimmed, "X_") {
+			if dxtTrace == nil {
+				return nil, fmt.Errorf("darshan: line %d: DXT event before DXT file header", lineno)
+			}
+			ev, err := parseDXTEventLine(trimmed)
+			if err != nil {
+				return nil, fmt.Errorf("darshan: line %d: %w", lineno, err)
+			}
+			dxtTrace.Events = append(dxtTrace.Events, ev)
+			continue
+		}
+		if err := log.parseCounterLine(trimmed); err != nil {
+			return nil, fmt.Errorf("darshan: line %d: %w", lineno, err)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("darshan: scanning log: %w", err)
+	}
+	for _, t := range log.DXT {
+		t.SortByStart()
+	}
+	return log, nil
+}
+
+func (l *Log) parseComment(line string, dxtTrace **DXTFileTrace, dxtRank *int64) error {
+	body := strings.TrimSpace(strings.TrimPrefix(line, "#"))
+	switch {
+	case strings.HasPrefix(body, "darshan log version:"):
+		l.Header.Version = strings.TrimSpace(strings.TrimPrefix(body, "darshan log version:"))
+	case strings.HasPrefix(body, "exe:"):
+		l.Header.Exe = strings.TrimSpace(strings.TrimPrefix(body, "exe:"))
+	case strings.HasPrefix(body, "uid:"):
+		v, err := strconv.Atoi(strings.TrimSpace(strings.TrimPrefix(body, "uid:")))
+		if err != nil {
+			return fmt.Errorf("bad uid: %w", err)
+		}
+		l.Header.UID = v
+	case strings.HasPrefix(body, "jobid:"):
+		v, err := strconv.ParseInt(strings.TrimSpace(strings.TrimPrefix(body, "jobid:")), 10, 64)
+		if err != nil {
+			return fmt.Errorf("bad jobid: %w", err)
+		}
+		l.Header.JobID = v
+	case strings.HasPrefix(body, "start_time:"):
+		v, err := strconv.ParseInt(strings.TrimSpace(strings.TrimPrefix(body, "start_time:")), 10, 64)
+		if err != nil {
+			return fmt.Errorf("bad start_time: %w", err)
+		}
+		l.Header.StartTime = v
+	case strings.HasPrefix(body, "end_time:"):
+		v, err := strconv.ParseInt(strings.TrimSpace(strings.TrimPrefix(body, "end_time:")), 10, 64)
+		if err != nil {
+			return fmt.Errorf("bad end_time: %w", err)
+		}
+		l.Header.EndTime = v
+	case strings.HasPrefix(body, "nprocs:"):
+		v, err := strconv.Atoi(strings.TrimSpace(strings.TrimPrefix(body, "nprocs:")))
+		if err != nil {
+			return fmt.Errorf("bad nprocs: %w", err)
+		}
+		l.Header.NProcs = v
+	case strings.HasPrefix(body, "run time:"):
+		v, err := strconv.ParseFloat(strings.TrimSpace(strings.TrimPrefix(body, "run time:")), 64)
+		if err != nil {
+			return fmt.Errorf("bad run time: %w", err)
+		}
+		l.Header.RunTime = v
+	case strings.HasPrefix(body, "metadata:"):
+		kv := strings.SplitN(strings.TrimPrefix(body, "metadata:"), "=", 2)
+		if len(kv) == 2 {
+			l.Header.Metadata[strings.TrimSpace(kv[0])] = strings.TrimSpace(kv[1])
+		}
+	case strings.HasPrefix(body, "mount entry:"):
+		fields := strings.Fields(strings.TrimPrefix(body, "mount entry:"))
+		if len(fields) == 2 {
+			l.Mounts = append(l.Mounts, Mount{Point: fields[0], FSType: fields[1]})
+		}
+	case strings.HasPrefix(body, "DXT,"):
+		return l.parseDXTComment(body, dxtTrace, dxtRank)
+	}
+	return nil
+}
+
+func (l *Log) parseDXTComment(body string, dxtTrace **DXTFileTrace, dxtRank *int64) error {
+	attrs := map[string]string{}
+	for _, part := range strings.Split(strings.TrimPrefix(body, "DXT,"), ",") {
+		kv := strings.SplitN(part, ":", 2)
+		if len(kv) == 2 {
+			attrs[strings.TrimSpace(kv[0])] = strings.TrimSpace(kv[1])
+		}
+	}
+	if idStr, ok := attrs["file_id"]; ok {
+		id, err := strconv.ParseUint(idStr, 10, 64)
+		if err != nil {
+			return fmt.Errorf("bad DXT file_id: %w", err)
+		}
+		*dxtTrace = l.DXTForFile(id)
+		if name, ok := attrs["file_name"]; ok {
+			l.Names[id] = name
+		}
+	}
+	if rankStr, ok := attrs["rank"]; ok {
+		r, err := strconv.ParseInt(rankStr, 10, 64)
+		if err != nil {
+			return fmt.Errorf("bad DXT rank: %w", err)
+		}
+		*dxtRank = r
+		if host, ok := attrs["hostname"]; ok && *dxtTrace != nil {
+			(*dxtTrace).Hostname = host
+		}
+	}
+	if mnt, ok := attrs["mnt_pt"]; ok {
+		fs := attrs["fs_type"]
+		found := false
+		for _, m := range l.Mounts {
+			if m.Point == mnt {
+				found = true
+				break
+			}
+		}
+		if !found {
+			l.Mounts = append(l.Mounts, Mount{Point: mnt, FSType: fs})
+		}
+	}
+	return nil
+}
+
+// parseCounterLine parses one tab-separated record line:
+// module, rank, record id, counter, value, file name, mount pt, fs type.
+func (l *Log) parseCounterLine(line string) error {
+	fields := strings.Split(line, "\t")
+	if len(fields) < 5 {
+		return fmt.Errorf("malformed counter line %q", line)
+	}
+	module := fields[0]
+	rank, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return fmt.Errorf("bad rank %q: %w", fields[1], err)
+	}
+	fileID, err := strconv.ParseUint(fields[2], 10, 64)
+	if err != nil {
+		return fmt.Errorf("bad record id %q: %w", fields[2], err)
+	}
+	counter := fields[3]
+	value := fields[4]
+	if len(fields) >= 6 && fields[5] != "" {
+		l.Names[fileID] = fields[5]
+	}
+	if len(fields) >= 8 {
+		mnt, fs := fields[6], fields[7]
+		exists := false
+		for _, m := range l.Mounts {
+			if m.Point == mnt {
+				exists = true
+				break
+			}
+		}
+		if !exists && mnt != "" {
+			l.Mounts = append(l.Mounts, Mount{Point: mnt, FSType: fs})
+		}
+	}
+	rec := l.Module(module).Record(fileID, rank)
+	if isFloatCounter(counter) {
+		v, err := strconv.ParseFloat(value, 64)
+		if err != nil {
+			return fmt.Errorf("bad float counter %s=%q: %w", counter, value, err)
+		}
+		rec.FCounters[counter] = v
+		return nil
+	}
+	v, err := strconv.ParseInt(value, 10, 64)
+	if err != nil {
+		return fmt.Errorf("bad counter %s=%q: %w", counter, value, err)
+	}
+	rec.Counters[counter] = v
+	return nil
+}
+
+// isFloatCounter reports whether a counter name denotes a Darshan float
+// counter. Darshan uses the "<MODULE>_F_" prefix convention.
+func isFloatCounter(name string) bool {
+	return strings.Contains(name, "_F_")
+}
+
+// parseDXTEventLine parses one fixed-width DXT event row, e.g.:
+//
+//	X_POSIX       0  write        0            0        2048      0.0001      0.0002  [0,1]
+func parseDXTEventLine(line string) (DXTEvent, error) {
+	fields := strings.Fields(line)
+	if len(fields) < 8 {
+		return DXTEvent{}, fmt.Errorf("malformed DXT event %q", line)
+	}
+	var ev DXTEvent
+	ev.Module = fields[0]
+	var err error
+	if ev.Rank, err = strconv.ParseInt(fields[1], 10, 64); err != nil {
+		return ev, fmt.Errorf("bad DXT rank: %w", err)
+	}
+	switch fields[2] {
+	case "read":
+		ev.Op = OpRead
+	case "write":
+		ev.Op = OpWrite
+	default:
+		return ev, fmt.Errorf("bad DXT op %q", fields[2])
+	}
+	if ev.Segment, err = strconv.ParseInt(fields[3], 10, 64); err != nil {
+		return ev, fmt.Errorf("bad DXT segment: %w", err)
+	}
+	if ev.Offset, err = strconv.ParseInt(fields[4], 10, 64); err != nil {
+		return ev, fmt.Errorf("bad DXT offset: %w", err)
+	}
+	if ev.Length, err = strconv.ParseInt(fields[5], 10, 64); err != nil {
+		return ev, fmt.Errorf("bad DXT length: %w", err)
+	}
+	if ev.Start, err = strconv.ParseFloat(fields[6], 64); err != nil {
+		return ev, fmt.Errorf("bad DXT start: %w", err)
+	}
+	if ev.End, err = strconv.ParseFloat(fields[7], 64); err != nil {
+		return ev, fmt.Errorf("bad DXT end: %w", err)
+	}
+	if len(fields) >= 9 {
+		ost := strings.Trim(fields[8], "[]")
+		for _, s := range strings.Split(ost, ",") {
+			if s == "" {
+				continue
+			}
+			o, err := strconv.Atoi(s)
+			if err != nil {
+				return ev, fmt.Errorf("bad DXT OST list %q: %w", fields[8], err)
+			}
+			ev.OSTs = append(ev.OSTs, o)
+		}
+	}
+	return ev, nil
+}

@@ -1,0 +1,132 @@
+package darshan
+
+import (
+	"bytes"
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+// randomLog builds a structurally valid random log from a seed,
+// exercising the serialization paths with adversarial shapes.
+func randomLog(rng *rand.Rand) *Log {
+	l := NewLog()
+	l.Header.Exe = "exe-" + string(rune('a'+rng.Intn(26)))
+	l.Header.UID = rng.Intn(65536)
+	l.Header.JobID = rng.Int63n(1 << 40)
+	l.Header.NProcs = 1 + rng.Intn(64)
+	l.Header.StartTime = 1700000000 + rng.Int63n(1e8)
+	l.Header.EndTime = l.Header.StartTime + rng.Int63n(100000)
+	l.Header.RunTime = rng.Float64() * 1000
+	if rng.Intn(2) == 0 {
+		l.Header.Metadata["k"] = "v"
+	}
+	l.Mounts = []Mount{{Point: "/lustre", FSType: "lustre"}}
+
+	nFiles := 1 + rng.Intn(5)
+	for f := 0; f < nFiles; f++ {
+		id := uint64(1000 + f)
+		l.Names[id] = "/lustre/file" + string(rune('a'+f))
+		rec := l.Module(ModPOSIX).Record(id, int64(rng.Intn(4))-1)
+		reads := rng.Int63n(100)
+		writes := rng.Int63n(100)
+		rec.Counters[CPosixReads] = reads
+		rec.Counters[CPosixWrites] = writes
+		// Keep the size histogram consistent so Validate passes.
+		rec.Counters["POSIX_SIZE_READ_1K_10K"] = reads
+		rec.Counters["POSIX_SIZE_WRITE_1K_10K"] = writes
+		rec.Counters[CPosixBytesRead] = reads * 4096
+		rec.Counters[CPosixBytesWritten] = writes * 4096
+		rec.FCounters[FPosixReadTime] = rng.Float64()
+		rec.FCounters[FPosixWriteTime] = rng.Float64()
+
+		if rng.Intn(2) == 0 {
+			tr := l.DXTForFile(id)
+			tr.Hostname = "nid00001"
+			nev := rng.Intn(20)
+			t := 0.0
+			for e := 0; e < nev; e++ {
+				dur := rng.Float64() * 0.01
+				op := OpRead
+				if rng.Intn(2) == 0 {
+					op = OpWrite
+				}
+				tr.Events = append(tr.Events, DXTEvent{
+					Module: DXTPosix, Rank: int64(rng.Intn(4)), Op: op,
+					Segment: int64(e), Offset: rng.Int63n(1 << 30),
+					Length: 1 + rng.Int63n(1<<20),
+					Start:  t, End: t + dur,
+					OSTs: []int{rng.Intn(8)},
+				})
+				t += dur
+			}
+		}
+	}
+	return l
+}
+
+// textOf canonicalizes a log through its text serialization.
+func textOf(t *testing.T, l *Log) string {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := l.WriteText(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.WriteDXTText(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.String()
+}
+
+func TestRandomLogTextRoundTripProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		orig := randomLog(rng)
+		text := textOf(t, orig)
+		back, err := ParseText(bytes.NewReader([]byte(text)))
+		if err != nil {
+			t.Logf("seed %d: parse error: %v", seed, err)
+			return false
+		}
+		// Idempotence: serializing the parsed log reproduces the text.
+		return textOf(t, back) == text
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRandomLogBinaryRoundTripProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		orig := randomLog(rng)
+		var buf bytes.Buffer
+		if err := orig.WriteBinary(&buf); err != nil {
+			t.Logf("seed %d: write error: %v", seed, err)
+			return false
+		}
+		back, err := ReadBinary(&buf)
+		if err != nil {
+			t.Logf("seed %d: read error: %v", seed, err)
+			return false
+		}
+		if !reflect.DeepEqual(orig.Header, back.Header) {
+			t.Logf("seed %d: header changed", seed)
+			return false
+		}
+		return textOf(t, back) == textOf(t, orig)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRandomLogsValidate(t *testing.T) {
+	for seed := int64(0); seed < 20; seed++ {
+		l := randomLog(rand.New(rand.NewSource(seed)))
+		if err := l.Validate(); err != nil {
+			t.Errorf("seed %d: %v", seed, err)
+		}
+	}
+}

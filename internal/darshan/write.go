@@ -1,0 +1,152 @@
+package darshan
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+)
+
+// WriteText serializes the log's header, mount table, and per-module
+// counter records in the tab-separated format emitted by the reference
+// darshan-parser utility:
+//
+//	<module> <rank> <record id> <counter> <value> <file name> <mount pt> <fs type>
+//
+// Records are emitted module by module in canonical order, sorted by
+// file id and rank, counters in their canonical order, so output is
+// deterministic and diff-friendly.
+func (l *Log) WriteText(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	l.writeHeader(bw)
+	for _, name := range l.ModuleNames() {
+		mod := l.Modules[name]
+		fmt.Fprintf(bw, "\n# *******************************************************\n")
+		fmt.Fprintf(bw, "# %s module data\n", name)
+		fmt.Fprintf(bw, "# *******************************************************\n")
+		for _, rec := range sortedRecords(mod) {
+			l.writeRecord(bw, name, rec)
+		}
+	}
+	return bw.Flush()
+}
+
+// WriteDXTText serializes the DXT traces in the format emitted by
+// darshan-dxt-parser: one block per (file, rank) with a preamble of
+// "# DXT," comment lines followed by fixed-width event rows.
+func (l *Log) WriteDXTText(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "# ***************************************************\n")
+	fmt.Fprintf(bw, "# DXT_POSIX module data\n")
+	fmt.Fprintf(bw, "# ***************************************************\n")
+	for _, tr := range l.DXT {
+		name := l.Name(tr.FileID)
+		mount := l.MountFor(name)
+		for _, rank := range tr.Ranks() {
+			var evs []DXTEvent
+			var writes, reads int
+			for _, e := range tr.Events {
+				if e.Rank != rank {
+					continue
+				}
+				evs = append(evs, e)
+				if e.Op == OpWrite {
+					writes++
+				} else {
+					reads++
+				}
+			}
+			host := tr.Hostname
+			if host == "" {
+				host = fmt.Sprintf("nid%05d", rank)
+			}
+			fmt.Fprintf(bw, "\n# DXT, file_id: %d, file_name: %s\n", tr.FileID, name)
+			fmt.Fprintf(bw, "# DXT, rank: %d, hostname: %s\n", rank, host)
+			fmt.Fprintf(bw, "# DXT, write_count: %d, read_count: %d\n", writes, reads)
+			fmt.Fprintf(bw, "# DXT, mnt_pt: %s, fs_type: %s\n", mount.Point, mount.FSType)
+			fmt.Fprintf(bw, "# Module    Rank  Wt/Rd  Segment       Offset      Length    Start(s)      End(s)  [OST]\n")
+			for _, e := range evs {
+				ost := ""
+				if len(e.OSTs) > 0 {
+					ost = "  ["
+					for i, o := range e.OSTs {
+						if i > 0 {
+							ost += ","
+						}
+						ost += fmt.Sprintf("%d", o)
+					}
+					ost += "]"
+				}
+				fmt.Fprintf(bw, " %-9s %5d  %5s  %7d  %11d  %10d  %10.4f  %10.4f%s\n",
+					e.Module, e.Rank, e.Op, e.Segment, e.Offset, e.Length, e.Start, e.End, ost)
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+func (l *Log) writeHeader(bw *bufio.Writer) {
+	h := l.Header
+	fmt.Fprintf(bw, "# darshan log version: %s\n", h.Version)
+	fmt.Fprintf(bw, "# exe: %s\n", h.Exe)
+	fmt.Fprintf(bw, "# uid: %d\n", h.UID)
+	fmt.Fprintf(bw, "# jobid: %d\n", h.JobID)
+	fmt.Fprintf(bw, "# start_time: %d\n", h.StartTime)
+	fmt.Fprintf(bw, "# end_time: %d\n", h.EndTime)
+	fmt.Fprintf(bw, "# nprocs: %d\n", h.NProcs)
+	fmt.Fprintf(bw, "# run time: %f\n", h.RunTime)
+	for _, k := range sortedKeys(h.Metadata) {
+		fmt.Fprintf(bw, "# metadata: %s = %s\n", k, h.Metadata[k])
+	}
+	fmt.Fprintf(bw, "\n")
+	for _, m := range l.Mounts {
+		fmt.Fprintf(bw, "# mount entry:\t%s\t%s\n", m.Point, m.FSType)
+	}
+	fmt.Fprintf(bw, "\n# description of columns:\n")
+	fmt.Fprintf(bw, "#   <module>\t<rank>\t<record id>\t<counter>\t<value>\t<file name>\t<mount pt>\t<fs type>\n")
+}
+
+func (l *Log) writeRecord(bw *bufio.Writer, module string, rec *Record) {
+	name := l.Name(rec.FileID)
+	mount := l.MountFor(name)
+	emit := func(counter string, value string) {
+		fmt.Fprintf(bw, "%s\t%d\t%d\t%s\t%s\t%s\t%s\t%s\n",
+			module, rec.Rank, rec.FileID, counter, value, name, mount.Point, mount.FSType)
+	}
+	for _, c := range CountersFor(module) {
+		emit(c, fmt.Sprintf("%d", rec.Counters[c]))
+	}
+	if module == ModLustre {
+		// Per-stripe OST ids are dynamic counters appended after the
+		// fixed Lustre set, in stripe order.
+		width := rec.Counters[CLustreStripeWidth]
+		for k := int64(0); k < width; k++ {
+			c := fmt.Sprintf("LUSTRE_OST_ID_%d", k)
+			emit(c, fmt.Sprintf("%d", rec.Counters[c]))
+		}
+	}
+	for _, c := range FCountersFor(module) {
+		emit(c, fmt.Sprintf("%f", rec.FCounters[c]))
+	}
+}
+
+func sortedRecords(m *Module) []*Record {
+	out := make([]*Record, len(m.Records))
+	copy(out, m.Records)
+	sort.SliceStable(out, func(i, j int) bool {
+		if out[i].FileID != out[j].FileID {
+			return out[i].FileID < out[j].FileID
+		}
+		return out[i].Rank < out[j].Rank
+	})
+	return out
+}
+
+func sortedKeys(m map[string]string) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}

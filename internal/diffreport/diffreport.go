@@ -1,0 +1,152 @@
+// Package diffreport compares two ION diagnoses of the same application
+// — typically a baseline run and an optimized rerun — and reports which
+// issues were fixed, which regressed, and which persist. This mirrors
+// how the paper's evaluation reads its application traces (OpenPMD and
+// E2E are each analyzed before and after their fix) and gives users a
+// did-my-change-work verdict in one view.
+package diffreport
+
+import (
+	"fmt"
+	"strings"
+
+	"ion/internal/ion"
+	"ion/internal/issue"
+)
+
+// Change classifies one issue's transition between two reports.
+type Change string
+
+// Transition classes.
+const (
+	ChangeFixed      Change = "fixed"       // detected → mitigated/not-detected
+	ChangeImproved   Change = "improved"    // mitigated → not-detected
+	ChangeRegressed  Change = "regressed"   // better → worse
+	ChangeUnchanged  Change = "unchanged"   // same verdict, issue present
+	ChangeStillClear Change = "still-clear" // clear in both
+	ChangeNew        Change = "new"         // clear → present
+)
+
+// Entry is one issue's before/after comparison.
+type Entry struct {
+	Issue  issue.ID
+	Before issue.Verdict
+	After  issue.Verdict
+	Change Change
+}
+
+// Diff is the full comparison.
+type Diff struct {
+	BeforeTrace string
+	AfterTrace  string
+	Entries     []Entry
+}
+
+// rank orders verdicts by severity for transition classification.
+func rank(v issue.Verdict) int {
+	switch v {
+	case issue.VerdictDetected:
+		return 2
+	case issue.VerdictMitigated:
+		return 1
+	}
+	return 0
+}
+
+func classify(before, after issue.Verdict) Change {
+	rb, ra := rank(before), rank(after)
+	switch {
+	case rb == 0 && ra == 0:
+		return ChangeStillClear
+	case rb == 2 && ra < 2:
+		return ChangeFixed
+	case rb == 1 && ra == 0:
+		return ChangeImproved
+	case ra > rb:
+		if rb == 0 {
+			return ChangeNew
+		}
+		return ChangeRegressed
+	default:
+		return ChangeUnchanged
+	}
+}
+
+// Compare diffs two reports issue by issue (union of both orders).
+func Compare(before, after *ion.Report) (*Diff, error) {
+	if before == nil || after == nil {
+		return nil, fmt.Errorf("diffreport: two reports are required")
+	}
+	seen := map[issue.ID]bool{}
+	var order []issue.ID
+	for _, id := range append(append([]issue.ID{}, before.Order...), after.Order...) {
+		if !seen[id] {
+			seen[id] = true
+			order = append(order, id)
+		}
+	}
+	d := &Diff{BeforeTrace: before.Trace, AfterTrace: after.Trace}
+	for _, id := range order {
+		b, a := before.Verdict(id), after.Verdict(id)
+		d.Entries = append(d.Entries, Entry{
+			Issue: id, Before: b, After: a, Change: classify(b, a),
+		})
+	}
+	return d, nil
+}
+
+// Fixed lists issues resolved by the change.
+func (d *Diff) Fixed() []issue.ID {
+	return d.filter(ChangeFixed, ChangeImproved)
+}
+
+// Regressed lists issues the change made worse or introduced.
+func (d *Diff) Regressed() []issue.ID {
+	return d.filter(ChangeRegressed, ChangeNew)
+}
+
+// Persisting lists present issues the change did not move.
+func (d *Diff) Persisting() []issue.ID {
+	return d.filter(ChangeUnchanged)
+}
+
+func (d *Diff) filter(changes ...Change) []issue.ID {
+	var out []issue.ID
+	for _, e := range d.Entries {
+		for _, c := range changes {
+			if e.Change == c {
+				out = append(out, e.Issue)
+			}
+		}
+	}
+	return out
+}
+
+// Render prints the comparison table plus a verdict line.
+func (d *Diff) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Diagnosis diff: %s → %s\n", d.BeforeTrace, d.AfterTrace)
+	b.WriteString(strings.Repeat("=", 64) + "\n")
+	fmt.Fprintf(&b, "%-22s %-14s %-14s %s\n", "issue", "before", "after", "change")
+	for _, e := range d.Entries {
+		if e.Change == ChangeStillClear {
+			continue
+		}
+		fmt.Fprintf(&b, "%-22s %-14s %-14s %s\n", e.Issue, e.Before, e.After, e.Change)
+	}
+	fixed, regressed, persisting := d.Fixed(), d.Regressed(), d.Persisting()
+	b.WriteString("\n")
+	switch {
+	case len(regressed) > 0:
+		fmt.Fprintf(&b, "verdict: the change introduced or worsened %d issue(s): %v\n", len(regressed), regressed)
+	case len(fixed) > 0 && len(persisting) == 0:
+		fmt.Fprintf(&b, "verdict: the change resolved every diagnosed issue (%v)\n", fixed)
+	case len(fixed) > 0:
+		fmt.Fprintf(&b, "verdict: the change resolved %v; still open: %v\n", fixed, persisting)
+	case len(persisting) > 0:
+		fmt.Fprintf(&b, "verdict: no movement — still open: %v\n", persisting)
+	default:
+		b.WriteString("verdict: both runs are clean\n")
+	}
+	return b.String()
+}

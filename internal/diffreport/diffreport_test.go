@@ -1,0 +1,126 @@
+package diffreport
+
+import (
+	"context"
+	"strings"
+	"testing"
+
+	"ion/internal/expertsim"
+	"ion/internal/ion"
+	"ion/internal/issue"
+	"ion/internal/testutil"
+)
+
+func reportFor(t *testing.T, name string) *ion.Report {
+	t.Helper()
+	out, _, err := testutil.Extracted(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fw, err := ion.New(ion.Config{Client: expertsim.New(), SkipSummary: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := fw.AnalyzeExtracted(context.Background(), out, name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rep
+}
+
+func TestClassify(t *testing.T) {
+	cases := []struct {
+		before, after issue.Verdict
+		want          Change
+	}{
+		{issue.VerdictDetected, issue.VerdictNotDetected, ChangeFixed},
+		{issue.VerdictDetected, issue.VerdictMitigated, ChangeFixed},
+		{issue.VerdictMitigated, issue.VerdictNotDetected, ChangeImproved},
+		{issue.VerdictMitigated, issue.VerdictDetected, ChangeRegressed},
+		{issue.VerdictNotDetected, issue.VerdictDetected, ChangeNew},
+		{issue.VerdictNotDetected, issue.VerdictMitigated, ChangeNew},
+		{issue.VerdictDetected, issue.VerdictDetected, ChangeUnchanged},
+		{issue.VerdictMitigated, issue.VerdictMitigated, ChangeUnchanged},
+		{issue.VerdictNotDetected, issue.VerdictNotDetected, ChangeStillClear},
+	}
+	for _, c := range cases {
+		if got := classify(c.before, c.after); got != c.want {
+			t.Errorf("classify(%s, %s) = %s, want %s", c.before, c.after, got, c.want)
+		}
+	}
+}
+
+func TestOpenPMDBaselineToOptimized(t *testing.T) {
+	// The paper's OpenPMD story: the HDF5 fix resolves small I/O,
+	// misalignment, shared-file contention, and the degraded
+	// collectives; the random-read residue appears as a new (mitigated)
+	// note.
+	before := reportFor(t, "openpmd-baseline")
+	after := reportFor(t, "openpmd-optimized")
+	d, err := Compare(before, after)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fixed := map[issue.ID]bool{}
+	for _, id := range d.Fixed() {
+		fixed[id] = true
+	}
+	for _, want := range []issue.ID{issue.SmallIO, issue.MisalignedIO, issue.SharedFile, issue.CollectiveIO} {
+		if !fixed[want] {
+			t.Errorf("%s should be classified as fixed", want)
+		}
+	}
+	if len(d.Regressed()) > 1 {
+		t.Errorf("unexpected regressions: %v", d.Regressed())
+	}
+	text := d.Render()
+	if !strings.Contains(text, "fixed") {
+		t.Errorf("render misses fixes:\n%s", text)
+	}
+}
+
+func TestE2EBaselineToOptimized(t *testing.T) {
+	before := reportFor(t, "e2e-baseline")
+	after := reportFor(t, "e2e-optimized")
+	d, err := Compare(before, after)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Load imbalance: detected → mitigated (fixed); misalignment
+	// persists — exactly the paper's optimized-E2E reading.
+	var imb, mis Entry
+	for _, e := range d.Entries {
+		switch e.Issue {
+		case issue.LoadImbalance:
+			imb = e
+		case issue.MisalignedIO:
+			mis = e
+		}
+	}
+	if imb.Change != ChangeFixed {
+		t.Errorf("load-imbalance change = %s, want fixed", imb.Change)
+	}
+	if mis.Change != ChangeUnchanged {
+		t.Errorf("misaligned-io change = %s, want unchanged", mis.Change)
+	}
+	if !strings.Contains(d.Render(), "still open") {
+		t.Errorf("verdict should note the persisting misalignment:\n%s", d.Render())
+	}
+}
+
+func TestIdenticalReportsAreQuiet(t *testing.T) {
+	rep := reportFor(t, "ior-easy-1m-fpp")
+	d, err := Compare(rep, rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d.Fixed()) != 0 || len(d.Regressed()) != 0 {
+		t.Errorf("self-diff shows movement: %+v", d.Entries)
+	}
+}
+
+func TestCompareValidation(t *testing.T) {
+	if _, err := Compare(nil, nil); err == nil {
+		t.Error("nil reports accepted")
+	}
+}

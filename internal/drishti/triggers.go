@@ -1,0 +1,525 @@
+package drishti
+
+import (
+	"fmt"
+	"math"
+
+	"ion/internal/darshan"
+	"ion/internal/issue"
+)
+
+// This file holds the 30 trigger implementations. Messages mirror the
+// phrasing of Drishti's reference output so Figure 3 comparisons read
+// like the paper's.
+
+// D01: heavy STDIO usage.
+func (a *analyzer) stdioUsage() error {
+	stdioOps := a.sum(a.stdio, darshan.CStdioReads) + a.sum(a.stdio, darshan.CStdioWrites)
+	total := stdioOps + a.posixOps()
+	if stdioOps > 10 && safeShare(stdioOps, total) > 0.1 {
+		a.add("D01", LevelWarn, issue.Interface,
+			fmt.Sprintf("Application issues a high number (%d) of data operations through STDIO (%s of all operations)",
+				stdioOps, pct(safeShare(stdioOps, total))),
+			"Consider switching to POSIX or MPI-IO for data-intensive paths")
+	}
+	return nil
+}
+
+// D02: high number of small reads.
+func (a *analyzer) smallReads() error {
+	small := a.smallCount("POSIX_SIZE_READ_")
+	reads := a.sum(a.posix, darshan.CPosixReads)
+	if small > a.cfg.SmallRequestsCount && safeShare(small, reads) > a.cfg.SmallRequestsPercent {
+		a.add("D02", LevelHigh, issue.SmallIO,
+			fmt.Sprintf("Application issues a high number (%d) of small read requests (i.e., < %d bytes) — %s of all reads",
+				small, a.cfg.SmallRequestSize, pct(safeShare(small, reads))),
+			"Consider buffering read requests into larger, contiguous ones")
+	}
+	return nil
+}
+
+// D03: high number of small writes, with per-file attribution.
+func (a *analyzer) smallWrites() error {
+	small := a.smallCount("POSIX_SIZE_WRITE_")
+	writes := a.sum(a.posix, darshan.CPosixWrites)
+	if small > a.cfg.SmallRequestsCount && safeShare(small, writes) > a.cfg.SmallRequestsPercent {
+		a.add("D03", LevelHigh, issue.SmallIO,
+			fmt.Sprintf("Application issues a high number (%d) of small write requests (i.e., < %d bytes) — %s of all writes",
+				small, a.cfg.SmallRequestSize, pct(safeShare(small, writes))),
+			"Consider buffering write requests into larger, contiguous ones; if using MPI-IO, consider collective I/O")
+		// Per-file attribution, as in Drishti's detailed mode.
+		if a.posix != nil {
+			var worstFile string
+			var worstSmall int64
+			for i := 0; i < a.posix.NumRows(); i++ {
+				var rowSmall int64
+				for _, b := range darshan.SizeBins {
+					if b.Hi > 0 && b.Hi <= a.cfg.SmallRequestSize {
+						v, err := a.posix.Int(i, "POSIX_SIZE_WRITE_"+b.Suffix)
+						if err != nil {
+							return err
+						}
+						rowSmall += v
+					}
+				}
+				if rowSmall > worstSmall {
+					worstSmall = rowSmall
+					worstFile, _ = a.posix.Value(i, "file_name")
+				}
+			}
+			if worstFile != "" && small > 0 {
+				a.add("D04", LevelHigh, issue.SmallIO,
+					fmt.Sprintf("(%s) small write requests are to \"%s\"",
+						pct(safeShare(worstSmall, small)), worstFile),
+					"")
+			}
+		}
+	}
+	return nil
+}
+
+// D05: misaligned file accesses.
+func (a *analyzer) misalignedFile() error {
+	mis := a.sum(a.posix, darshan.CPosixFileNotAligned)
+	ops := a.posixOps()
+	if share := safeShare(mis, ops); share > a.cfg.MisalignedPercent {
+		a.add("D05", LevelHigh, issue.MisalignedIO,
+			fmt.Sprintf("Application issues a high number (%s) of misaligned file requests", pct(share)),
+			"Consider aligning requests to the file system block/stripe boundaries (e.g. H5Pset_alignment, stripe-aligned records)")
+	}
+	return nil
+}
+
+// D06: misaligned memory accesses.
+func (a *analyzer) misalignedMem() error {
+	mis := a.sum(a.posix, darshan.CPosixMemNotAligned)
+	ops := a.posixOps()
+	if share := safeShare(mis, ops); share > a.cfg.MisalignedPercent {
+		a.add("D06", LevelWarn, issue.MisalignedIO,
+			fmt.Sprintf("Application issues a high number (%s) of misaligned memory requests", pct(share)),
+			"Consider aligning I/O buffers in memory (posix_memalign)")
+	}
+	return nil
+}
+
+// D07: redundant read traffic (bytes read exceed the file extent read).
+func (a *analyzer) redundantReads() error {
+	bytesRead := a.sum(a.posix, darshan.CPosixBytesRead)
+	maxByte := a.sum(a.posix, darshan.CPosixMaxByteRead)
+	if maxByte > 0 && bytesRead > 2*(maxByte+1) {
+		a.add("D07", LevelWarn, issue.RandomAccess,
+			fmt.Sprintf("Application reads %d bytes but the highest offset read is %d: redundant read traffic detected",
+				bytesRead, maxByte),
+			"Consider caching repeatedly read data in memory")
+	}
+	return nil
+}
+
+// D08: redundant write traffic.
+func (a *analyzer) redundantWrites() error {
+	bytesWritten := a.sum(a.posix, darshan.CPosixBytesWritten)
+	maxByte := a.sum(a.posix, darshan.CPosixMaxByteWritten)
+	if maxByte > 0 && bytesWritten > 2*(maxByte+1) {
+		a.add("D08", LevelWarn, issue.LoadImbalance,
+			fmt.Sprintf("Application writes %d bytes but the highest offset written is %d: regions are overwritten repeatedly",
+				bytesWritten, maxByte),
+			"Check for redundant writes (e.g. fill values on datasets that are later overwritten)")
+	}
+	return nil
+}
+
+// D09: random reads (Darshan definition: reads - sequential reads).
+func (a *analyzer) randomReads() error {
+	reads := a.sum(a.posix, darshan.CPosixReads)
+	seq := a.sum(a.posix, darshan.CPosixSeqReads)
+	random := reads - seq
+	if reads > 0 && safeShare(random, reads) > a.cfg.RandomOpsPercent && random > 100 {
+		a.add("D09", LevelHigh, issue.RandomAccess,
+			fmt.Sprintf("Application is issuing a high number (%d) of random read operations (%s)",
+				random, pct(safeShare(random, reads))),
+			"Consider changing the access pattern to be sequential, or use collective I/O to reorganize accesses")
+	}
+	return nil
+}
+
+// D10: random writes.
+func (a *analyzer) randomWrites() error {
+	writes := a.sum(a.posix, darshan.CPosixWrites)
+	seq := a.sum(a.posix, darshan.CPosixSeqWrites)
+	random := writes - seq
+	if writes > 0 && safeShare(random, writes) > a.cfg.RandomOpsPercent && random > 100 {
+		a.add("D10", LevelHigh, issue.RandomAccess,
+			fmt.Sprintf("Application is issuing a high number (%d) of random write operations (%s)",
+				random, pct(safeShare(random, writes))),
+			"Consider restructuring toward sequential writes or collective I/O")
+	}
+	return nil
+}
+
+// D11: mostly sequential reads (positive insight).
+func (a *analyzer) sequentialReads() error {
+	reads := a.sum(a.posix, darshan.CPosixReads)
+	seq := a.sum(a.posix, darshan.CPosixSeqReads)
+	if reads > 100 && safeShare(seq, reads) > 0.8 {
+		a.add("D11", LevelOK, issue.RandomAccess,
+			fmt.Sprintf("Application mostly uses sequential read requests (%s)", pct(safeShare(seq, reads))), "")
+	}
+	return nil
+}
+
+// D12: mostly sequential writes (positive insight).
+func (a *analyzer) sequentialWrites() error {
+	writes := a.sum(a.posix, darshan.CPosixWrites)
+	seq := a.sum(a.posix, darshan.CPosixSeqWrites)
+	if writes > 100 && safeShare(seq, writes) > 0.8 {
+		a.add("D12", LevelOK, issue.RandomAccess,
+			fmt.Sprintf("Application mostly uses sequential write requests (%s)", pct(safeShare(seq, writes))), "")
+	}
+	return nil
+}
+
+// D13: per-file byte load imbalance on shared files.
+func (a *analyzer) loadImbalance() error {
+	if a.posix == nil {
+		return nil
+	}
+	nprocs := a.nprocs()
+	for i := 0; i < a.posix.NumRows(); i++ {
+		rank, err := a.posix.Int(i, "rank")
+		if err != nil {
+			return err
+		}
+		if rank != -1 || nprocs <= 1 {
+			continue // shared-file records only
+		}
+		slowest, err := a.posix.Int(i, darshan.CPosixSlowestBytes)
+		if err != nil {
+			return err
+		}
+		bytesR, err := a.posix.Int(i, darshan.CPosixBytesRead)
+		if err != nil {
+			return err
+		}
+		bytesW, err := a.posix.Int(i, darshan.CPosixBytesWritten)
+		if err != nil {
+			return err
+		}
+		if slowest <= 0 {
+			continue
+		}
+		avg := float64(bytesR+bytesW) / float64(nprocs)
+		imb := (float64(slowest) - avg) / float64(slowest)
+		fastest, err := a.posix.Int(i, darshan.CPosixFastestBytes)
+		if err != nil {
+			return err
+		}
+		// Drishti compares the extreme ranks: near-equal extremes mean
+		// the counters show no skew even if DXT would.
+		spread := safeShare(slowest-fastest, slowest)
+		if imb > a.cfg.ImbalancePercent && spread > a.cfg.ImbalancePercent {
+			name, _ := a.posix.Value(i, "file_name")
+			a.add("D13", LevelHigh, issue.LoadImbalance,
+				fmt.Sprintf("Load imbalance of %s detected while accessing \"%s\"", pct(imb), name),
+				"Consider distributing the I/O workload across ranks or using collective I/O aggregators")
+		}
+	}
+	return nil
+}
+
+// D14: rank time imbalance via the variance counter.
+func (a *analyzer) timeImbalance() error {
+	if a.posix == nil {
+		return nil
+	}
+	nprocs := a.nprocs()
+	for i := 0; i < a.posix.NumRows(); i++ {
+		rank, err := a.posix.Int(i, "rank")
+		if err != nil {
+			return err
+		}
+		if rank != -1 || nprocs <= 1 {
+			continue
+		}
+		variance, err := a.posix.Float(i, darshan.FPosixVarianceTime)
+		if err != nil {
+			return err
+		}
+		rt, err := a.posix.Float(i, darshan.FPosixReadTime)
+		if err != nil {
+			return err
+		}
+		wt, err := a.posix.Float(i, darshan.FPosixWriteTime)
+		if err != nil {
+			return err
+		}
+		mean := (rt + wt) / float64(nprocs)
+		if mean > 0 && math.Sqrt(variance)/mean > a.cfg.TimeImbalanceCV {
+			name, _ := a.posix.Value(i, "file_name")
+			a.add("D14", LevelWarn, issue.TimeImbalance,
+				fmt.Sprintf("Detected I/O time imbalance across ranks while accessing \"%s\" (stddev/mean %.1f)",
+					name, math.Sqrt(variance)/mean),
+				"Investigate straggler ranks")
+		}
+	}
+	return nil
+}
+
+// D15: a single write dominating the write phase.
+func (a *analyzer) writeStraggler() error {
+	maxW := a.fsum(a.posix, darshan.FPosixMaxWriteTime)
+	totalW := a.fsum(a.posix, darshan.FPosixWriteTime)
+	if totalW > 0 && maxW/totalW > a.cfg.StragglerPercent && a.sum(a.posix, darshan.CPosixWrites) > 100 {
+		a.add("D15", LevelWarn, issue.TimeImbalance,
+			fmt.Sprintf("A single write consumed %s of the total write time", pct(maxW/totalW)),
+			"Investigate outlier writes (lock revocations, OST congestion)")
+	}
+	return nil
+}
+
+// D16: a single read dominating the read phase.
+func (a *analyzer) readStraggler() error {
+	maxR := a.fsum(a.posix, darshan.FPosixMaxReadTime)
+	totalR := a.fsum(a.posix, darshan.FPosixReadTime)
+	if totalR > 0 && maxR/totalR > a.cfg.StragglerPercent && a.sum(a.posix, darshan.CPosixReads) > 100 {
+		a.add("D16", LevelWarn, issue.TimeImbalance,
+			fmt.Sprintf("A single read consumed %s of the total read time", pct(maxR/totalR)),
+			"Investigate outlier reads")
+	}
+	return nil
+}
+
+// D17: aggregate metadata time.
+func (a *analyzer) metadataTime() error {
+	meta := a.fsum(a.posix, darshan.FPosixMetaTime)
+	if meta > a.cfg.MetadataTimeSeconds {
+		a.add("D17", LevelHigh, issue.Metadata,
+			fmt.Sprintf("Application spends a significant amount of time (%.1f s) in metadata operations", meta),
+			"Reduce opens/stats per iteration; keep file handles open")
+	}
+	return nil
+}
+
+// D18: high metadata operation counts.
+func (a *analyzer) metadataOps() error {
+	opens := a.sum(a.posix, darshan.CPosixOpens)
+	stats := a.sum(a.posix, darshan.CPosixStats)
+	if opens+stats > a.cfg.MetadataOpsCount {
+		level := LevelWarn
+		if opens+stats > safeMaxI64(a.posixOps(), 1) {
+			level = LevelHigh
+		}
+		a.add("D18", level, issue.Metadata,
+			fmt.Sprintf("Application issues a high number of metadata operations (%d opens, %d stats)", opens, stats),
+			"Batch metadata work and avoid per-access open/close cycles")
+	}
+	return nil
+}
+
+// D19: excessive seeks.
+func (a *analyzer) excessiveSeeks() error {
+	seeks := a.sum(a.posix, darshan.CPosixSeeks)
+	if ops := a.posixOps(); ops > 0 && safeShare(seeks, ops) > 0.5 && seeks > 1000 {
+		a.add("D19", LevelWarn, issue.RandomAccess,
+			fmt.Sprintf("Application issues %d seek operations (%s per data op)", seeks, pct(safeShare(seeks, ops))),
+			"Use pread/pwrite or restructure toward sequential access")
+	}
+	return nil
+}
+
+// D20: excessive fsyncs.
+func (a *analyzer) excessiveFsyncs() error {
+	fsyncs := a.sum(a.posix, darshan.CPosixFsyncs)
+	if writes := a.sum(a.posix, darshan.CPosixWrites); writes > 0 && fsyncs > 0 &&
+		safeShare(fsyncs, writes) > 0.1 && fsyncs > 100 {
+		a.add("D20", LevelWarn, issue.Metadata,
+			fmt.Sprintf("Application issues %d fsync operations (one per %.1f writes)",
+				fsyncs, float64(writes)/float64(fsyncs)),
+			"Flush less frequently; rely on the file system's write-back")
+	}
+	return nil
+}
+
+// D21: frequent read/write switching.
+func (a *analyzer) rwSwitches() error {
+	switches := a.sum(a.posix, darshan.CPosixRWSwitches)
+	if ops := a.posixOps(); ops > 0 && safeShare(switches, ops) > 0.3 && switches > 1000 {
+		a.add("D21", LevelInfo, issue.RandomAccess,
+			fmt.Sprintf("Application alternates between reads and writes %d times", switches),
+			"Separate read and write phases where possible")
+	}
+	return nil
+}
+
+// D22: very many files.
+func (a *analyzer) manyFiles() error {
+	if a.posix == nil {
+		return nil
+	}
+	files := map[string]bool{}
+	for i := 0; i < a.posix.NumRows(); i++ {
+		name, err := a.posix.Value(i, "file_name")
+		if err != nil {
+			return err
+		}
+		files[name] = true
+	}
+	if len(files) > 100 {
+		a.add("D22", LevelWarn, issue.Metadata,
+			fmt.Sprintf("Application accesses %d distinct files", len(files)),
+			"Consider consolidating small files into shared containers (HDF5, tar, db)")
+	}
+	return nil
+}
+
+// D23: POSIX-only parallel I/O.
+func (a *analyzer) posixOnly() error {
+	mpiioOps := a.sum(a.mpiio, darshan.CMpiioIndepReads) + a.sum(a.mpiio, darshan.CMpiioIndepWrites) +
+		a.sum(a.mpiio, darshan.CMpiioCollReads) + a.sum(a.mpiio, darshan.CMpiioCollWrites)
+	if a.nprocs() > 1 && a.posixOps() > 0 && mpiioOps == 0 {
+		a.add("D23", LevelWarn, issue.Interface,
+			fmt.Sprintf("Application uses POSIX I/O from %d ranks and does not use MPI-IO", a.nprocs()),
+			"Consider using MPI-IO (directly or via HDF5/PnetCDF) to benefit from collective optimizations")
+	}
+	return nil
+}
+
+// D24: many independent MPI-IO reads.
+func (a *analyzer) indepReads() error {
+	indep := a.sum(a.mpiio, darshan.CMpiioIndepReads)
+	coll := a.sum(a.mpiio, darshan.CMpiioCollReads)
+	if indep > 100 && safeShare(coll, indep+coll) < a.cfg.CollectivePercent {
+		a.add("D24", LevelWarn, issue.CollectiveIO,
+			fmt.Sprintf("Application issues %d independent MPI-IO reads (%s collective)",
+				indep, pct(safeShare(coll, indep+coll))),
+			"Consider collective read operations (MPI_File_read_all)")
+	}
+	return nil
+}
+
+// D25: many independent MPI-IO writes.
+func (a *analyzer) indepWrites() error {
+	indep := a.sum(a.mpiio, darshan.CMpiioIndepWrites)
+	coll := a.sum(a.mpiio, darshan.CMpiioCollWrites)
+	if indep > 100 && safeShare(coll, indep+coll) < a.cfg.CollectivePercent {
+		a.add("D25", LevelHigh, issue.CollectiveIO,
+			fmt.Sprintf("Application issues %d independent MPI-IO writes (%s collective)",
+				indep, pct(safeShare(coll, indep+coll))),
+			"Consider collective write operations (MPI_File_write_all) and enabling collective buffering")
+	}
+	return nil
+}
+
+// D26: MPI-IO without collective opens.
+func (a *analyzer) noCollectiveOpens() error {
+	collOpens := a.sum(a.mpiio, darshan.CMpiioCollOpens)
+	indepOpens := a.sum(a.mpiio, darshan.CMpiioIndepOpens)
+	if indepOpens > 0 && collOpens == 0 {
+		a.add("D26", LevelInfo, issue.CollectiveIO,
+			"Application opens MPI-IO files independently only",
+			"Collective opens enable collective buffering")
+	}
+	return nil
+}
+
+// D27: no non-blocking MPI-IO.
+func (a *analyzer) blockingMPIIO() error {
+	nb := a.sum(a.mpiio, darshan.CMpiioNBReads) + a.sum(a.mpiio, darshan.CMpiioNBWrites)
+	ops := a.sum(a.mpiio, darshan.CMpiioIndepReads) + a.sum(a.mpiio, darshan.CMpiioIndepWrites) +
+		a.sum(a.mpiio, darshan.CMpiioCollReads) + a.sum(a.mpiio, darshan.CMpiioCollWrites)
+	if ops > 1000 && nb == 0 {
+		a.add("D27", LevelInfo, issue.CollectiveIO,
+			"Application does not use non-blocking (asynchronous) MPI-IO operations",
+			"Consider overlapping I/O with computation (MPI_File_iwrite/iread)")
+	}
+	return nil
+}
+
+// D28: no MPI-IO hints.
+func (a *analyzer) noHints() error {
+	if a.mpiio != nil && a.mpiio.NumRows() > 0 && a.sum(a.mpiio, darshan.CMpiioHints) == 0 {
+		a.add("D28", LevelInfo, issue.CollectiveIO,
+			"Application sets no MPI-IO hints",
+			"Hints such as cb_nodes/striping_factor can tune collective buffering")
+	}
+	return nil
+}
+
+// D29: stripe width small relative to the job.
+func (a *analyzer) stripeWidth() error {
+	if a.lustre == nil || a.lustre.NumRows() == 0 {
+		return nil
+	}
+	width, err := a.lustre.Int(0, darshan.CLustreStripeWidth)
+	if err != nil {
+		return err
+	}
+	osts, err := a.lustre.Int(0, darshan.CLustreOSTs)
+	if err != nil {
+		return err
+	}
+	if n := a.nprocs(); n >= 8 && width*4 <= osts && width < n {
+		a.add("D29", LevelInfo, issue.SharedFile,
+			fmt.Sprintf("Files are striped over %d of %d OSTs while %d ranks perform I/O", width, osts, n),
+			"Consider increasing the stripe count (lfs setstripe -c) for shared files")
+	}
+	return nil
+}
+
+// D30: many small writes to a single shared file.
+func (a *analyzer) sharedSmallWrites() error {
+	if a.posix == nil {
+		return nil
+	}
+	for i := 0; i < a.posix.NumRows(); i++ {
+		rank, err := a.posix.Int(i, "rank")
+		if err != nil {
+			return err
+		}
+		if rank != -1 {
+			continue
+		}
+		var small int64
+		for _, b := range darshan.SizeBins {
+			if b.Hi > 0 && b.Hi <= a.cfg.SmallRequestSize {
+				v, err := a.posix.Int(i, "POSIX_SIZE_WRITE_"+b.Suffix)
+				if err != nil {
+					return err
+				}
+				small += v
+			}
+		}
+		writes, err := a.posix.Int(i, darshan.CPosixWrites)
+		if err != nil {
+			return err
+		}
+		if small > a.cfg.SmallRequestsCount && safeShare(small, writes) > 0.5 {
+			name, _ := a.posix.Value(i, "file_name")
+			a.add("D30", LevelWarn, issue.SharedFile,
+				fmt.Sprintf("Multiple ranks issue small writes to the shared file \"%s\"", name),
+				"Shared-file small writes amplify lock traffic; consider collective buffering")
+		}
+	}
+	return nil
+}
+
+// D31 (bonus parity check): many files per rank.
+func (a *analyzer) fileCountPerRank() error {
+	if a.posix == nil {
+		return nil
+	}
+	n := a.nprocs()
+	files := int64(a.posix.NumRows())
+	if n > 0 && files/n > 50 {
+		a.add("D31", LevelInfo, issue.Metadata,
+			fmt.Sprintf("Application handles %d file records across %d ranks", files, n),
+			"Very wide file sets stress the metadata servers")
+	}
+	return nil
+}
+
+func safeMaxI64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}

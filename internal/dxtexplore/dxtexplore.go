@@ -1,0 +1,398 @@
+// Package dxtexplore renders DXT traces as terminal visualizations, in
+// the spirit of the DXT-Explorer tool the paper builds on (Bez et al.,
+// PDSW'21): a rank×time activity heatmap, a rank×file-offset spatial
+// map, and an access-size histogram. ION's reports tell the user *what*
+// is wrong; these views let them *see* the pattern (the interleaved
+// bands of ior-hard, rank 0's solid stripe in the E2E baseline, the
+// aggregator subset of the optimized run).
+package dxtexplore
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"ion/internal/darshan"
+)
+
+// Options control plot geometry.
+type Options struct {
+	// Width is the number of horizontal buckets (default 64).
+	Width int
+	// MaxRows caps the number of rank rows; ranks are grouped into
+	// bands when they exceed it (default 16).
+	MaxRows int
+	// Op filters events ("read", "write", or "" for both).
+	Op string
+}
+
+func (o Options) normalized() Options {
+	if o.Width <= 0 {
+		o.Width = 64
+	}
+	if o.MaxRows <= 0 {
+		o.MaxRows = 16
+	}
+	return o
+}
+
+// intensity maps a 0..1 load to a glyph.
+var intensity = []rune(" .:-=+*#%@")
+
+func glyph(v float64) rune {
+	if v <= 0 {
+		return intensity[0]
+	}
+	if v >= 1 {
+		return intensity[len(intensity)-1]
+	}
+	return intensity[1+int(v*float64(len(intensity)-2))]
+}
+
+// events flattens the log's DXT traces with the op filter applied.
+func events(log *darshan.Log, op string) []darshan.DXTEvent {
+	var out []darshan.DXTEvent
+	for _, tr := range log.DXT {
+		for _, ev := range tr.Events {
+			if op != "" && string(ev.Op) != op {
+				continue
+			}
+			out = append(out, ev)
+		}
+	}
+	return out
+}
+
+// rankBands groups ranks into at most maxRows contiguous bands and
+// returns the band index per rank plus band labels.
+func rankBands(evs []darshan.DXTEvent, maxRows int) (map[int64]int, []string) {
+	rankSet := map[int64]bool{}
+	for _, ev := range evs {
+		rankSet[ev.Rank] = true
+	}
+	ranks := make([]int64, 0, len(rankSet))
+	for r := range rankSet {
+		ranks = append(ranks, r)
+	}
+	sort.Slice(ranks, func(i, j int) bool { return ranks[i] < ranks[j] })
+	bands := map[int64]int{}
+	if len(ranks) <= maxRows {
+		labels := make([]string, len(ranks))
+		for i, r := range ranks {
+			bands[r] = i
+			labels[i] = fmt.Sprintf("rank %4d", r)
+		}
+		return bands, labels
+	}
+	per := (len(ranks) + maxRows - 1) / maxRows
+	labels := []string{}
+	for i, r := range ranks {
+		band := i / per
+		bands[r] = band
+		if i%per == 0 {
+			hi := i + per - 1
+			if hi >= len(ranks) {
+				hi = len(ranks) - 1
+			}
+			labels = append(labels, fmt.Sprintf("r%4d-%4d", r, ranks[hi]))
+		}
+	}
+	return bands, labels
+}
+
+// Timeline renders a rank×time heatmap of I/O activity (busy seconds
+// per cell, normalized to the busiest cell).
+func Timeline(log *darshan.Log, opts Options) string {
+	o := opts.normalized()
+	evs := events(log, o.Op)
+	if len(evs) == 0 {
+		return "(no DXT events)\n"
+	}
+	var tmax float64
+	for _, ev := range evs {
+		if ev.End > tmax {
+			tmax = ev.End
+		}
+	}
+	if tmax <= 0 {
+		tmax = 1
+	}
+	bands, labels := rankBands(evs, o.MaxRows)
+	grid := make([][]float64, len(labels))
+	for i := range grid {
+		grid[i] = make([]float64, o.Width)
+	}
+	for _, ev := range evs {
+		row := bands[ev.Rank]
+		// Spread the event's busy time across the buckets it spans.
+		lo := int(ev.Start / tmax * float64(o.Width))
+		hi := int(ev.End / tmax * float64(o.Width))
+		if lo >= o.Width {
+			lo = o.Width - 1
+		}
+		if hi >= o.Width {
+			hi = o.Width - 1
+		}
+		dur := ev.End - ev.Start
+		cells := hi - lo + 1
+		for c := lo; c <= hi; c++ {
+			grid[row][c] += dur / float64(cells)
+		}
+	}
+	var peak float64
+	for _, row := range grid {
+		for _, v := range row {
+			if v > peak {
+				peak = v
+			}
+		}
+	}
+	var b strings.Builder
+	title := "I/O activity timeline (rank × time)"
+	if o.Op != "" {
+		title += " — " + o.Op + "s only"
+	}
+	fmt.Fprintf(&b, "%s\n", title)
+	fmt.Fprintf(&b, "%11s 0s%s%.4fs\n", "", strings.Repeat(" ", o.Width-len(fmt.Sprintf("%.4fs", tmax))-2), tmax)
+	for i, label := range labels {
+		b.WriteString(fmt.Sprintf("%11s ", label))
+		for _, v := range grid[i] {
+			if peak > 0 {
+				b.WriteRune(glyph(v / peak))
+			} else {
+				b.WriteRune(' ')
+			}
+		}
+		b.WriteString("\n")
+	}
+	fmt.Fprintf(&b, "%11s scale: '%c' idle .. '%c' busiest cell\n", "", intensity[0], intensity[len(intensity)-1])
+	return b.String()
+}
+
+// OffsetMap renders a rank×file-offset coverage map for one file (bytes
+// touched per cell, normalized).
+func OffsetMap(log *darshan.Log, fileID uint64, opts Options) string {
+	o := opts.normalized()
+	var evs []darshan.DXTEvent
+	for _, tr := range log.DXT {
+		if tr.FileID != fileID {
+			continue
+		}
+		for _, ev := range tr.Events {
+			if o.Op != "" && string(ev.Op) != o.Op {
+				continue
+			}
+			evs = append(evs, ev)
+		}
+	}
+	if len(evs) == 0 {
+		return "(no DXT events for file)\n"
+	}
+	var max int64
+	for _, ev := range evs {
+		if end := ev.Offset + ev.Length; end > max {
+			max = end
+		}
+	}
+	if max <= 0 {
+		max = 1
+	}
+	bands, labels := rankBands(evs, o.MaxRows)
+	grid := make([][]float64, len(labels))
+	for i := range grid {
+		grid[i] = make([]float64, o.Width)
+	}
+	for _, ev := range evs {
+		row := bands[ev.Rank]
+		lo := int(float64(ev.Offset) / float64(max) * float64(o.Width))
+		hi := int(float64(ev.Offset+ev.Length-1) / float64(max) * float64(o.Width))
+		if lo >= o.Width {
+			lo = o.Width - 1
+		}
+		if hi >= o.Width {
+			hi = o.Width - 1
+		}
+		cells := hi - lo + 1
+		for c := lo; c <= hi; c++ {
+			grid[row][c] += float64(ev.Length) / float64(cells)
+		}
+	}
+	var peak float64
+	for _, row := range grid {
+		for _, v := range row {
+			if v > peak {
+				peak = v
+			}
+		}
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "file offset map: %s (rank × offset, extent %d bytes)\n", log.Name(fileID), max)
+	for i, label := range labels {
+		b.WriteString(fmt.Sprintf("%11s ", label))
+		for _, v := range grid[i] {
+			if peak > 0 {
+				b.WriteRune(glyph(v / peak))
+			} else {
+				b.WriteRune(' ')
+			}
+		}
+		b.WriteString("\n")
+	}
+	return b.String()
+}
+
+// SizeHistogram renders the access-size distribution as a bar chart
+// over the Darshan histogram buckets.
+func SizeHistogram(log *darshan.Log, opts Options) string {
+	o := opts.normalized()
+	evs := events(log, o.Op)
+	if len(evs) == 0 {
+		return "(no DXT events)\n"
+	}
+	counts := make([]int64, len(darshan.SizeBins))
+	for _, ev := range evs {
+		suffix := darshan.SizeBinFor(ev.Length)
+		for i, bin := range darshan.SizeBins {
+			if bin.Suffix == suffix {
+				counts[i]++
+				break
+			}
+		}
+	}
+	var peak int64 = 1
+	for _, c := range counts {
+		if c > peak {
+			peak = c
+		}
+	}
+	var b strings.Builder
+	b.WriteString("access size distribution\n")
+	for i, bin := range darshan.SizeBins {
+		bar := int(float64(counts[i]) / float64(peak) * float64(o.Width))
+		fmt.Fprintf(&b, "%10s |%-*s| %d\n", bin.Suffix, o.Width, strings.Repeat("#", bar), counts[i])
+	}
+	return b.String()
+}
+
+// RankSummary renders a per-rank (or rank-band) table of operation
+// counts, bytes, and busy time, sorted by bytes descending.
+func RankSummary(log *darshan.Log, opts Options) string {
+	o := opts.normalized()
+	evs := events(log, o.Op)
+	if len(evs) == 0 {
+		return "(no DXT events)\n"
+	}
+	type load struct {
+		rank  int64
+		ops   int64
+		bytes int64
+		busy  float64
+	}
+	per := map[int64]*load{}
+	for _, ev := range evs {
+		l, ok := per[ev.Rank]
+		if !ok {
+			l = &load{rank: ev.Rank}
+			per[ev.Rank] = l
+		}
+		l.ops++
+		l.bytes += ev.Length
+		l.busy += ev.End - ev.Start
+	}
+	loads := make([]*load, 0, len(per))
+	var totalBytes int64
+	for _, l := range per {
+		loads = append(loads, l)
+		totalBytes += l.bytes
+	}
+	sort.Slice(loads, func(i, j int) bool {
+		if loads[i].bytes != loads[j].bytes {
+			return loads[i].bytes > loads[j].bytes
+		}
+		return loads[i].rank < loads[j].rank
+	})
+	var b strings.Builder
+	fmt.Fprintf(&b, "per-rank I/O load (%d active ranks, top %d shown)\n", len(loads), o.MaxRows)
+	fmt.Fprintf(&b, "%8s %10s %14s %10s %8s\n", "rank", "ops", "bytes", "busy(s)", "share")
+	shown := loads
+	if len(shown) > o.MaxRows {
+		shown = shown[:o.MaxRows]
+	}
+	for _, l := range shown {
+		share := 0.0
+		if totalBytes > 0 {
+			share = float64(l.bytes) / float64(totalBytes)
+		}
+		fmt.Fprintf(&b, "%8d %10d %14d %10.4f %7.2f%%\n", l.rank, l.ops, l.bytes, l.busy, 100*share)
+	}
+	if len(loads) > o.MaxRows {
+		fmt.Fprintf(&b, "... %d more ranks\n", len(loads)-o.MaxRows)
+	}
+	return b.String()
+}
+
+// Explore renders the full set of views for a log.
+func Explore(log *darshan.Log, opts Options) string {
+	var b strings.Builder
+	b.WriteString(Timeline(log, opts))
+	b.WriteString("\n")
+	// Offset map of the busiest file.
+	var busiest uint64
+	var most int
+	for _, tr := range log.DXT {
+		if len(tr.Events) > most {
+			most = len(tr.Events)
+			busiest = tr.FileID
+		}
+	}
+	if most > 0 {
+		b.WriteString(OffsetMap(log, busiest, opts))
+		b.WriteString("\n")
+	}
+	b.WriteString(SizeHistogram(log, opts))
+	b.WriteString("\n")
+	b.WriteString(RankSummary(log, opts))
+	return b.String()
+}
+
+// OSTLoad renders bytes served per Lustre OST as a bar chart, using the
+// OST placement recorded in the DXT events — the view that exposes
+// hot-spotted servers (narrow striping, skewed placement).
+func OSTLoad(log *darshan.Log, opts Options) string {
+	o := opts.normalized()
+	evs := events(log, o.Op)
+	if len(evs) == 0 {
+		return "(no DXT events)\n"
+	}
+	load := map[int]int64{}
+	withPlacement := 0
+	for _, ev := range evs {
+		if len(ev.OSTs) == 0 {
+			continue
+		}
+		withPlacement++
+		per := ev.Length / int64(len(ev.OSTs))
+		for _, ost := range ev.OSTs {
+			load[ost] += per
+		}
+	}
+	if withPlacement == 0 {
+		return "(DXT events carry no OST placement)\n"
+	}
+	osts := make([]int, 0, len(load))
+	var peak int64 = 1
+	for ost, b := range load {
+		osts = append(osts, ost)
+		if b > peak {
+			peak = b
+		}
+	}
+	sort.Ints(osts)
+	var b strings.Builder
+	fmt.Fprintf(&b, "bytes per OST (%d events with placement)\n", withPlacement)
+	for _, ost := range osts {
+		bar := int(float64(load[ost]) / float64(peak) * float64(o.Width))
+		fmt.Fprintf(&b, "OST %3d |%-*s| %d\n", ost, o.Width, strings.Repeat("#", bar), load[ost])
+	}
+	return b.String()
+}

@@ -1,0 +1,166 @@
+package dxtexplore
+
+import (
+	"strings"
+	"testing"
+
+	"ion/internal/darshan"
+	"ion/internal/testutil"
+	"ion/internal/workloads"
+)
+
+func logFor(t *testing.T, name string) *darshan.Log {
+	t.Helper()
+	l, err := testutil.Log(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return l
+}
+
+func TestTimelineShape(t *testing.T) {
+	log := logFor(t, "ior-hard")
+	out := Timeline(log, Options{Width: 40, MaxRows: 8})
+	if !strings.Contains(out, "timeline") {
+		t.Error("title missing")
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	// 4 ranks -> 4 rows + title + axis + legend.
+	if len(lines) != 7 {
+		t.Errorf("lines = %d:\n%s", len(lines), out)
+	}
+	for _, l := range lines {
+		if strings.HasPrefix(strings.TrimLeft(l, " "), "rank ") && !strings.ContainsAny(l, "@#%*+=") {
+			t.Errorf("rank row shows no activity: %q", l)
+		}
+	}
+}
+
+func TestTimelineOpFilter(t *testing.T) {
+	log := logFor(t, "ior-hard")
+	reads := Timeline(log, Options{Op: "read"})
+	if !strings.Contains(reads, "reads only") {
+		t.Error("filter not labeled")
+	}
+	if none := Timeline(&darshan.Log{}, Options{}); !strings.Contains(none, "no DXT events") {
+		t.Errorf("empty log: %q", none)
+	}
+}
+
+func TestTimelineBandsManyRanks(t *testing.T) {
+	log := logFor(t, "e2e-baseline") // 1024 ranks
+	out := Timeline(log, Options{Width: 40, MaxRows: 8})
+	lines := strings.Count(out, "\n")
+	if lines > 16 {
+		t.Errorf("banding failed: %d lines for 1024 ranks", lines)
+	}
+	if !strings.Contains(out, "r   0-") {
+		t.Errorf("band labels missing:\n%s", out)
+	}
+}
+
+func TestOffsetMapShowsRank0Dominance(t *testing.T) {
+	log := logFor(t, "e2e-baseline")
+	id := workloads.FileID("/lustre/e2e/3d_32_32_16_32_32_32.nc4")
+	out := OffsetMap(log, id, Options{Width: 40, MaxRows: 8})
+	if !strings.Contains(out, "3d_32_32_16_32_32_32.nc4") {
+		t.Error("file name missing")
+	}
+	// Rank 0's fill sweep covers the whole extent: its band (first row)
+	// must be densely populated.
+	lines := strings.Split(out, "\n")
+	if len(lines) < 3 {
+		t.Fatalf("output too short:\n%s", out)
+	}
+	firstBand := lines[1]
+	dense := 0
+	for _, r := range firstBand {
+		if r != ' ' {
+			dense++
+		}
+	}
+	if dense < 30 {
+		t.Errorf("rank-0 band not dense (%d marks): %q", dense, firstBand)
+	}
+	if none := OffsetMap(log, 12345, Options{}); !strings.Contains(none, "no DXT events") {
+		t.Error("unknown file should render empty message")
+	}
+}
+
+func TestSizeHistogram(t *testing.T) {
+	log := logFor(t, "ior-rnd4k")
+	out := SizeHistogram(log, Options{Width: 30})
+	if !strings.Contains(out, "1K_10K") {
+		t.Error("bucket labels missing")
+	}
+	// All rnd4k accesses are 4 KiB: only the 1K_10K row carries bars.
+	for _, line := range strings.Split(out, "\n") {
+		if strings.Contains(line, "#") && !strings.Contains(line, "1K_10K") {
+			t.Errorf("unexpected bar outside 1K_10K: %q", line)
+		}
+	}
+}
+
+func TestRankSummary(t *testing.T) {
+	log := logFor(t, "e2e-baseline")
+	out := RankSummary(log, Options{MaxRows: 5})
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	// Header x2 + 5 rows + "more ranks" line.
+	if len(lines) != 8 {
+		t.Errorf("lines = %d:\n%s", len(lines), out)
+	}
+	// Rank 0 must be the top row with a dominant share.
+	if !strings.Contains(lines[2], "       0 ") {
+		t.Errorf("rank 0 not first: %q", lines[2])
+	}
+	if !strings.Contains(out, "more ranks") {
+		t.Error("truncation note missing")
+	}
+}
+
+func TestExploreComposite(t *testing.T) {
+	log := logFor(t, "ior-hard")
+	out := Explore(log, Options{Width: 40, MaxRows: 8})
+	for _, want := range []string{"timeline", "offset map", "size distribution", "per-rank"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("composite missing %q", want)
+		}
+	}
+}
+
+func TestGlyphMonotone(t *testing.T) {
+	prev := glyph(0)
+	for v := 0.0; v <= 1.0; v += 0.05 {
+		g := glyph(v)
+		pi := strings.IndexRune(string(intensity), prev)
+		gi := strings.IndexRune(string(intensity), g)
+		if gi < pi {
+			t.Fatalf("glyph not monotone at %v", v)
+		}
+		prev = g
+	}
+	if glyph(-1) != intensity[0] || glyph(2) != intensity[len(intensity)-1] {
+		t.Error("clamping broken")
+	}
+}
+
+func TestOSTLoad(t *testing.T) {
+	log := logFor(t, "ior-easy-1m-shared")
+	out := OSTLoad(log, Options{Width: 30})
+	if !strings.Contains(out, "OST") || !strings.Contains(out, "#") {
+		t.Errorf("OST load chart empty:\n%s", out)
+	}
+	// The file is striped over 4 OSTs: exactly 4 bars.
+	bars := 0
+	for _, line := range strings.Split(out, "\n") {
+		if strings.HasPrefix(line, "OST") {
+			bars++
+		}
+	}
+	if bars != 4 {
+		t.Errorf("bars = %d, want 4 (stripe count)", bars)
+	}
+	if none := OSTLoad(&darshan.Log{}, Options{}); !strings.Contains(none, "no DXT events") {
+		t.Error("empty log message missing")
+	}
+}

@@ -1,0 +1,223 @@
+// Package eval is the experiment harness: it regenerates the paper's
+// evaluation artifacts — Figure 2 (ION vs ground truth on six IO500
+// workloads) and Figure 3 (ION vs Drishti on the OpenPMD and E2E
+// application traces) — and quantifies them with detection matrices:
+// per-issue verdict matches, missed issues, and false positives.
+package eval
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"ion/internal/drishti"
+	"ion/internal/ion"
+	"ion/internal/issue"
+	"ion/internal/llm"
+	"ion/internal/workloads"
+)
+
+// Mismatch records one divergence from ground truth.
+type Mismatch struct {
+	Issue issue.ID
+	Want  issue.Verdict
+	Got   issue.Verdict
+}
+
+// Score grades one tool's output on one workload against ground truth.
+type Score struct {
+	// Expected is the number of ground-truth entries.
+	Expected int
+	// Matched counts exact verdict matches.
+	Matched int
+	// Mismatches lists ground-truth entries with the wrong verdict.
+	Mismatches []Mismatch
+	// FalsePositives lists issues reported as detected (or flagged)
+	// that ground truth does not contain.
+	FalsePositives []issue.ID
+}
+
+// Perfect reports whether the score has no misses and no false alarms.
+func (s Score) Perfect() bool {
+	return s.Matched == s.Expected && len(s.FalsePositives) == 0
+}
+
+// String summarizes the score.
+func (s Score) String() string {
+	return fmt.Sprintf("%d/%d matched, %d false positive(s)", s.Matched, s.Expected, len(s.FalsePositives))
+}
+
+// ScoreION grades an ION report: every ground-truth entry must carry
+// the exact expected verdict, and no unlisted issue may be "detected"
+// (a mitigated note on an unlisted issue is fine — that is precisely
+// ION's nuance).
+func ScoreION(w workloads.Workload, rep *ion.Report) Score {
+	var s Score
+	want := map[issue.ID]issue.Verdict{}
+	for _, e := range w.Truth {
+		want[e.Issue] = e.Want
+	}
+	s.Expected = len(want)
+	for id, exp := range want {
+		got := rep.Verdict(id)
+		if got == exp {
+			s.Matched++
+		} else {
+			s.Mismatches = append(s.Mismatches, Mismatch{Issue: id, Want: exp, Got: got})
+		}
+	}
+	for _, id := range rep.Order {
+		if _, listed := want[id]; !listed && rep.Verdict(id) == issue.VerdictDetected {
+			s.FalsePositives = append(s.FalsePositives, id)
+		}
+	}
+	return s
+}
+
+// ScoreDrishti grades a Drishti report as a binary detector: a
+// ground-truth "detected" issue must be flagged (HIGH/WARN); a
+// "mitigated" issue must NOT be flagged — a trigger tool that cannot
+// express mitigation scores a false alarm there, which is the paper's
+// §2 critique; unlisted issues must not be flagged either.
+func ScoreDrishti(w workloads.Workload, rep *drishti.Report) Score {
+	var s Score
+	want := map[issue.ID]issue.Verdict{}
+	for _, e := range w.Truth {
+		want[e.Issue] = e.Want
+	}
+	s.Expected = len(want)
+	for id, exp := range want {
+		flagged := rep.Flagged(id)
+		switch {
+		case exp == issue.VerdictDetected && flagged:
+			s.Matched++
+		case exp == issue.VerdictMitigated && !flagged:
+			s.Matched++
+		case exp == issue.VerdictDetected && !flagged:
+			s.Mismatches = append(s.Mismatches, Mismatch{Issue: id, Want: exp, Got: issue.VerdictNotDetected})
+		default:
+			s.Mismatches = append(s.Mismatches, Mismatch{Issue: id, Want: exp, Got: issue.VerdictDetected})
+		}
+	}
+	for _, id := range issue.All {
+		if _, listed := want[id]; !listed && rep.Flagged(id) {
+			s.FalsePositives = append(s.FalsePositives, id)
+		}
+	}
+	return s
+}
+
+// Result bundles everything computed for one workload.
+type Result struct {
+	Workload     workloads.Workload
+	IONReport    *ion.Report
+	DrishtiRep   *drishti.Report
+	IONScore     Score
+	DrishtiScore Score
+}
+
+// Runner executes workloads through both tools.
+type Runner struct {
+	Client  llm.Client
+	Drishti drishti.Config
+	// WorkDir is where extractions land; empty uses a temp dir.
+	WorkDir string
+	// SkipSummary speeds up repeated runs.
+	SkipSummary bool
+}
+
+// Run generates the workload's trace and analyzes it with ION and
+// Drishti.
+func (r *Runner) Run(ctx context.Context, w workloads.Workload) (*Result, error) {
+	log, err := w.Generate()
+	if err != nil {
+		return nil, fmt.Errorf("eval: %w", err)
+	}
+	dir := r.WorkDir
+	if dir == "" {
+		dir, err = os.MkdirTemp("", "ion-eval-")
+		if err != nil {
+			return nil, fmt.Errorf("eval: %w", err)
+		}
+		defer os.RemoveAll(dir)
+	}
+	workDir := filepath.Join(dir, w.Name)
+
+	fw, err := ion.New(ion.Config{Client: r.Client, SkipSummary: r.SkipSummary})
+	if err != nil {
+		return nil, err
+	}
+	ionRep, err := fw.AnalyzeLog(ctx, log, w.Title, workDir)
+	if err != nil {
+		return nil, fmt.Errorf("eval: ION on %s: %w", w.Name, err)
+	}
+
+	out, err := reloadExtraction(workDir)
+	if err != nil {
+		return nil, err
+	}
+	cfg := r.Drishti
+	if cfg == (drishti.Config{}) {
+		cfg = drishti.DefaultConfig()
+	}
+	dRep, err := drishti.Analyze(out, cfg)
+	if err != nil {
+		return nil, fmt.Errorf("eval: Drishti on %s: %w", w.Name, err)
+	}
+
+	return &Result{
+		Workload:     w,
+		IONReport:    ionRep,
+		DrishtiRep:   dRep,
+		IONScore:     ScoreION(w, ionRep),
+		DrishtiScore: ScoreDrishti(w, dRep),
+	}, nil
+}
+
+// RunAll executes a set of workloads.
+func (r *Runner) RunAll(ctx context.Context, ws []workloads.Workload) ([]*Result, error) {
+	var out []*Result
+	for _, w := range ws {
+		res, err := r.Run(ctx, w)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, res)
+	}
+	return out, nil
+}
+
+// ionHighlights extracts the detected/mitigated conclusions, trimmed,
+// for figure rendering.
+func ionHighlights(rep *ion.Report) []string {
+	var out []string
+	for _, id := range rep.Order {
+		d := rep.Diagnoses[id]
+		if d == nil || d.Verdict == issue.VerdictNotDetected {
+			continue
+		}
+		out = append(out, fmt.Sprintf("[%s|%s] %s", id, d.Verdict, clip(d.Conclusion, 220)))
+	}
+	return out
+}
+
+// drishtiHighlights extracts the HIGH/WARN messages.
+func drishtiHighlights(rep *drishti.Report) []string {
+	var out []string
+	for _, in := range rep.Insights {
+		if in.Level == drishti.LevelHigh || in.Level == drishti.LevelWarn {
+			out = append(out, fmt.Sprintf("[%s|%s] %s", in.Code, in.Level, clip(in.Message, 180)))
+		}
+	}
+	return out
+}
+
+func clip(s string, n int) string {
+	s = strings.Join(strings.Fields(s), " ")
+	if len(s) <= n {
+		return s
+	}
+	return s[:n] + "..."
+}

@@ -1,0 +1,80 @@
+package eval
+
+import (
+	"context"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// The figure outputs are fully deterministic (simulated expert, seeded
+// workloads), so the complete rendered text is kept under testdata/ and
+// compared byte-for-byte: any drift in workloads, analyses, planner
+// policy, or rendering shows up as a golden diff. Regenerate with:
+//
+//	go test ./internal/eval -run TestGolden -update
+var update = flag.Bool("update", false, "rewrite golden files")
+
+func checkGolden(t *testing.T, name, got string) {
+	t.Helper()
+	path := filepath.Join("testdata", name)
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("golden file missing (run with -update): %v", err)
+	}
+	if string(want) != got {
+		t.Errorf("%s drifted from golden output.\nRegenerate with -update after verifying the change is intended.\n--- got (first 2000 bytes) ---\n%.2000s",
+			name, got)
+	}
+}
+
+func TestGoldenFigure2(t *testing.T) {
+	text, _, err := runner().Figure2(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "figure2.txt", text)
+}
+
+func TestGoldenFigure3(t *testing.T) {
+	text, _, err := runner().Figure3(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "figure3.txt", text)
+}
+
+func TestGoldenPitfall(t *testing.T) {
+	text, _, err := runner().ThresholdPitfall(context.Background(), []int64{256 << 10, 1 << 20, 4 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "pitfall.txt", text)
+}
+
+func TestGoldenTransferSweep(t *testing.T) {
+	text, _, err := runner().TransferSweep(context.Background(),
+		[]int64{2 << 10, 64 << 10, 256 << 10, 1 << 20, 4 << 20, 8 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "transfer_sweep.txt", text)
+}
+
+func TestGoldenScaleSweep(t *testing.T) {
+	text, _, err := runner().ScaleSweep(context.Background(), []int{2, 4, 8, 16, 32})
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "scale_sweep.txt", text)
+}

@@ -1,0 +1,184 @@
+package expertsim
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"ion/internal/issue"
+)
+
+// chat answers an interactive follow-up question by retrieving the most
+// relevant sections of the diagnosis context (the expert's memory of
+// its own analysis) and composing an answer around them — the
+// lightweight analogue of the paper's conversational interface.
+func chat(content string) (string, error) {
+	ctxStart := strings.Index(content, "## Diagnosis context")
+	qStart := strings.Index(content, "## Question")
+	if ctxStart < 0 || qStart < 0 || qStart < ctxStart {
+		return "", fmt.Errorf("expertsim: chat prompt lacks context/question sections")
+	}
+	context := strings.TrimSpace(content[ctxStart+len("## Diagnosis context") : qStart])
+	question := strings.TrimSpace(content[qStart+len("## Question"):])
+	if question == "" {
+		return "", fmt.Errorf("expertsim: empty question")
+	}
+
+	sections := splitContextSections(context)
+	// Anaphoric follow-ups ("why?", "tell me more", "and how do I fix
+	// that?") carry no topic words of their own: resolve them against
+	// the running conversation, whose earlier turns precede the final
+	// user message in the prompt.
+	retrievalKey := question
+	if scoreSections(sections, question) == nil {
+		if prior := priorConversation(content, qStart); prior != "" {
+			retrievalKey = prior + " " + question
+		}
+	}
+	scored := scoreSections(sections, retrievalKey)
+
+	wantsFix := containsAny(strings.ToLower(question),
+		"fix", "improve", "optimiz", "solve", "resolve", "recommend", "what should", "how do i", "how can i")
+
+	var b strings.Builder
+	if len(scored) == 0 {
+		b.WriteString("Based on the diagnosis I produced for this trace:\n\n")
+		b.WriteString(firstSentences(context, 3))
+		b.WriteString("\n\nCould you point me at a specific issue or number from the report? I can walk through the exact analysis steps behind it.")
+		return b.String(), nil
+	}
+
+	top := scored[0]
+	fmt.Fprintf(&b, "That question touches the **%s** analysis. ", top.title)
+	if wantsFix {
+		if rec, ok := Recommendations[top.id]; ok {
+			fmt.Fprintf(&b, "The most effective remedy here: %s\n\n", rec)
+		}
+		b.WriteString("For context, this is what the analysis found:\n\n")
+	} else {
+		b.WriteString("Here is what the analysis established:\n\n")
+	}
+	b.WriteString(indent(strings.TrimSpace(top.body)))
+	b.WriteString("\n")
+	if len(scored) > 1 && scored[1].score > 0 {
+		fmt.Fprintf(&b, "\nRelated: the **%s** analysis is also relevant — %s\n",
+			scored[1].title, firstSentences(scored[1].body, 1))
+	}
+	if !wantsFix {
+		if rec, ok := Recommendations[top.id]; ok {
+			fmt.Fprintf(&b, "\nIf you want to act on it: %s\n", rec)
+		}
+	}
+	return b.String(), nil
+}
+
+// ctxSection is one issue block of the report context.
+type ctxSection struct {
+	id    issue.ID
+	title string
+	body  string
+	score int
+}
+
+// splitContextSections parses "[id] Title" headed blocks from the
+// report context produced by ion.Report.ContextText.
+func splitContextSections(context string) []ctxSection {
+	lines := strings.Split(context, "\n")
+	var sections []ctxSection
+	var cur *ctxSection
+	for _, line := range lines {
+		trimmed := strings.TrimSpace(line)
+		if strings.HasPrefix(trimmed, "[") {
+			if end := strings.Index(trimmed, "]"); end > 1 {
+				id := issue.ID(trimmed[1:end])
+				if issue.Valid(id) {
+					if cur != nil {
+						sections = append(sections, *cur)
+					}
+					cur = &ctxSection{id: id, title: strings.TrimSpace(trimmed[end+1:])}
+					continue
+				}
+			}
+		}
+		if cur != nil {
+			cur.body += line + "\n"
+		}
+	}
+	if cur != nil {
+		sections = append(sections, *cur)
+	}
+	return sections
+}
+
+// issueVocabulary maps query terms to issues for retrieval.
+var issueVocabulary = map[issue.ID][]string{
+	issue.SmallIO:       {"small", "tiny", "size", "aggregat", "rpc", "batch", "request size"},
+	issue.MisalignedIO:  {"align", "misalign", "boundary", "stripe boundary", "offset"},
+	issue.RandomAccess:  {"random", "strided", "stride", "seek", "contiguous", "sequential", "pattern", "jump"},
+	issue.SharedFile:    {"shared", "share", "lock", "conflict", "contention", "stripe", "overlap", "ost"},
+	issue.LoadImbalance: {"imbalance", "balance", "rank 0", "load", "skew", "uneven", "bytes per rank", "fill value", "work"},
+	issue.Metadata:      {"metadata", "open", "stat", "mds", "create", "close", "files"},
+	issue.Interface:     {"posix", "mpi-io", "mpiio", "interface", "library", "api"},
+	issue.CollectiveIO:  {"collective", "independent", "two-phase", "romio", "hdf5 bug", "cb_write"},
+	issue.TimeImbalance: {"slow", "time", "straggler", "variance", "fastest", "slowest", "wait"},
+}
+
+// scoreSections ranks sections by keyword overlap with the question.
+func scoreSections(sections []ctxSection, question string) []ctxSection {
+	q := strings.ToLower(question)
+	var out []ctxSection
+	for _, s := range sections {
+		score := 0
+		for _, term := range issueVocabulary[s.id] {
+			if strings.Contains(q, term) {
+				score += 2
+			}
+		}
+		for _, w := range strings.Fields(strings.ToLower(s.title)) {
+			if len(w) > 3 && strings.Contains(q, w) {
+				score++
+			}
+		}
+		// Detected issues win tie-breaks: they are what users ask about.
+		if strings.Contains(s.body, "VERDICT: detected") {
+			score++
+		}
+		if score > 0 {
+			s.score = score
+			out = append(out, s)
+		}
+	}
+	sort.SliceStable(out, func(i, j int) bool { return out[i].score > out[j].score })
+	return out
+}
+
+// priorConversation extracts earlier turns of the chat (everything in
+// the prompt before the diagnosis context block) to resolve anaphora.
+func priorConversation(content string, qStart int) string {
+	head := content[:qStart]
+	if i := strings.Index(head, "# Interactive question"); i > 0 {
+		return strings.TrimSpace(head[:i])
+	}
+	return ""
+}
+
+func containsAny(s string, subs ...string) bool {
+	for _, sub := range subs {
+		if strings.Contains(s, sub) {
+			return true
+		}
+	}
+	return false
+}
+
+func indent(s string) string {
+	lines := strings.Split(s, "\n")
+	for i, l := range lines {
+		if strings.TrimSpace(l) != "" {
+			lines[i] = "> " + l
+		} else {
+			lines[i] = ">"
+		}
+	}
+	return strings.Join(lines, "\n")
+}

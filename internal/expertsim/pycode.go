@@ -1,0 +1,201 @@
+package expertsim
+
+import (
+	"fmt"
+	"strings"
+
+	"ion/internal/analysis"
+)
+
+// The code listings below are what the simulated expert "executed":
+// faithful pandas equivalents of the Go analyses in internal/analysis.
+// Emitting them keeps ION's traceability property — the user can read
+// exactly how each number in the conclusion was computed — matching the
+// paper's Assistants-API code-interpreter output.
+//
+// Templates use @N@ placeholders instead of fmt verbs because the
+// Python bodies are full of literal '%' characters (f-string percent
+// formats) that would fight printf-style escaping.
+
+// sub replaces @0@, @1@, ... with the stringified arguments.
+func sub(template string, args ...interface{}) string {
+	out := template
+	for i, a := range args {
+		out = strings.ReplaceAll(out, fmt.Sprintf("@%d@", i), fmt.Sprint(a))
+	}
+	return out
+}
+
+func pySmallIO(r analysis.SmallIOReport) string {
+	return sub(`import pandas as pd
+
+dxt = pd.read_csv("DXT.csv")
+STRIPE, RPC = @0@, @1@
+
+total = len(dxt)
+tiny  = (dxt.length < STRIPE).sum()
+small = (dxt.length < RPC).sum()
+small_bytes = dxt.loc[dxt.length < RPC, "length"].sum()
+
+# aggregation potential: small ops consecutive within each
+# (file, rank, op) stream
+dxt = dxt.sort_values(["file_name", "rank", "op", "start"])
+grp = dxt.groupby(["file_name", "rank", "op"])
+prev_end = grp["offset"].shift() + grp["length"].shift()
+consec_small = ((dxt.offset == prev_end) & (dxt.length < RPC)).sum()
+
+print(f"tiny {tiny}/{total} = {tiny/total:.2%}")
+print(f"small {small}/{total} = {small/total:.2%}")
+print(f"small-op volume share = {small_bytes/dxt.length.sum():.2%}")
+print(f"aggregatable (consecutive) small ops = {consec_small}")
+# executed -> tiny=@2@ small=@3@ consecutive_small=@4@`,
+		r.StripeSize, r.RPCSize, r.TinyOps, r.SmallOps, r.ConsecSmall)
+}
+
+func pyAlignment(r analysis.AlignmentReport) string {
+	return sub(`import pandas as pd
+
+posix = pd.read_csv("POSIX.csv")
+ops = (posix.POSIX_READS + posix.POSIX_WRITES).sum()
+mis = posix.POSIX_FILE_NOT_ALIGNED.sum()
+mem = posix.POSIX_MEM_NOT_ALIGNED.sum()
+align = posix.POSIX_FILE_ALIGNMENT.max()
+worst = posix.loc[posix.POSIX_FILE_NOT_ALIGNED.idxmax(), "file_name"]
+
+print(f"file misalignment: {mis}/{ops} = {mis/ops:.2%} (boundary {align} B)")
+print(f"memory misalignment: {mem}/{ops} = {mem/ops:.2%}")
+print("worst file:", worst)
+# executed -> mis=@0@ ops=@1@ align=@2@`, r.FileMis, r.TotalOps, r.FileAlignment)
+}
+
+func pyPattern(r analysis.PatternReport) string {
+	return sub(`import pandas as pd
+
+dxt = pd.read_csv("DXT.csv").sort_values(["file_name", "rank", "op", "start"])
+grp = dxt.groupby(["file_name", "rank", "op"])
+prev_end   = grp["offset"].shift() + grp["length"].shift()
+prev_start = grp["offset"].shift()
+prev_len   = grp["length"].shift()
+
+classified = prev_end.notna()
+consec   = (dxt.offset == prev_end) & classified
+repeat   = (dxt.offset == prev_start) & (dxt.length == prev_len) & classified & ~consec
+forward  = (dxt.offset > prev_end) & classified
+backward = (dxt.offset < prev_end) & classified & ~repeat
+
+noncontig = forward | backward
+print(f"consecutive {consec.sum()}, repeats {repeat.sum()}, "
+      f"forward {forward.sum()}, backward {backward.sum()}")
+print(f"non-contiguous share = {noncontig.sum()/classified.sum():.2%}")
+print(f"non-contiguous volume = "
+      f"{dxt.loc[noncontig,'length'].sum()/dxt.length.sum():.2%}")
+# executed -> consec=@0@ forward=@1@ backward=@2@ repeats=@3@`,
+		r.Consecutive, r.ForwardJumps, r.BackwardJumps, r.Repeats)
+}
+
+func pySharedFile(r analysis.SharedFileReport) string {
+	return sub(`import pandas as pd
+
+dxt = pd.read_csv("DXT.csv")
+STRIPE = @0@
+
+ranks_per_file = dxt.groupby("file_name")["rank"].nunique()
+print("shared files:", (ranks_per_file > 1).sum(),
+      "max ranks:", ranks_per_file.max())
+
+dxt["first_stripe"] = dxt.offset // STRIPE
+dxt["last_stripe"]  = (dxt.offset + dxt.length - 1) // STRIPE
+w = dxt[dxt.op == "write"]
+per_stripe = {}
+for _, e in w.iterrows():
+    for s in range(e.first_stripe, e.last_stripe + 1):
+        per_stripe.setdefault((e.file_name, s), set()).add(e["rank"])
+conflicts = {k for k, v in per_stripe.items() if len(v) > 1}
+print("conflict stripes:", len(conflicts))
+# (temporal-overlap pass over conflict stripes follows the same loop)
+# executed -> shared=@1@ conflict_stripes=@2@ overlap_events=@3@`,
+		r.StripeSize, r.SharedFiles, r.ConflictStripes, r.OverlapEvents)
+}
+
+func pyImbalance(r analysis.ImbalanceReport) string {
+	return sub(`import pandas as pd
+
+dxt = pd.read_csv("DXT.csv")
+nprocs = pd.read_csv("JOB.csv").nprocs[0]
+per_rank = dxt.groupby("rank").agg(bytes=("length", "sum"),
+                                   ops=("length", "count"))
+per_rank = per_rank.sort_values("bytes", ascending=False)
+total = per_rank.bytes.sum()
+
+top = per_rank.iloc[0]
+print(f"top rank {per_rank.index[0]}: {top.bytes/total:.2%} of bytes")
+cum = per_rank.bytes.cumsum()
+k95 = int((cum < 0.95 * total).sum()) + 1
+print(f"ranks covering 95% of bytes: {k95}")
+imb = (per_rank.bytes.max() - total/nprocs) / per_rank.bytes.max()
+print(f"imbalance (max-avg)/max = {imb:.2%}")
+# executed -> top_rank=@0@ top_share=@1@ subset_k=@2@`,
+		r.TopRank, analysis.Pct(r.TopByteShare), r.SubsetK)
+}
+
+func pyMetadata(r analysis.MetadataReport) string {
+	return sub(`import pandas as pd
+
+posix = pd.read_csv("POSIX.csv")
+meta = (posix.POSIX_OPENS + posix.POSIX_STATS
+        + posix.POSIX_SEEKS + posix.POSIX_FSYNCS).sum()
+data = (posix.POSIX_READS + posix.POSIX_WRITES).sum()
+meta_t = posix.POSIX_F_META_TIME.sum()
+io_t = meta_t + posix.POSIX_F_READ_TIME.sum() + posix.POSIX_F_WRITE_TIME.sum()
+
+print(f"meta ops {meta} vs data ops {data} (ratio {meta/data:.2f})")
+print(f"meta time share = {meta_t/io_t:.2%}")
+print("distinct files:", posix.file_name.nunique())
+# executed -> meta=@0@ data=@1@ files=@2@`, r.MetaOps, r.DataOps, r.DistinctFiles)
+}
+
+func pyInterface(r analysis.InterfaceReport) string {
+	return sub(`import pandas as pd, os
+
+nprocs = pd.read_csv("JOB.csv").nprocs[0]
+posix_ops = 0
+if os.path.exists("POSIX.csv"):
+    posix = pd.read_csv("POSIX.csv")
+    posix_ops = (posix.POSIX_READS + posix.POSIX_WRITES).sum()
+mpiio_ops = 0
+if os.path.exists("MPIIO.csv"):
+    m = pd.read_csv("MPIIO.csv")
+    mpiio_ops = (m.MPIIO_INDEP_READS + m.MPIIO_INDEP_WRITES
+                 + m.MPIIO_COLL_READS + m.MPIIO_COLL_WRITES).sum()
+
+print(f"nprocs={nprocs} posix_data_ops={posix_ops} mpiio_data_ops={mpiio_ops}")
+# executed -> nprocs=@0@ posix=@1@ mpiio=@2@`, r.NProcs, r.PosixDataOps, r.MpiioDataOps)
+}
+
+func pyCollective(r analysis.CollectiveReport) string {
+	return sub(`import pandas as pd
+
+m = pd.read_csv("MPIIO.csv")
+coll  = (m.MPIIO_COLL_READS + m.MPIIO_COLL_WRITES).sum()
+indep = (m.MPIIO_INDEP_READS + m.MPIIO_INDEP_WRITES).sum()
+small_bins = [c for c in m.columns
+              if "SIZE_" in c and c.endswith(("_0_100", "_100_1K",
+                                              "_1K_10K", "_10K_100K",
+                                              "_100K_1M"))]
+small = m[small_bins].to_numpy().sum()
+
+print(f"collective {coll} vs independent {indep}")
+print(f"sub-stripe MPI-IO ops: {small}")
+print("collective opens:", m.MPIIO_COLL_OPENS.sum())
+# executed -> coll=@0@ indep=@1@ small=@2@`, r.CollOps, r.IndepOps, r.SmallIndep)
+}
+
+func pyTime(r analysis.TimeReport) string {
+	return sub(`import pandas as pd
+
+dxt = pd.read_csv("DXT.csv")
+busy = (dxt["end"] - dxt["start"]).groupby(dxt["rank"]).sum()
+print(f"slowest rank {busy.idxmax()}: {busy.max():.4f}s "
+      f"(mean {busy.mean():.4f}s, ratio {busy.max()/busy.mean():.1f}x)")
+# executed -> slowest_rank=@0@ ratio=@1@`, r.SlowestRank, fmt.Sprintf("%.1f", r.Ratio))
+}

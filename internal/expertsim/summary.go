@@ -1,0 +1,144 @@
+package expertsim
+
+import (
+	"fmt"
+	"regexp"
+	"strings"
+
+	"ion/internal/issue"
+	"ion/internal/prompt"
+)
+
+// Recommendations holds the expert's actionable advice per issue, used
+// in summaries and interactive answers.
+var Recommendations = map[issue.ID]string{
+	issue.SmallIO:       "Batch small requests into stripe-sized transfers, or route them through MPI-IO collective buffering / HDF5 chunk caching so the client aggregates before the wire.",
+	issue.MisalignedIO:  "Align record sizes and offsets to the Lustre stripe unit (e.g. H5Pset_alignment, MPI-IO striping hints, or padding records to the stripe size).",
+	issue.RandomAccess:  "Restructure toward contiguous per-rank regions, sort/merge accesses before issuing them, or use collective I/O so the library converts scattered requests into contiguous transfers.",
+	issue.SharedFile:    "Segment ranks onto stripe-aligned regions, raise the file's stripe count to spread load, or funnel writes through MPI-IO collective buffering to avoid extent-lock ping-pong.",
+	issue.LoadImbalance: "Distribute the I/O across ranks (e.g. disable netCDF/HDF5 fill values, avoid master-writes-all patterns) or use collective I/O with explicit aggregators.",
+	issue.Metadata:      "Keep file handles open across iterations, batch stat calls, and pack many small objects into shared container files to take load off the metadata server.",
+	issue.Interface:     "Adopt MPI-IO (directly or through HDF5/PnetCDF) so multi-rank access benefits from collective buffering, data sieving, and tunable hints.",
+	issue.CollectiveIO:  "Force collective mode (e.g. romio_cb_write=enable) or upgrade the I/O library so collective calls actually aggregate instead of degrading to independent accesses.",
+	issue.TimeImbalance: "Identify the straggler's cause (contention vs workload skew) and rebalance or stagger the offending ranks' I/O.",
+}
+
+// diagBlock is one parsed per-issue conclusion in a summary prompt.
+type diagBlock struct {
+	ID      issue.ID
+	Title   string
+	Body    string
+	Verdict issue.Verdict
+}
+
+var blockRe = regexp.MustCompile(`(?m)^### (.+) \[([a-z-]+)\]\s*$`)
+var verdictRe = regexp.MustCompile(`(?m)^` + prompt.VerdictPrefix + `\s*(detected|mitigated|not-detected)\s*$`)
+
+// parseBlocks extracts the per-issue blocks between the "Diagnoses to
+// summarize" header and the task section.
+func parseBlocks(content string) []diagBlock {
+	start := strings.Index(content, "## Diagnoses to summarize")
+	if start < 0 {
+		return nil
+	}
+	region := content[start:]
+	if end := strings.Index(region, "## Task"); end >= 0 {
+		region = region[:end]
+	}
+	locs := blockRe.FindAllStringSubmatchIndex(region, -1)
+	var blocks []diagBlock
+	for i, loc := range locs {
+		title := region[loc[2]:loc[3]]
+		id := issue.ID(region[loc[4]:loc[5]])
+		bodyStart := loc[1]
+		bodyEnd := len(region)
+		if i+1 < len(locs) {
+			bodyEnd = locs[i+1][0]
+		}
+		body := strings.TrimSpace(region[bodyStart:bodyEnd])
+		verdict := issue.VerdictNotDetected
+		if m := verdictRe.FindStringSubmatch(body); m != nil {
+			verdict = issue.Verdict(m[1])
+			body = strings.TrimSpace(verdictRe.ReplaceAllString(body, ""))
+		}
+		blocks = append(blocks, diagBlock{ID: id, Title: title, Body: body, Verdict: verdict})
+	}
+	return blocks
+}
+
+// summarize composes the global diagnosis summary from the per-issue
+// conclusions embedded in the prompt.
+func summarize(content string) (string, error) {
+	blocks := parseBlocks(content)
+	if len(blocks) == 0 {
+		return "", fmt.Errorf("expertsim: summary prompt contains no diagnosis blocks")
+	}
+	var detected, mitigated []diagBlock
+	for _, b := range blocks {
+		switch b.Verdict {
+		case issue.VerdictDetected:
+			detected = append(detected, b)
+		case issue.VerdictMitigated:
+			mitigated = append(mitigated, b)
+		}
+	}
+
+	var s strings.Builder
+	s.WriteString("## Global I/O Diagnosis Summary\n\n")
+	switch {
+	case len(detected) == 0 && len(mitigated) == 0:
+		s.WriteString("Overall, this run's I/O is healthy: none of the analyzed issue classes shows a harmful signature.\n")
+	case len(detected) == 0:
+		s.WriteString("Overall, this run's I/O is in good shape: no issue requires action, though a few patterns are worth knowing about (see below).\n")
+	case len(detected) == 1:
+		fmt.Fprintf(&s, "Overall, this run's I/O suffers from one significant issue: %s.\n", strings.ToLower(detected[0].Title))
+	default:
+		var names []string
+		for _, b := range detected {
+			names = append(names, strings.ToLower(b.Title))
+		}
+		fmt.Fprintf(&s, "Overall, this run's I/O suffers from %d significant issues: %s.\n",
+			len(detected), strings.Join(names, "; "))
+	}
+
+	if len(detected) > 0 {
+		s.WriteString("\n### Issues requiring attention\n\n")
+		for i, b := range detected {
+			fmt.Fprintf(&s, "%d. **%s** — %s\n", i+1, b.Title, firstSentences(b.Body, 2))
+		}
+	}
+	if len(mitigated) > 0 {
+		s.WriteString("\n### Patterns present but benign\n\n")
+		for _, b := range mitigated {
+			fmt.Fprintf(&s, "- **%s** — %s\n", b.Title, firstSentences(b.Body, 1))
+		}
+	}
+	if len(detected) > 0 {
+		s.WriteString("\n### Recommended next steps\n\n")
+		for i, b := range detected {
+			if rec, ok := Recommendations[b.ID]; ok {
+				fmt.Fprintf(&s, "%d. %s\n", i+1, rec)
+			}
+		}
+	}
+	return s.String(), nil
+}
+
+// firstSentences returns the first n sentences of a text.
+func firstSentences(text string, n int) string {
+	text = strings.Join(strings.Fields(text), " ")
+	count := 0
+	for i := 0; i < len(text); i++ {
+		if text[i] == '.' || text[i] == ';' {
+			// Skip decimal points and common abbreviations.
+			if text[i] == '.' && i+1 < len(text) && text[i+1] != ' ' {
+				continue
+			}
+			count++
+			if count >= n {
+				return text[:i+1]
+			}
+		}
+	}
+	return text
+}

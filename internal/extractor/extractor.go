@@ -1,0 +1,267 @@
+// Package extractor implements the ION Extractor: it unpacks a Darshan
+// log and reshapes each module's counter records into CSV files the
+// Analyzer's prompts reference — POSIX.csv, MPIIO.csv, STDIO.csv,
+// LUSTRE.csv, and DXT.csv — mirroring the paper's design of running
+// darshan-parser / darshan-dxt-parser and formatting one CSV per
+// module.
+package extractor
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+
+	"ion/internal/darshan"
+	"ion/internal/table"
+)
+
+// Module table names as written to disk (without the .csv suffix).
+const (
+	TablePOSIX  = "POSIX"
+	TableMPIIO  = "MPIIO"
+	TableSTDIO  = "STDIO"
+	TableLustre = "LUSTRE"
+	TableDXT    = "DXT"
+	TableJob    = "JOB"
+)
+
+// Fixed leading columns of every module table.
+var keyCols = []string{"file_id", "file_name", "rank"}
+
+// DXT table columns.
+var dxtCols = []string{
+	"file_id", "file_name", "module", "rank", "op",
+	"segment", "offset", "length", "start", "end", "osts",
+}
+
+// Job table columns (a single-row table with header facts).
+var jobCols = []string{
+	"exe", "nprocs", "run_time", "start_time", "end_time", "jobid", "uid",
+}
+
+// Output is the result of an extraction: the per-module tables, plus
+// the paths they were written to when a directory was given.
+type Output struct {
+	// Tables maps table name (e.g. "POSIX") to its contents.
+	Tables map[string]*table.Table
+	// Paths maps table name to the CSV path on disk; empty when the
+	// extraction was in-memory only.
+	Paths map[string]string
+	// Header echoes the log's job-level metadata.
+	Header darshan.Header
+}
+
+// Table returns the named table or nil.
+func (o *Output) Table(name string) *table.Table { return o.Tables[name] }
+
+// ModuleNames returns the extracted table names in canonical order.
+func (o *Output) ModuleNames() []string {
+	canon := []string{TablePOSIX, TableMPIIO, TableSTDIO, TableLustre, TableDXT, TableJob}
+	var out []string
+	for _, n := range canon {
+		if _, ok := o.Tables[n]; ok {
+			out = append(out, n)
+		}
+	}
+	return out
+}
+
+// Extract converts a Darshan log into module CSV tables in memory.
+func Extract(log *darshan.Log) (*Output, error) {
+	out := &Output{
+		Tables: map[string]*table.Table{},
+		Paths:  map[string]string{},
+		Header: log.Header,
+	}
+	for _, spec := range []struct {
+		module string
+		name   string
+	}{
+		{darshan.ModPOSIX, TablePOSIX},
+		{darshan.ModMPIIO, TableMPIIO},
+		{darshan.ModSTDIO, TableSTDIO},
+		{darshan.ModLustre, TableLustre},
+	} {
+		if !log.HasModule(spec.module) {
+			continue
+		}
+		t, err := moduleTable(log, spec.module, spec.name)
+		if err != nil {
+			return nil, err
+		}
+		out.Tables[spec.name] = t
+	}
+	if len(log.DXT) > 0 {
+		t, err := dxtTable(log)
+		if err != nil {
+			return nil, err
+		}
+		out.Tables[TableDXT] = t
+	}
+	job := table.New(TableJob, jobCols)
+	h := log.Header
+	if err := job.Append([]string{
+		h.Exe,
+		strconv.Itoa(h.NProcs),
+		formatFloat(h.RunTime),
+		strconv.FormatInt(h.StartTime, 10),
+		strconv.FormatInt(h.EndTime, 10),
+		strconv.FormatInt(h.JobID, 10),
+		strconv.Itoa(h.UID),
+	}); err != nil {
+		return nil, fmt.Errorf("extractor: job table: %w", err)
+	}
+	out.Tables[TableJob] = job
+	return out, nil
+}
+
+// ExtractToDir extracts the log and writes each table as <dir>/<name>.csv.
+func ExtractToDir(log *darshan.Log, dir string) (*Output, error) {
+	out, err := Extract(log)
+	if err != nil {
+		return nil, err
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("extractor: %w", err)
+	}
+	for name, t := range out.Tables {
+		path := filepath.Join(dir, name+".csv")
+		if err := t.WriteFile(path); err != nil {
+			return nil, fmt.Errorf("extractor: %w", err)
+		}
+		out.Paths[name] = path
+	}
+	return out, nil
+}
+
+// ExtractFile loads a Darshan log file (binary container or parser
+// text) and extracts it to dir.
+func ExtractFile(logPath, dir string) (*Output, error) {
+	log, err := darshan.Load(logPath)
+	if err != nil {
+		return nil, fmt.Errorf("extractor: loading %s: %w", logPath, err)
+	}
+	return ExtractToDir(log, dir)
+}
+
+// LoadDir reads previously extracted CSVs back from a directory.
+func LoadDir(dir string) (*Output, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("extractor: %w", err)
+	}
+	out := &Output{Tables: map[string]*table.Table{}, Paths: map[string]string{}}
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".csv") {
+			continue
+		}
+		name := strings.TrimSuffix(e.Name(), ".csv")
+		path := filepath.Join(dir, e.Name())
+		t, err := table.ReadFile(path)
+		if err != nil {
+			return nil, fmt.Errorf("extractor: %w", err)
+		}
+		t.Name = name
+		out.Tables[name] = t
+		out.Paths[name] = path
+	}
+	if len(out.Tables) == 0 {
+		return nil, fmt.Errorf("extractor: no CSV tables found in %s", dir)
+	}
+	if job, ok := out.Tables[TableJob]; ok && job.NumRows() > 0 {
+		out.Header.Exe, _ = job.Value(0, "exe")
+		if v, err := job.Int(0, "nprocs"); err == nil {
+			out.Header.NProcs = int(v)
+		}
+		if v, err := job.Float(0, "run_time"); err == nil {
+			out.Header.RunTime = v
+		}
+	}
+	return out, nil
+}
+
+// moduleTable flattens one module's records: fixed key columns followed
+// by every canonical counter, float counters, and (for Lustre) the
+// per-stripe OST id list collapsed into one "OST_IDS" column.
+func moduleTable(log *darshan.Log, module, name string) (*table.Table, error) {
+	cols := append([]string{}, keyCols...)
+	counters := darshan.CountersFor(module)
+	fcounters := darshan.FCountersFor(module)
+	cols = append(cols, counters...)
+	if module == darshan.ModLustre {
+		cols = append(cols, "OST_IDS")
+	}
+	cols = append(cols, fcounters...)
+	t := table.New(name, cols)
+
+	recs := append([]*darshan.Record(nil), log.Modules[module].Records...)
+	sort.SliceStable(recs, func(i, j int) bool {
+		if recs[i].FileID != recs[j].FileID {
+			return recs[i].FileID < recs[j].FileID
+		}
+		return recs[i].Rank < recs[j].Rank
+	})
+	for _, r := range recs {
+		row := make([]string, 0, len(cols))
+		row = append(row,
+			strconv.FormatUint(r.FileID, 10),
+			log.Name(r.FileID),
+			strconv.FormatInt(r.Rank, 10),
+		)
+		for _, c := range counters {
+			row = append(row, strconv.FormatInt(r.Counters[c], 10))
+		}
+		if module == darshan.ModLustre {
+			width := r.Counters[darshan.CLustreStripeWidth]
+			ids := make([]string, 0, width)
+			for k := int64(0); k < width; k++ {
+				ids = append(ids, strconv.FormatInt(r.Counters[fmt.Sprintf("LUSTRE_OST_ID_%d", k)], 10))
+			}
+			row = append(row, strings.Join(ids, ";"))
+		}
+		for _, c := range fcounters {
+			row = append(row, formatFloat(r.FCounters[c]))
+		}
+		if err := t.Append(row); err != nil {
+			return nil, fmt.Errorf("extractor: %w", err)
+		}
+	}
+	return t, nil
+}
+
+func dxtTable(log *darshan.Log) (*table.Table, error) {
+	t := table.New(TableDXT, dxtCols)
+	for _, tr := range log.DXT {
+		name := log.Name(tr.FileID)
+		for _, ev := range tr.Events {
+			osts := make([]string, 0, len(ev.OSTs))
+			for _, o := range ev.OSTs {
+				osts = append(osts, strconv.Itoa(o))
+			}
+			row := []string{
+				strconv.FormatUint(tr.FileID, 10),
+				name,
+				ev.Module,
+				strconv.FormatInt(ev.Rank, 10),
+				string(ev.Op),
+				strconv.FormatInt(ev.Segment, 10),
+				strconv.FormatInt(ev.Offset, 10),
+				strconv.FormatInt(ev.Length, 10),
+				formatFloat(ev.Start),
+				formatFloat(ev.End),
+				strings.Join(osts, ";"),
+			}
+			if err := t.Append(row); err != nil {
+				return nil, fmt.Errorf("extractor: %w", err)
+			}
+		}
+	}
+	return t, nil
+}
+
+func formatFloat(v float64) string {
+	return strconv.FormatFloat(v, 'f', -1, 64)
+}

@@ -1,0 +1,54 @@
+package ion
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+
+	"ion/internal/issue"
+)
+
+// reportFile is the on-disk envelope for a serialized report; the
+// version field guards against silently loading incompatible files.
+type reportFile struct {
+	Version int     `json:"version"`
+	Report  *Report `json:"report"`
+}
+
+const reportFileVersion = 1
+
+// SaveJSON writes the report to path as versioned JSON, so a diagnosis
+// can be archived, diffed later, or reopened for an interactive session
+// without re-running the analysis.
+func (r *Report) SaveJSON(path string) error {
+	data, err := json.MarshalIndent(reportFile{Version: reportFileVersion, Report: r}, "", "  ")
+	if err != nil {
+		return fmt.Errorf("ion: marshaling report: %w", err)
+	}
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		return fmt.Errorf("ion: saving report: %w", err)
+	}
+	return nil
+}
+
+// LoadJSON reads a report saved by SaveJSON.
+func LoadJSON(path string) (*Report, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("ion: loading report: %w", err)
+	}
+	var rf reportFile
+	if err := json.Unmarshal(data, &rf); err != nil {
+		return nil, fmt.Errorf("ion: parsing report %s: %w", path, err)
+	}
+	if rf.Version != reportFileVersion {
+		return nil, fmt.Errorf("ion: report %s has version %d, want %d", path, rf.Version, reportFileVersion)
+	}
+	if rf.Report == nil {
+		return nil, fmt.Errorf("ion: report %s is empty", path)
+	}
+	if rf.Report.Diagnoses == nil {
+		rf.Report.Diagnoses = map[issue.ID]*IssueDiagnosis{}
+	}
+	return rf.Report, nil
+}

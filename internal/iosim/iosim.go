@@ -1,0 +1,559 @@
+// Package iosim is a discrete-event simulator of a Lustre-like parallel
+// file system. It executes per-rank streams of I/O operations against a
+// model with object storage targets (OSTs), file striping, bulk-RPC
+// aggregation of consecutive accesses, extent locks on shared-file
+// stripes, and a metadata server — and assigns each operation a start
+// and end timestamp.
+//
+// The simulator stands in for the HPC testbed that produced the paper's
+// Darshan traces: it makes injected pathologies (small random I/O,
+// shared-file lock contention, rank load imbalance, metadata storms)
+// manifest in realistic per-operation timings, which the recorder then
+// folds into Darshan counters and DXT events.
+package iosim
+
+import (
+	"container/heap"
+	"fmt"
+	"sort"
+)
+
+// rankClock pairs a rank with its simulated clock for the event loop.
+type rankClock struct {
+	rank  int
+	clock float64
+}
+
+// rankHeap is a min-heap of rank clocks ordered by (clock, rank).
+type rankHeap []rankClock
+
+func (h rankHeap) Len() int { return len(h) }
+func (h rankHeap) Less(i, j int) bool {
+	if h[i].clock != h[j].clock {
+		return h[i].clock < h[j].clock
+	}
+	return h[i].rank < h[j].rank
+}
+func (h rankHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *rankHeap) Push(x interface{}) { *h = append(*h, x.(rankClock)) }
+func (h *rankHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}
+
+// Kind enumerates the operation types the simulator understands.
+type Kind int
+
+// Operation kinds.
+const (
+	KindOpen Kind = iota
+	KindClose
+	KindRead
+	KindWrite
+	KindStat
+	KindSeek
+	KindFsync
+)
+
+// String returns the lower-case operation name.
+func (k Kind) String() string {
+	switch k {
+	case KindOpen:
+		return "open"
+	case KindClose:
+		return "close"
+	case KindRead:
+		return "read"
+	case KindWrite:
+		return "write"
+	case KindStat:
+		return "stat"
+	case KindSeek:
+		return "seek"
+	case KindFsync:
+		return "fsync"
+	}
+	return fmt.Sprintf("kind(%d)", int(k))
+}
+
+// API identifies the I/O interface an operation was issued through.
+// It does not change simulator physics directly, but collective MPI-IO
+// accesses are eligible for two-phase aggregation, and the recorder
+// uses the API to populate the right Darshan module.
+type API int
+
+// I/O interfaces.
+const (
+	APIPOSIX API = iota
+	APISTDIO
+	APIMPIIOIndep
+	APIMPIIOColl
+)
+
+// String returns a short interface name.
+func (a API) String() string {
+	switch a {
+	case APIPOSIX:
+		return "posix"
+	case APISTDIO:
+		return "stdio"
+	case APIMPIIOIndep:
+		return "mpiio-indep"
+	case APIMPIIOColl:
+		return "mpiio-coll"
+	}
+	return fmt.Sprintf("api(%d)", int(a))
+}
+
+// Op is one I/O operation issued by one rank. Ranks execute their ops
+// in slice order; the simulator interleaves ranks by simulated time.
+type Op struct {
+	Rank   int
+	Kind   Kind
+	File   string
+	Offset int64
+	Size   int64
+	API    API
+	// MemAligned records whether the user buffer met the memory
+	// alignment requirement; it only affects Darshan counters.
+	MemAligned bool
+}
+
+// Result carries the simulated timing and placement of one operation,
+// parallel to the input op slice.
+type Result struct {
+	Start        float64 // seconds since job start
+	End          float64 // seconds since job start
+	OSTs         []int   // OSTs that served the data (empty for metadata ops)
+	Aggregated   bool    // absorbed into a client-side bulk RPC
+	LockConflict bool    // required an extent-lock revocation
+}
+
+// Duration returns the simulated service time of the operation.
+func (r Result) Duration() float64 { return r.End - r.Start }
+
+// Layout is the Lustre striping of one file.
+type Layout struct {
+	StripeSize   int64 // bytes per stripe unit
+	StripeCount  int   // number of OSTs the file spans
+	StripeOffset int   // index of the first OST
+}
+
+// Config parameterizes the simulated system. ExampleConfig returns a
+// small but realistic setup.
+type Config struct {
+	NumOSTs       int     // object storage targets in the file system
+	NumMDTs       int     // metadata targets
+	StripeSize    int64   // default stripe size for new files (bytes)
+	StripeCount   int     // default stripe count for new files
+	RPCSize       int64   // maximum bulk RPC transfer (bytes), e.g. 4 MiB
+	OSTBandwidth  float64 // bytes/second each OST sustains
+	OSTLatency    float64 // seconds of fixed per-RPC service overhead
+	NetLatency    float64 // seconds of client<->server round trip
+	SeekPenalty   float64 // extra seconds for a non-sequential access at the OST
+	MDSOpCost     float64 // seconds per metadata operation at the MDS
+	LockCost      float64 // seconds to revoke+grant a conflicting extent lock
+	MemCopyBW     float64 // bytes/second for client cache copies
+	MemAlignment  int64   // required buffer alignment (bytes)
+	FileAlignment int64   // file offset alignment boundary (bytes); 0 → stripe size
+	// Aggregation enables client-side coalescing of consecutive
+	// same-kind accesses into bulk RPCs (write-back cache / read-ahead).
+	Aggregation bool
+	// CollectiveBuffering enables two-phase I/O for APIMPIIOColl
+	// accesses: small collective accesses are aggregated regardless of
+	// consecutiveness, emulating ROMIO collective buffering.
+	CollectiveBuffering bool
+}
+
+// ExampleConfig returns the configuration used throughout the
+// evaluation: 8 OSTs, 1 MiB stripes, 4 MiB RPCs — the system the
+// paper's issue contexts describe.
+func ExampleConfig() Config {
+	return Config{
+		NumOSTs:             8,
+		NumMDTs:             1,
+		StripeSize:          1 << 20,
+		StripeCount:         4,
+		RPCSize:             4 << 20,
+		OSTBandwidth:        1 << 30, // 1 GiB/s per OST
+		OSTLatency:          50e-6,
+		NetLatency:          30e-6,
+		SeekPenalty:         120e-6,
+		MDSOpCost:           200e-6,
+		LockCost:            500e-6,
+		MemCopyBW:           8 << 30,
+		MemAlignment:        8,
+		FileAlignment:       0,
+		Aggregation:         true,
+		CollectiveBuffering: true,
+	}
+}
+
+// Validate reports the first configuration problem, or nil.
+func (c Config) Validate() error {
+	switch {
+	case c.NumOSTs <= 0:
+		return fmt.Errorf("iosim: NumOSTs must be positive, got %d", c.NumOSTs)
+	case c.StripeSize <= 0:
+		return fmt.Errorf("iosim: StripeSize must be positive, got %d", c.StripeSize)
+	case c.StripeCount <= 0 || c.StripeCount > c.NumOSTs:
+		return fmt.Errorf("iosim: StripeCount %d must be in [1,%d]", c.StripeCount, c.NumOSTs)
+	case c.RPCSize <= 0:
+		return fmt.Errorf("iosim: RPCSize must be positive, got %d", c.RPCSize)
+	case c.OSTBandwidth <= 0:
+		return fmt.Errorf("iosim: OSTBandwidth must be positive")
+	case c.MemCopyBW <= 0:
+		return fmt.Errorf("iosim: MemCopyBW must be positive")
+	}
+	return nil
+}
+
+// fileState tracks simulator state for one file.
+type fileState struct {
+	layout Layout
+	// metaCached is set after the first open/stat: later lookups are
+	// cache hits that bypass the MDS queue.
+	metaCached bool
+	// stripeOwner maps stripe index -> rank holding the extent lock.
+	stripeOwner map[int64]int
+	// perRank tracks each rank's last access end offset and kind, for
+	// consecutiveness detection and aggregation accounting.
+	perRank map[int]*rankFileState
+}
+
+type rankFileState struct {
+	lastEnd   int64 // file offset one past the previous access
+	lastKind  Kind
+	hasPrev   bool
+	aggBytes  int64 // bytes accumulated in the current bulk RPC window
+	aggEvents int   // events absorbed in the current window
+}
+
+// Stats aggregates simulator-level outcomes of a run.
+type Stats struct {
+	TotalOps      int
+	DataOps       int
+	MetaOps       int
+	AggregatedOps int
+	LockConflicts int
+	BulkRPCs      int
+	BytesMoved    int64
+	// OSTBusy accumulates service seconds per OST index.
+	OSTBusy []float64
+	// Makespan is the simulated completion time of the slowest rank.
+	Makespan float64
+	// RankTime maps rank -> total busy seconds.
+	RankTime map[int]float64
+}
+
+// Sim is a single-use simulator instance. Create with New, configure
+// layouts with SetLayout, then call Run once.
+type Sim struct {
+	cfg     Config
+	files   map[string]*fileState
+	ostFree []float64 // next free time per OST
+	mdsFree []float64 // next free time per MDT
+	stats   Stats
+}
+
+// New returns a simulator for the given configuration.
+// It panics if the configuration is invalid; use Config.Validate to
+// check untrusted configurations first.
+func New(cfg Config) *Sim {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	if cfg.FileAlignment == 0 {
+		cfg.FileAlignment = cfg.StripeSize
+	}
+	nm := cfg.NumMDTs
+	if nm <= 0 {
+		nm = 1
+	}
+	return &Sim{
+		cfg:     cfg,
+		files:   make(map[string]*fileState),
+		ostFree: make([]float64, cfg.NumOSTs),
+		mdsFree: make([]float64, nm),
+		stats: Stats{
+			RankTime: make(map[int]float64),
+			OSTBusy:  make([]float64, cfg.NumOSTs),
+		},
+	}
+}
+
+// Config returns the (normalized) configuration in use.
+func (s *Sim) Config() Config { return s.cfg }
+
+// SetLayout overrides the striping of a file before the run. Files
+// without an explicit layout get the config defaults on first touch.
+func (s *Sim) SetLayout(file string, l Layout) error {
+	if l.StripeSize <= 0 || l.StripeCount <= 0 || l.StripeCount > s.cfg.NumOSTs {
+		return fmt.Errorf("iosim: invalid layout %+v for %s", l, file)
+	}
+	st := s.file(file)
+	st.layout = l
+	return nil
+}
+
+// Layout returns the effective layout of a file.
+func (s *Sim) Layout(file string) Layout { return s.file(file).layout }
+
+func (s *Sim) file(name string) *fileState {
+	st, ok := s.files[name]
+	if !ok {
+		st = &fileState{
+			layout: Layout{
+				StripeSize:  s.cfg.StripeSize,
+				StripeCount: s.cfg.StripeCount,
+				// Deterministic placement spreads files across OSTs.
+				StripeOffset: len(s.files) % s.cfg.NumOSTs,
+			},
+			stripeOwner: make(map[int64]int),
+			perRank:     make(map[int]*rankFileState),
+		}
+		s.files[name] = st
+	}
+	return st
+}
+
+func (st *fileState) rank(r int) *rankFileState {
+	rs, ok := st.perRank[r]
+	if !ok {
+		rs = &rankFileState{}
+		st.perRank[r] = rs
+	}
+	return rs
+}
+
+// ostsFor returns the OST indices serving the byte range, and the first
+// and last stripe index.
+func (s *Sim) ostsFor(l Layout, offset, size int64) (osts []int, first, last int64) {
+	if size <= 0 {
+		size = 1
+	}
+	first = offset / l.StripeSize
+	last = (offset + size - 1) / l.StripeSize
+	seen := map[int]bool{}
+	for st := first; st <= last; st++ {
+		ost := (l.StripeOffset + int(st%int64(l.StripeCount))) % s.cfg.NumOSTs
+		if !seen[ost] {
+			seen[ost] = true
+			osts = append(osts, ost)
+		}
+	}
+	sort.Ints(osts)
+	return osts, first, last
+}
+
+// Run executes the operation stream and returns per-op results in the
+// same order. Each rank's ops run in stream order; ranks advance
+// concurrently in simulated time. Run may be called once per Sim.
+func (s *Sim) Run(ops []Op) ([]Result, error) {
+	results := make([]Result, len(ops))
+	// Partition into per-rank queues, keeping global indices.
+	queues := map[int][]int{}
+	var ranks []int
+	for i, op := range ops {
+		if op.Rank < 0 {
+			return nil, fmt.Errorf("iosim: op %d has negative rank %d", i, op.Rank)
+		}
+		if op.Size < 0 || op.Offset < 0 {
+			return nil, fmt.Errorf("iosim: op %d has negative offset/size", i)
+		}
+		if _, ok := queues[op.Rank]; !ok {
+			ranks = append(ranks, op.Rank)
+		}
+		queues[op.Rank] = append(queues[op.Rank], i)
+	}
+	sort.Ints(ranks)
+	next := map[int]int{}
+	// Event loop: always advance the rank with the smallest clock so
+	// shared-resource contention is resolved in global time order. A
+	// min-heap keyed by (clock, rank) keeps this O(n log r).
+	h := &rankHeap{}
+	heap.Init(h)
+	for _, r := range ranks {
+		heap.Push(h, rankClock{rank: r, clock: 0})
+	}
+	for h.Len() > 0 {
+		rc := heap.Pop(h).(rankClock)
+		r := rc.rank
+		idx := queues[r][next[r]]
+		next[r]++
+		res := s.execute(ops[idx], rc.clock)
+		results[idx] = res
+		s.stats.RankTime[r] += res.Duration()
+		if res.End > s.stats.Makespan {
+			s.stats.Makespan = res.End
+		}
+		if next[r] < len(queues[r]) {
+			heap.Push(h, rankClock{rank: r, clock: res.End})
+		}
+	}
+	s.stats.TotalOps = len(ops)
+	return results, nil
+}
+
+// execute simulates a single operation starting no earlier than now.
+func (s *Sim) execute(op Op, now float64) Result {
+	switch op.Kind {
+	case KindRead, KindWrite:
+		return s.executeData(op, now)
+	default:
+		return s.executeMeta(op, now)
+	}
+}
+
+func (s *Sim) executeMeta(op Op, now float64) Result {
+	s.stats.MetaOps++
+	switch op.Kind {
+	case KindSeek:
+		// Seeks are client-local bookkeeping.
+		end := now + 1e-7
+		return Result{Start: now, End: end}
+	case KindFsync:
+		// Fsync drains the client cache: bill one round trip per OST of
+		// the file plus fixed commit latency.
+		st := s.file(op.File)
+		cost := s.cfg.NetLatency + 2*s.cfg.OSTLatency*float64(st.layout.StripeCount)
+		return Result{Start: now, End: now + cost}
+	default: // open, close, stat hit the MDS
+		st := s.file(op.File)
+		// Repeat lookups of an already-resolved file are served from
+		// client/MDS caches without occupying the metadata server —
+		// only the first open/stat of a file pays the full queued cost.
+		if st.metaCached {
+			return Result{Start: now, End: now + s.cfg.NetLatency + s.cfg.MDSOpCost/10}
+		}
+		st.metaCached = true
+		mdt := 0
+		if len(s.mdsFree) > 1 {
+			mdt = int(hashString(op.File) % uint64(len(s.mdsFree)))
+		}
+		start := now
+		if s.mdsFree[mdt] > start {
+			start = s.mdsFree[mdt]
+		}
+		end := start + s.cfg.MDSOpCost
+		s.mdsFree[mdt] = end
+		// The client observes queueing as latency from `now`.
+		return Result{Start: now, End: end + s.cfg.NetLatency}
+	}
+}
+
+func (s *Sim) executeData(op Op, now float64) Result {
+	s.stats.DataOps++
+	s.stats.BytesMoved += op.Size
+	st := s.file(op.File)
+	rs := st.rank(op.Rank)
+	osts, firstStripe, lastStripe := s.ostsFor(st.layout, op.Offset, op.Size)
+
+	consecutive := rs.hasPrev && rs.lastKind == op.Kind && rs.lastEnd == op.Offset
+	aggregatable := s.cfg.Aggregation && consecutive && op.Size < s.cfg.RPCSize &&
+		rs.aggBytes+op.Size <= s.cfg.RPCSize
+	if s.cfg.CollectiveBuffering && op.API == APIMPIIOColl && op.Size < s.cfg.RPCSize {
+		// Two-phase I/O coalesces small collective accesses regardless
+		// of per-rank consecutiveness.
+		aggregatable = true
+	}
+
+	var end float64
+	res := Result{Start: now, OSTs: osts}
+	if aggregatable {
+		// Absorbed by the client cache: a memcpy now, with the bulk RPC
+		// cost amortized across the window. We bill the proportional
+		// share of the eventual RPC so long runs of aggregated ops still
+		// account for wire time.
+		rs.aggBytes += op.Size
+		rs.aggEvents++
+		if rs.aggBytes >= s.cfg.RPCSize {
+			s.flushWindow(rs)
+		}
+		share := float64(op.Size) / float64(s.cfg.RPCSize)
+		cost := float64(op.Size)/s.cfg.MemCopyBW +
+			share*(s.cfg.NetLatency+s.cfg.OSTLatency) +
+			float64(op.Size)/(s.cfg.OSTBandwidth*float64(len(osts)))
+		for _, o := range osts {
+			s.stats.OSTBusy[o] += float64(op.Size) / (s.cfg.OSTBandwidth * float64(len(osts)))
+		}
+		end = now + cost
+		res.Aggregated = true
+		s.stats.AggregatedOps++
+	} else {
+		s.flushWindow(rs)
+		// Direct RPC: pay latency, possible seek penalty, lock
+		// acquisition, and serialized OST bandwidth.
+		cost := s.cfg.NetLatency + s.cfg.OSTLatency
+		if rs.hasPrev && !consecutive {
+			cost += s.cfg.SeekPenalty
+		}
+		if op.Kind == KindWrite {
+			if s.lockConflict(st, op.Rank, firstStripe, lastStripe) {
+				cost += s.cfg.LockCost
+				res.LockConflict = true
+				s.stats.LockConflicts++
+			}
+		}
+		// Busy OSTs delay service.
+		start := now
+		for _, o := range osts {
+			if s.ostFree[o] > start {
+				start = s.ostFree[o]
+			}
+		}
+		xfer := float64(op.Size) / (s.cfg.OSTBandwidth * float64(len(osts)))
+		end = start + cost + xfer
+		for _, o := range osts {
+			s.ostFree[o] = end
+			s.stats.OSTBusy[o] += xfer + s.cfg.OSTLatency
+		}
+		s.stats.BulkRPCs++
+	}
+	// Claim stripe ownership for writes.
+	if op.Kind == KindWrite {
+		for stp := firstStripe; stp <= lastStripe; stp++ {
+			st.stripeOwner[stp] = op.Rank
+		}
+	}
+	rs.hasPrev = true
+	rs.lastKind = op.Kind
+	rs.lastEnd = op.Offset + op.Size
+	res.End = end
+	return res
+}
+
+// lockConflict reports whether rank must revoke another rank's extent
+// lock to write stripes [first,last].
+func (s *Sim) lockConflict(st *fileState, rank int, first, last int64) bool {
+	for stp := first; stp <= last; stp++ {
+		if owner, ok := st.stripeOwner[stp]; ok && owner != rank {
+			return true
+		}
+	}
+	return false
+}
+
+func (s *Sim) flushWindow(rs *rankFileState) {
+	if rs.aggEvents > 0 {
+		s.stats.BulkRPCs++
+	}
+	rs.aggBytes = 0
+	rs.aggEvents = 0
+}
+
+// Stats returns aggregate statistics for the completed run.
+func (s *Sim) Stats() Stats { return s.stats }
+
+// hashString is FNV-1a, used for deterministic MDT placement.
+func hashString(s string) uint64 {
+	var h uint64 = 14695981039346656037
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= 1099511628211
+	}
+	return h
+}

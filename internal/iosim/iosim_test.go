@@ -1,0 +1,444 @@
+package iosim
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func seqWriteOps(rank int, file string, n int, size int64) []Op {
+	ops := make([]Op, 0, n)
+	for i := 0; i < n; i++ {
+		ops = append(ops, Op{
+			Rank: rank, Kind: KindWrite, File: file,
+			Offset: int64(i) * size, Size: size, API: APIPOSIX, MemAligned: true,
+		})
+	}
+	return ops
+}
+
+func randWriteOps(rank int, file string, n int, size int64, seed int64) []Op {
+	rng := rand.New(rand.NewSource(seed))
+	ops := make([]Op, 0, n)
+	span := int64(n) * size * 4
+	for i := 0; i < n; i++ {
+		off := (rng.Int63n(span) / size) * size
+		ops = append(ops, Op{
+			Rank: rank, Kind: KindWrite, File: file,
+			Offset: off, Size: size, API: APIPOSIX, MemAligned: true,
+		})
+	}
+	return ops
+}
+
+func TestConfigValidate(t *testing.T) {
+	good := ExampleConfig()
+	if err := good.Validate(); err != nil {
+		t.Fatalf("example config invalid: %v", err)
+	}
+	cases := []func(*Config){
+		func(c *Config) { c.NumOSTs = 0 },
+		func(c *Config) { c.StripeSize = 0 },
+		func(c *Config) { c.StripeCount = 0 },
+		func(c *Config) { c.StripeCount = c.NumOSTs + 1 },
+		func(c *Config) { c.RPCSize = 0 },
+		func(c *Config) { c.OSTBandwidth = 0 },
+		func(c *Config) { c.MemCopyBW = 0 },
+	}
+	for i, mut := range cases {
+		c := ExampleConfig()
+		mut(&c)
+		if err := c.Validate(); err == nil {
+			t.Errorf("case %d: invalid config accepted", i)
+		}
+	}
+}
+
+func TestSequentialAggregationBeatsRandom(t *testing.T) {
+	const n, size = 512, 4096
+	seq := New(ExampleConfig())
+	seqRes, err := seq.Run(seqWriteOps(0, "/lustre/f", n, size))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rnd := New(ExampleConfig())
+	rndRes, err := rnd.Run(randWriteOps(0, "/lustre/f", n, size, 42))
+	if err != nil {
+		t.Fatal(err)
+	}
+	seqEnd := seqRes[len(seqRes)-1].End
+	rndEnd := rndRes[len(rndRes)-1].End
+	if seqEnd*2 > rndEnd {
+		t.Errorf("sequential small I/O should be much faster: seq=%.6fs rnd=%.6fs", seqEnd, rndEnd)
+	}
+	agg := seq.Stats().AggregatedOps
+	if agg < n/2 {
+		t.Errorf("expected most sequential ops aggregated, got %d/%d", agg, n)
+	}
+	// Random offsets can collide into a consecutive pair by chance, but
+	// aggregation must stay negligible.
+	if got := rnd.Stats().AggregatedOps; got > n/20 {
+		t.Errorf("random ops should rarely aggregate, got %d/%d", got, n)
+	}
+}
+
+func TestAggregationDisabled(t *testing.T) {
+	cfg := ExampleConfig()
+	cfg.Aggregation = false
+	cfg.CollectiveBuffering = false
+	s := New(cfg)
+	if _, err := s.Run(seqWriteOps(0, "/f", 64, 4096)); err != nil {
+		t.Fatal(err)
+	}
+	if s.Stats().AggregatedOps != 0 {
+		t.Errorf("aggregation disabled but %d ops aggregated", s.Stats().AggregatedOps)
+	}
+}
+
+func TestCollectiveBufferingAggregatesStrided(t *testing.T) {
+	cfg := ExampleConfig()
+	s := New(cfg)
+	// Strided (non-consecutive per rank) small collective writes: two-
+	// phase I/O should still absorb them.
+	var ops []Op
+	const ranks, iters, size = 4, 32, 4096
+	for i := 0; i < iters; i++ {
+		for r := 0; r < ranks; r++ {
+			off := int64(i*ranks+r) * size
+			ops = append(ops, Op{Rank: r, Kind: KindWrite, File: "/shared",
+				Offset: off, Size: size, API: APIMPIIOColl, MemAligned: true})
+		}
+	}
+	res, err := s.Run(ops)
+	if err != nil {
+		t.Fatal(err)
+	}
+	agg := 0
+	for _, r := range res {
+		if r.Aggregated {
+			agg++
+		}
+	}
+	if agg != len(ops) {
+		t.Errorf("collective buffering should aggregate all small collectives: %d/%d", agg, len(ops))
+	}
+}
+
+func TestLockConflictsOnSharedStripe(t *testing.T) {
+	cfg := ExampleConfig()
+	cfg.Aggregation = false
+	cfg.CollectiveBuffering = false
+	s := New(cfg)
+	// Two ranks alternately write the same stripe: every write after the
+	// first by a different rank conflicts.
+	var ops []Op
+	for i := 0; i < 10; i++ {
+		ops = append(ops, Op{Rank: i % 2, Kind: KindWrite, File: "/shared",
+			Offset: int64(i%2) * 4096, Size: 4096, API: APIPOSIX})
+	}
+	if _, err := s.Run(ops); err != nil {
+		t.Fatal(err)
+	}
+	if s.Stats().LockConflicts == 0 {
+		t.Error("expected lock conflicts on interleaved shared-stripe writes")
+	}
+
+	// Disjoint stripes: no conflicts.
+	s2 := New(cfg)
+	var ops2 []Op
+	stripe := cfg.StripeSize
+	for i := 0; i < 10; i++ {
+		r := i % 2
+		ops2 = append(ops2, Op{Rank: r, Kind: KindWrite, File: "/shared",
+			Offset: int64(r)*stripe*8 + int64(i/2)*4096, Size: 4096, API: APIPOSIX})
+	}
+	if _, err := s2.Run(ops2); err != nil {
+		t.Fatal(err)
+	}
+	if n := s2.Stats().LockConflicts; n != 0 {
+		t.Errorf("disjoint stripes must not conflict, got %d", n)
+	}
+}
+
+func TestFilePerProcessNoConflicts(t *testing.T) {
+	cfg := ExampleConfig()
+	cfg.Aggregation = false
+	s := New(cfg)
+	var ops []Op
+	for r := 0; r < 4; r++ {
+		for i := 0; i < 16; i++ {
+			ops = append(ops, Op{Rank: r, Kind: KindWrite,
+				File:   "/f" + string(rune('0'+r)),
+				Offset: int64(i) * 4096, Size: 4096, API: APIPOSIX})
+		}
+	}
+	if _, err := s.Run(ops); err != nil {
+		t.Fatal(err)
+	}
+	if n := s.Stats().LockConflicts; n != 0 {
+		t.Errorf("file-per-process must not conflict, got %d", n)
+	}
+}
+
+func TestMetadataSerializesAtMDS(t *testing.T) {
+	cfg := ExampleConfig()
+	s := New(cfg)
+	var ops []Op
+	const ranks = 8
+	// Distinct files: every first open is a real MDS transaction.
+	for r := 0; r < ranks; r++ {
+		ops = append(ops, Op{Rank: r, Kind: KindOpen, File: fmt.Sprintf("/f%d", r)})
+	}
+	res, err := s.Run(ops)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// All opens start at t=0 on their rank but must be serviced
+	// sequentially by the single MDT: the slowest open takes at least
+	// ranks * MDSOpCost.
+	var worst float64
+	for _, r := range res {
+		if r.End > worst {
+			worst = r.End
+		}
+	}
+	if min := float64(ranks) * cfg.MDSOpCost; worst < min {
+		t.Errorf("MDS serialization missing: worst open %.6fs < %.6fs", worst, min)
+	}
+}
+
+func TestRepeatOpensAreCached(t *testing.T) {
+	cfg := ExampleConfig()
+	s := New(cfg)
+	var ops []Op
+	const ranks = 8
+	// Same file: only the first open pays the queued MDS cost.
+	for r := 0; r < ranks; r++ {
+		ops = append(ops, Op{Rank: r, Kind: KindOpen, File: "/shared"})
+	}
+	res, err := s.Run(ops)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var worst float64
+	for _, r := range res {
+		if r.End > worst {
+			worst = r.End
+		}
+	}
+	if max := 2 * cfg.MDSOpCost; worst > max {
+		t.Errorf("repeat opens of one file should be cache hits: worst %.6fs > %.6fs", worst, max)
+	}
+}
+
+func TestRankOrderPreserved(t *testing.T) {
+	s := New(ExampleConfig())
+	ops := append(seqWriteOps(0, "/a", 50, 8192), randWriteOps(1, "/a", 50, 8192, 7)...)
+	res, err := s.Run(ops)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lastEnd := map[int]float64{}
+	for i, op := range ops {
+		r := res[i]
+		if r.End < r.Start {
+			t.Fatalf("op %d ends before start", i)
+		}
+		if r.Start < lastEnd[op.Rank] {
+			t.Fatalf("op %d of rank %d starts at %.9f before rank's previous end %.9f",
+				i, op.Rank, r.Start, lastEnd[op.Rank])
+		}
+		lastEnd[op.Rank] = r.End
+	}
+}
+
+func TestOSTMapping(t *testing.T) {
+	cfg := ExampleConfig()
+	s := New(cfg)
+	if err := s.SetLayout("/f", Layout{StripeSize: 1 << 20, StripeCount: 4, StripeOffset: 2}); err != nil {
+		t.Fatal(err)
+	}
+	l := s.Layout("/f")
+	osts, first, last := s.ostsFor(l, 0, 1<<20)
+	if first != 0 || last != 0 || len(osts) != 1 || osts[0] != 2 {
+		t.Errorf("stripe 0 should map to OST 2: osts=%v first=%d last=%d", osts, first, last)
+	}
+	// A 4 MiB access spans 4 stripes -> 4 distinct OSTs (2,3,4,5).
+	osts, first, last = s.ostsFor(l, 0, 4<<20)
+	if len(osts) != 4 || first != 0 || last != 3 {
+		t.Errorf("4MiB access should span 4 OSTs, got %v (%d..%d)", osts, first, last)
+	}
+	// Wrap-around: stripe 4 maps back to OST 2.
+	osts, _, _ = s.ostsFor(l, 4<<20, 1024)
+	if len(osts) != 1 || osts[0] != 2 {
+		t.Errorf("stripe 4 should wrap to OST 2, got %v", osts)
+	}
+}
+
+func TestSetLayoutRejectsInvalid(t *testing.T) {
+	s := New(ExampleConfig())
+	if err := s.SetLayout("/f", Layout{StripeSize: 0, StripeCount: 1}); err == nil {
+		t.Error("zero stripe size accepted")
+	}
+	if err := s.SetLayout("/f", Layout{StripeSize: 1 << 20, StripeCount: 99}); err == nil {
+		t.Error("stripe count beyond NumOSTs accepted")
+	}
+}
+
+func TestRunRejectsBadOps(t *testing.T) {
+	s := New(ExampleConfig())
+	if _, err := s.Run([]Op{{Rank: -1, Kind: KindOpen, File: "/f"}}); err == nil {
+		t.Error("negative rank accepted")
+	}
+	s2 := New(ExampleConfig())
+	if _, err := s2.Run([]Op{{Rank: 0, Kind: KindWrite, File: "/f", Offset: -5, Size: 10}}); err == nil {
+		t.Error("negative offset accepted")
+	}
+}
+
+func TestStatsAccounting(t *testing.T) {
+	s := New(ExampleConfig())
+	ops := []Op{
+		{Rank: 0, Kind: KindOpen, File: "/f"},
+		{Rank: 0, Kind: KindWrite, File: "/f", Offset: 0, Size: 1 << 20},
+		{Rank: 0, Kind: KindWrite, File: "/f", Offset: 1 << 20, Size: 1 << 20},
+		{Rank: 0, Kind: KindClose, File: "/f"},
+	}
+	if _, err := s.Run(ops); err != nil {
+		t.Fatal(err)
+	}
+	st := s.Stats()
+	if st.TotalOps != 4 || st.DataOps != 2 || st.MetaOps != 2 {
+		t.Errorf("op accounting wrong: %+v", st)
+	}
+	if st.BytesMoved != 2<<20 {
+		t.Errorf("bytes moved %d", st.BytesMoved)
+	}
+	if st.Makespan <= 0 {
+		t.Error("makespan not set")
+	}
+	if st.RankTime[0] <= 0 {
+		t.Error("rank time not accumulated")
+	}
+}
+
+func TestLargeWritesNotPenalizedBySeek(t *testing.T) {
+	// Large transfers dominate their cost by bandwidth; aggregated vs
+	// direct paths should both clear 1 MiB quickly.
+	s := New(ExampleConfig())
+	res, err := s.Run(seqWriteOps(0, "/big", 64, 1<<20))
+	if err != nil {
+		t.Fatal(err)
+	}
+	end := res[len(res)-1].End
+	// 64 MiB over >=1 GiB/s with striping: well under a second.
+	if end > 1.0 {
+		t.Errorf("large sequential writes too slow: %.3fs", end)
+	}
+}
+
+func TestKindAndAPIStrings(t *testing.T) {
+	if KindRead.String() != "read" || KindFsync.String() != "fsync" {
+		t.Error("kind strings wrong")
+	}
+	if APIMPIIOColl.String() != "mpiio-coll" || APIPOSIX.String() != "posix" {
+		t.Error("api strings wrong")
+	}
+	if Kind(99).String() == "" || API(99).String() == "" {
+		t.Error("unknown values should stringify")
+	}
+}
+
+func TestOSTBusyAccounting(t *testing.T) {
+	cfg := ExampleConfig()
+	cfg.Aggregation = false
+	s := New(cfg)
+	// One file striped from OST 0 over 4 OSTs; 1 MiB writes hit one OST
+	// each, round-robin over the stripe set.
+	if err := s.SetLayout("/f", Layout{StripeSize: 1 << 20, StripeCount: 4, StripeOffset: 0}); err != nil {
+		t.Fatal(err)
+	}
+	var ops []Op
+	for i := 0; i < 16; i++ {
+		ops = append(ops, Op{Rank: 0, Kind: KindWrite, File: "/f",
+			Offset: int64(i) << 20, Size: 1 << 20, MemAligned: true})
+	}
+	if _, err := s.Run(ops); err != nil {
+		t.Fatal(err)
+	}
+	busy := s.Stats().OSTBusy
+	if len(busy) != cfg.NumOSTs {
+		t.Fatalf("OSTBusy len = %d", len(busy))
+	}
+	for o := 0; o < 4; o++ {
+		if busy[o] <= 0 {
+			t.Errorf("OST %d unused despite striping", o)
+		}
+	}
+	for o := 4; o < cfg.NumOSTs; o++ {
+		if busy[o] != 0 {
+			t.Errorf("OST %d busy but not in the stripe set", o)
+		}
+	}
+	// Round-robin: the four striped OSTs should carry equal load.
+	if busy[0] != busy[1] || busy[1] != busy[2] || busy[2] != busy[3] {
+		t.Errorf("stripe set load uneven: %v", busy[:4])
+	}
+}
+
+func TestSimInvariantsProperty(t *testing.T) {
+	// Random op streams: results must preserve per-rank ordering,
+	// non-negative durations, byte accounting, and makespan dominance.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		cfg := ExampleConfig()
+		cfg.Aggregation = rng.Intn(2) == 0
+		s := New(cfg)
+		nops := 50 + rng.Intn(200)
+		var ops []Op
+		var bytes int64
+		for i := 0; i < nops; i++ {
+			kind := []Kind{KindOpen, KindClose, KindRead, KindWrite, KindStat, KindSeek, KindFsync}[rng.Intn(7)]
+			op := Op{
+				Rank: rng.Intn(6),
+				Kind: kind,
+				File: fmt.Sprintf("/f%d", rng.Intn(3)),
+				API:  API(rng.Intn(4)),
+			}
+			if kind == KindRead || kind == KindWrite {
+				op.Offset = rng.Int63n(1 << 28)
+				op.Size = 1 + rng.Int63n(1<<22)
+				bytes += op.Size
+			}
+			ops = append(ops, op)
+		}
+		res, err := s.Run(ops)
+		if err != nil {
+			return false
+		}
+		lastEnd := map[int]float64{}
+		var worst float64
+		for i, r := range res {
+			if r.End < r.Start || r.Start < lastEnd[ops[i].Rank] {
+				return false
+			}
+			lastEnd[ops[i].Rank] = r.End
+			if r.End > worst {
+				worst = r.End
+			}
+		}
+		st := s.Stats()
+		if st.BytesMoved != bytes {
+			return false
+		}
+		if st.TotalOps != nops {
+			return false
+		}
+		// Makespan equals the max end time.
+		return st.Makespan == worst
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}

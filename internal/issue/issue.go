@@ -1,0 +1,87 @@
+// Package issue defines the I/O performance issue taxonomy shared by
+// the knowledge base, the ION analyzer, the Drishti baseline, the
+// workload ground truths, and the evaluation harness.
+package issue
+
+import "fmt"
+
+// ID names one I/O performance issue type.
+type ID string
+
+// The issue taxonomy. These are the issue types ION builds dedicated
+// prompts for; Drishti's trigger categories map onto the same IDs so
+// the evaluation can score both tools on one axis.
+const (
+	SmallIO       ID = "small-io"
+	MisalignedIO  ID = "misaligned-io"
+	RandomAccess  ID = "random-access"
+	SharedFile    ID = "shared-file"
+	LoadImbalance ID = "load-imbalance"
+	Metadata      ID = "metadata"
+	Interface     ID = "interface-usage"
+	CollectiveIO  ID = "collective-io"
+	TimeImbalance ID = "rank-time-imbalance"
+)
+
+// All lists every issue ID in canonical presentation order.
+var All = []ID{
+	SmallIO, MisalignedIO, RandomAccess, SharedFile, LoadImbalance,
+	Metadata, Interface, CollectiveIO, TimeImbalance,
+}
+
+// Valid reports whether id is part of the taxonomy.
+func Valid(id ID) bool {
+	for _, v := range All {
+		if v == id {
+			return true
+		}
+	}
+	return false
+}
+
+// Title returns a human-readable name for the issue.
+func Title(id ID) string {
+	switch id {
+	case SmallIO:
+		return "Small I/O Operations"
+	case MisalignedIO:
+		return "Mis-aligned I/O"
+	case RandomAccess:
+		return "Random Access Pattern"
+	case SharedFile:
+		return "Shared-File Access Contention"
+	case LoadImbalance:
+		return "Imbalanced I/O Workload"
+	case Metadata:
+		return "Excessive Metadata Load"
+	case Interface:
+		return "Suboptimal I/O Interface Usage"
+	case CollectiveIO:
+		return "Missing Collective I/O"
+	case TimeImbalance:
+		return "Rank I/O Time Imbalance"
+	}
+	return fmt.Sprintf("Unknown Issue (%s)", string(id))
+}
+
+// Verdict is the analyzer's conclusion about one issue on one trace.
+type Verdict string
+
+// Verdict values. Mitigated means the pathology's signature is present
+// but a condition neutralizes its impact (e.g. small I/O that is
+// consecutive and therefore aggregatable) — the distinction the paper
+// highlights as ION's advantage over fixed-threshold tools.
+const (
+	VerdictDetected    Verdict = "detected"
+	VerdictMitigated   Verdict = "mitigated"
+	VerdictNotDetected Verdict = "not-detected"
+)
+
+// Expectation is one ground-truth entry for a controlled workload.
+type Expectation struct {
+	Issue ID
+	// Want is the verdict a correct expert should reach.
+	Want Verdict
+	// Note documents why, for the Figure 2 ground-truth column.
+	Note string
+}

@@ -1,0 +1,53 @@
+package issue
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestAllValid(t *testing.T) {
+	seen := map[ID]bool{}
+	for _, id := range All {
+		if !Valid(id) {
+			t.Errorf("%s not valid", id)
+		}
+		if seen[id] {
+			t.Errorf("%s duplicated", id)
+		}
+		seen[id] = true
+	}
+	if len(All) != 9 {
+		t.Errorf("taxonomy has %d issues, paper-aligned design wants 9", len(All))
+	}
+}
+
+func TestValidRejectsUnknown(t *testing.T) {
+	for _, bad := range []ID{"", "bogus", "Small-IO", "small_io"} {
+		if Valid(bad) {
+			t.Errorf("%q accepted", bad)
+		}
+	}
+}
+
+func TestTitles(t *testing.T) {
+	for _, id := range All {
+		title := Title(id)
+		if title == "" || strings.Contains(title, "Unknown") {
+			t.Errorf("%s has no title", id)
+		}
+	}
+	if !strings.Contains(Title("bogus"), "Unknown") {
+		t.Error("unknown issue should get a placeholder title")
+	}
+}
+
+func TestVerdictValues(t *testing.T) {
+	for _, v := range []Verdict{VerdictDetected, VerdictMitigated, VerdictNotDetected} {
+		if v == "" {
+			t.Error("empty verdict constant")
+		}
+	}
+	if VerdictDetected == VerdictMitigated {
+		t.Error("verdicts collide")
+	}
+}

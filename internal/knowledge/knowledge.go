@@ -1,0 +1,324 @@
+// Package knowledge holds the I/O Performance Issue Contexts: the
+// in-context domain knowledge ION injects into each per-issue prompt.
+// Each context teaches the model what the issue is, which trace metrics
+// reveal it, and — critically — which conditions mitigate it, so the
+// analyzer can reach nuanced verdicts without the fixed thresholds
+// trigger-based tools depend on. A per-issue module map records which
+// extractor CSV tables the issue needs, letting the prompt builder
+// filter file descriptions per prompt (the paper's divide-and-conquer
+// design).
+package knowledge
+
+import (
+	"fmt"
+
+	"ion/internal/extractor"
+	"ion/internal/issue"
+)
+
+// Hyperparams are the system settings ION takes as input instead of
+// expert-tuned thresholds: facts about the machine, not about the
+// workload. The paper lists these as the only tunables (future work:
+// extract them from the trace automatically — see FromLustreTable).
+type Hyperparams struct {
+	// RPCSize is the file system's maximum bulk-RPC transfer in bytes.
+	RPCSize int64
+	// StripeSize is the Lustre stripe unit in bytes.
+	StripeSize int64
+	// MemAlignment is the required buffer alignment in bytes.
+	MemAlignment int64
+}
+
+// DefaultHyperparams mirrors the evaluation system: 4 MiB RPCs, 1 MiB
+// stripes.
+func DefaultHyperparams() Hyperparams {
+	return Hyperparams{RPCSize: 4 << 20, StripeSize: 1 << 20, MemAlignment: 8}
+}
+
+// FromExtract derives hyperparameters from an extracted trace when a
+// LUSTRE table is present (dynamic extraction, the paper's planned
+// extension), falling back to defaults otherwise.
+func FromExtract(out *extractor.Output) Hyperparams {
+	h := DefaultHyperparams()
+	lustre := out.Table(extractor.TableLustre)
+	if lustre == nil || lustre.NumRows() == 0 {
+		return h
+	}
+	if v, err := lustre.Int(0, "LUSTRE_STRIPE_SIZE"); err == nil && v > 0 {
+		h.StripeSize = v
+	}
+	return h
+}
+
+// Context is one issue's in-context teaching material.
+type Context struct {
+	Issue issue.ID
+	Title string
+	// Knowledge is the teaching text injected into the prompt.
+	Knowledge string
+	// KeyMetrics names the trace columns/counters that reveal the issue.
+	KeyMetrics []string
+	// Modules lists the extractor tables this issue needs (the
+	// module-map filter).
+	Modules []string
+	// Mitigations describes conditions that neutralize the issue.
+	Mitigations string
+}
+
+// Base is the assembled knowledge base.
+type Base struct {
+	Hyper    Hyperparams
+	contexts map[issue.ID]*Context
+	order    []issue.ID
+}
+
+// NewBase builds the default knowledge base with the given
+// hyperparameters.
+func NewBase(h Hyperparams) *Base {
+	b := &Base{Hyper: h, contexts: map[issue.ID]*Context{}}
+	for _, c := range defaultContexts(h) {
+		c := c
+		b.contexts[c.Issue] = &c
+		b.order = append(b.order, c.Issue)
+	}
+	return b
+}
+
+// Context returns the context for an issue.
+func (b *Base) Context(id issue.ID) (*Context, error) {
+	c, ok := b.contexts[id]
+	if !ok {
+		return nil, fmt.Errorf("knowledge: no context for issue %q", id)
+	}
+	return c, nil
+}
+
+// Issues returns the issue ids in canonical order.
+func (b *Base) Issues() []issue.ID {
+	return append([]issue.ID(nil), b.order...)
+}
+
+// ModulesFor returns the module tables needed by an issue, always
+// including the JOB table (job-level facts are cheap and universal).
+func (b *Base) ModulesFor(id issue.ID) ([]string, error) {
+	c, err := b.Context(id)
+	if err != nil {
+		return nil, err
+	}
+	mods := append([]string(nil), c.Modules...)
+	mods = append(mods, extractor.TableJob)
+	return mods, nil
+}
+
+func defaultContexts(h Hyperparams) []Context {
+	stripe := h.StripeSize
+	rpc := h.RPCSize
+	return []Context{
+		{
+			Issue: issue.SmallIO,
+			Title: issue.Title(issue.SmallIO),
+			Knowledge: fmt.Sprintf(`Parallel file systems move data in bulk RPCs
+(up to %d bytes on this system). A request far below the RPC size wastes
+most of an RPC's fixed cost (network round trip, server dispatch, lock
+handling), so workloads dominated by small requests underutilize RPCs
+and the storage servers. Judge "small" relative to the system's RPC and
+stripe sizes, not against a universal byte threshold: compare the access
+size histogram (POSIX_SIZE_READ_*/POSIX_SIZE_WRITE_* buckets) against
+the RPC size of %d bytes and the stripe size of %d bytes. Crucially,
+small requests are only harmful when they reach the servers as-is.
+Client-side write-back caching and read-ahead coalesce CONSECUTIVE
+requests (each starting exactly where the previous ended) into full-size
+RPCs, so a stream of small consecutive accesses is largely benign. Use
+POSIX_CONSEC_READS/POSIX_CONSEC_WRITES relative to POSIX_READS/
+POSIX_WRITES, and the DXT per-rank offset sequence, to estimate how many
+small requests are aggregatable before judging severity.`, rpc, rpc, stripe),
+			KeyMetrics: []string{
+				"POSIX_SIZE_READ_*", "POSIX_SIZE_WRITE_*", "POSIX_READS", "POSIX_WRITES",
+				"POSIX_CONSEC_READS", "POSIX_CONSEC_WRITES", "DXT offset/length sequence",
+			},
+			Modules:     []string{extractor.TablePOSIX, extractor.TableLustre, extractor.TableDXT},
+			Mitigations: "consecutive (and to a lesser degree sequential) small accesses aggregate into bulk RPCs; collective buffering absorbs small collective accesses",
+		},
+		{
+			Issue: issue.MisalignedIO,
+			Title: issue.Title(issue.MisalignedIO),
+			Knowledge: fmt.Sprintf(`Lustre stores a file as stripe units of
+%d bytes spread across object storage targets (OSTs). An access whose
+file offset is not a multiple of the stripe unit (or the file system
+block size) can touch two OSTs instead of one, forces read-modify-write
+cycles inside stripe units, and widens the byte ranges that extent locks
+must cover, increasing contention when the file is shared. The trace
+reports POSIX_FILE_NOT_ALIGNED (count of accesses off the
+POSIX_FILE_ALIGNMENT boundary) and POSIX_MEM_NOT_ALIGNED for user-buffer
+alignment. Compute the misaligned share of all read/write operations.
+Alignment only matters for accesses that actually hit the servers: a
+perfectly consecutive small-access stream that is absorbed by client
+aggregation suffers less from in-file misalignment, though the flushed
+bulk RPCs may still straddle stripe boundaries. Misalignment near 100%%
+of operations on a striped shared file is a serious issue; a handful of
+misaligned header accesses is not.`, stripe),
+			KeyMetrics: []string{
+				"POSIX_FILE_NOT_ALIGNED", "POSIX_FILE_ALIGNMENT",
+				"POSIX_MEM_NOT_ALIGNED", "POSIX_MEM_ALIGNMENT",
+				"LUSTRE_STRIPE_SIZE", "DXT offsets modulo stripe size",
+			},
+			Modules:     []string{extractor.TablePOSIX, extractor.TableLustre, extractor.TableDXT},
+			Mitigations: "few absolute occurrences, or misaligned accesses confined to tiny header/metadata reads, or client aggregation absorbing the stream",
+		},
+		{
+			Issue: issue.RandomAccess,
+			Title: issue.Title(issue.RandomAccess),
+			Knowledge: `Storage servers and client caches are built for
+locality: read-ahead prefetches forward, write-back coalesces adjacent
+dirty data, and OSTs service contiguous extents cheaply. An access
+stream that jumps around the file (offsets that move backwards or leap
+far ahead relative to the previous access of the same rank) defeats all
+three. Darshan's POSIX_SEQ_READS/POSIX_SEQ_WRITES count accesses at
+non-decreasing offsets — note that a forward-strided pattern with gaps
+still counts as "sequential" there, yet it cannot be coalesced; use
+POSIX_CONSEC_* and the DXT per-rank offset deltas to distinguish truly
+contiguous access from strided or random access. Severity scales with
+how much data moves through non-contiguous requests and how many ranks
+do it: a few random lookups per rank into a self-describing file format
+are normal and harmless; thousands of random small accesses per rank are
+a first-order bottleneck.`,
+			KeyMetrics: []string{
+				"POSIX_SEQ_READS", "POSIX_SEQ_WRITES", "POSIX_CONSEC_READS", "POSIX_CONSEC_WRITES",
+				"POSIX_RW_SWITCHES", "DXT per-rank offset deltas",
+			},
+			Modules:     []string{extractor.TablePOSIX, extractor.TableDXT},
+			Mitigations: "low per-rank counts and low volume through non-contiguous accesses; random reads confined to metadata/header structures",
+		},
+		{
+			Issue: issue.SharedFile,
+			Title: issue.Title(issue.SharedFile),
+			Knowledge: fmt.Sprintf(`When many ranks write one file, Lustre must
+serialize conflicting writes within a stripe unit through extent locks:
+two ranks touching the same %d-byte stripe unit force lock revocations
+that ping-pong between clients, and misaligned or interleaved writes
+magnify the conflict ranges. Shared-file access is NOT inherently bad —
+it is the standard way to produce a single output — so do not flag mere
+multi-rank access. Instead reconstruct per-rank byte ranges from the DXT
+trace and check (1) whether different ranks' accesses fall into the same
+stripe unit, and (2) whether such accesses overlap in time. Segmented
+access (rank k owns bytes [k*B,(k+1)*B) with stripe-aligned B) produces
+zero stripe sharing and needs no warning. Also consider the number of
+ranks per file: hundreds of ranks behind one file stress a single OST
+set even without conflicts.`, stripe),
+			KeyMetrics: []string{
+				"ranks per file (DXT)", "stripe-sharing between ranks (DXT offsets)",
+				"temporal overlap of conflicting accesses", "LUSTRE_STRIPE_SIZE", "LUSTRE_STRIPE_WIDTH",
+			},
+			Modules:     []string{extractor.TablePOSIX, extractor.TableLustre, extractor.TableDXT},
+			Mitigations: "non-overlapping (segmented, stripe-aligned) access; read-only sharing; collective buffering funneling writes through aggregators",
+		},
+		{
+			Issue: issue.LoadImbalance,
+			Title: issue.Title(issue.LoadImbalance),
+			Knowledge: `In a well-balanced parallel job every rank moves a
+similar volume of data. When one rank (classically rank 0) or a small
+subset performs most of the I/O, the job's I/O phase runs at the speed
+of the overloaded ranks while the rest idle. Reconstruct per-rank bytes
+and operation counts from the DXT trace (or, on the reduced shared-file
+record, compare POSIX_SLOWEST_RANK_BYTES against POSIX_FASTEST_RANK_BYTES
+and the variance counters). Quantify the imbalance as the share of total
+bytes moved by the heaviest rank(s) and identify WHICH ranks carry the
+load — naming the responsible rank is what lets a developer find the
+code path (e.g. fill values, master-writes-all patterns). Distinguish
+pathological imbalance from deliberate designs: a fixed subset of ranks
+acting as I/O aggregators (e.g. 1 in 16, matching collective-buffering
+node counts) is often intentional; note it and suggest verifying rather
+than declaring a defect.`,
+			KeyMetrics: []string{
+				"per-rank bytes/ops (DXT)", "POSIX_SLOWEST_RANK_BYTES", "POSIX_FASTEST_RANK_BYTES",
+				"POSIX_F_VARIANCE_RANK_BYTES", "POSIX_F_VARIANCE_RANK_TIME",
+			},
+			Modules:     []string{extractor.TablePOSIX, extractor.TableDXT},
+			Mitigations: "an even per-rank distribution, or a regular aggregator subset consistent with two-phase collective I/O",
+		},
+		{
+			Issue: issue.Metadata,
+			Title: issue.Title(issue.Metadata),
+			Knowledge: `Every open, create, stat, and close is a round trip to
+the metadata server (MDS), a resource shared by the whole machine and
+much harder to scale than data bandwidth. Workloads that open/close a
+file around every tiny access, stat files repeatedly, or churn through
+very many small files shift their bottleneck from data to metadata.
+Compare metadata operation counts (POSIX_OPENS, POSIX_STATS, POSIX_SEEKS,
+POSIX_FSYNCS) against data operation counts (POSIX_READS+POSIX_WRITES),
+and metadata time (POSIX_F_META_TIME) against read/write time. Also
+count distinct files: thousands of small per-rank files multiply MDS
+load. A metadata-to-data ratio near or above 1, or metadata time
+dominating I/O time, indicates the MDS is the bottleneck.`,
+			KeyMetrics: []string{
+				"POSIX_OPENS", "POSIX_STATS", "POSIX_SEEKS", "POSIX_FSYNCS",
+				"POSIX_F_META_TIME", "distinct file count",
+			},
+			Modules:     []string{extractor.TablePOSIX, extractor.TableSTDIO},
+			Mitigations: "metadata ops amortized over long data phases; file handles kept open across iterations",
+		},
+		{
+			Issue: issue.Interface,
+			Title: issue.Title(issue.Interface),
+			Knowledge: `MPI applications that perform I/O from many ranks
+through raw POSIX calls leave the MPI-IO layer's optimizations unused:
+collective buffering (two-phase I/O through a few aggregator nodes),
+data sieving, shared file pointers, and hint-driven tuning. The trace
+makes this visible structurally: the job runs multiple ranks (nprocs in
+the job table) and the POSIX module records parallel data access, while
+the MPI-IO module is absent or empty. This is an opportunity rather than
+an outright defect — a file-per-process POSIX pattern can perform well —
+but shared-file POSIX access from many ranks almost always benefits from
+MPI-IO collectives, and even file-per-process workloads gain portability
+and tuning hooks. Report which interfaces the application used, per
+module, and whether MPI-IO (and its collective operations) would apply.`,
+			KeyMetrics: []string{
+				"nprocs", "MPI-IO module presence", "MPIIO_INDEP_*", "MPIIO_COLL_*",
+				"POSIX read/write counts",
+			},
+			Modules:     []string{extractor.TablePOSIX, extractor.TableMPIIO, extractor.TableSTDIO},
+			Mitigations: "single-rank jobs; I/O already flowing through a higher-level parallel library",
+		},
+		{
+			Issue: issue.CollectiveIO,
+			Title: issue.Title(issue.CollectiveIO),
+			Knowledge: `When an application does use MPI-IO, the split between
+collective (MPIIO_COLL_READS/WRITES) and independent
+(MPIIO_INDEP_READS/WRITES) operations matters. Collective operations let
+ROMIO aggregate many ranks' small, strided requests into few large,
+aligned ones (two-phase I/O); independent operations hit the file system
+one by one. Many small independent MPI-IO accesses from many ranks to a
+shared file — especially when the file was opened collectively — signal
+either a library bug or a missed optimization: the application paid for
+MPI-IO but gets POSIX-like behavior. Check the collective share of data
+operations, and correlate with the small-I/O and alignment analyses: if
+independent accesses are large and aligned, independence is fine.`,
+			KeyMetrics: []string{
+				"MPIIO_COLL_READS", "MPIIO_COLL_WRITES", "MPIIO_INDEP_READS", "MPIIO_INDEP_WRITES",
+				"MPIIO_COLL_OPENS", "MPIIO_SIZE_*_AGG_* histogram",
+			},
+			Modules:     []string{extractor.TableMPIIO, extractor.TablePOSIX},
+			Mitigations: "independent accesses that are already large, aligned, and non-conflicting",
+		},
+		{
+			Issue: issue.TimeImbalance,
+			Title: issue.Title(issue.TimeImbalance),
+			Knowledge: `Beyond byte-count imbalance, ranks can diverge in the
+TIME they spend in I/O — stragglers stall every synchronization point
+that follows. On shared-file records Darshan reduces per-rank times into
+POSIX_F_FASTEST_RANK_TIME, POSIX_F_SLOWEST_RANK_TIME and
+POSIX_F_VARIANCE_RANK_TIME; the DXT trace yields full per-rank busy
+time. Compare the slowest rank's I/O time against the mean: a slowest/
+mean ratio far above the byte-imbalance ratio points at contention
+(lock conflicts, OST queueing) rather than workload skew, because equal
+work is taking unequal time. Report both the magnitude and the likely
+cause by cross-referencing the shared-file conflict analysis.`,
+			KeyMetrics: []string{
+				"POSIX_F_FASTEST_RANK_TIME", "POSIX_F_SLOWEST_RANK_TIME",
+				"POSIX_F_VARIANCE_RANK_TIME", "per-rank busy time (DXT)",
+			},
+			Modules:     []string{extractor.TablePOSIX, extractor.TableDXT},
+			Mitigations: "time spread proportional to deliberate work distribution; variance dominated by a single cold-start effect",
+		},
+	}
+}

@@ -1,0 +1,239 @@
+package knowledge
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"ion/internal/extractor"
+	"ion/internal/issue"
+	"ion/internal/table"
+)
+
+func TestBaseCoversAllIssues(t *testing.T) {
+	b := NewBase(DefaultHyperparams())
+	ids := b.Issues()
+	if len(ids) != len(issue.All) {
+		t.Fatalf("base covers %d issues, taxonomy has %d", len(ids), len(issue.All))
+	}
+	for _, id := range issue.All {
+		c, err := b.Context(id)
+		if err != nil {
+			t.Errorf("%s: %v", id, err)
+			continue
+		}
+		if len(strings.Fields(c.Knowledge)) < 60 {
+			t.Errorf("%s: knowledge text too thin (%d words)", id, len(strings.Fields(c.Knowledge)))
+		}
+		if len(c.KeyMetrics) == 0 {
+			t.Errorf("%s: no key metrics", id)
+		}
+		if len(c.Modules) == 0 {
+			t.Errorf("%s: no module map", id)
+		}
+		if c.Mitigations == "" {
+			t.Errorf("%s: no mitigation description", id)
+		}
+		if c.Title != issue.Title(id) {
+			t.Errorf("%s: title mismatch", id)
+		}
+	}
+}
+
+func TestContextsEmbedHyperparams(t *testing.T) {
+	h := Hyperparams{RPCSize: 12345678, StripeSize: 7654321, MemAlignment: 8}
+	b := NewBase(h)
+	small, err := b.Context(issue.SmallIO)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(small.Knowledge, "12345678") {
+		t.Error("small-io context does not mention the RPC size")
+	}
+	mis, err := b.Context(issue.MisalignedIO)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(mis.Knowledge, "7654321") {
+		t.Error("alignment context does not mention the stripe size")
+	}
+}
+
+func TestContextsTeachMitigation(t *testing.T) {
+	// The differentiator from trigger tools: each context must teach
+	// when the issue is NOT a problem.
+	b := NewBase(DefaultHyperparams())
+	small, _ := b.Context(issue.SmallIO)
+	if !strings.Contains(strings.ToLower(small.Knowledge), "consecutive") {
+		t.Error("small-io context must teach consecutive-access aggregation")
+	}
+	shared, _ := b.Context(issue.SharedFile)
+	if !strings.Contains(strings.ToLower(shared.Knowledge), "not inherently bad") {
+		t.Error("shared-file context must caution against flagging mere sharing")
+	}
+	imb, _ := b.Context(issue.LoadImbalance)
+	if !strings.Contains(strings.ToLower(imb.Knowledge), "aggregator") {
+		t.Error("imbalance context must mention intentional aggregator subsets")
+	}
+}
+
+func TestModulesForIncludesJob(t *testing.T) {
+	b := NewBase(DefaultHyperparams())
+	mods, err := b.ModulesFor(issue.SmallIO)
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, m := range mods {
+		if m == extractor.TableJob {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("JOB table not always included")
+	}
+	if _, err := b.ModulesFor("bogus"); err == nil {
+		t.Error("unknown issue accepted")
+	}
+}
+
+func TestModuleMapsAreValidTables(t *testing.T) {
+	valid := map[string]bool{
+		extractor.TablePOSIX: true, extractor.TableMPIIO: true,
+		extractor.TableSTDIO: true, extractor.TableLustre: true,
+		extractor.TableDXT: true, extractor.TableJob: true,
+	}
+	b := NewBase(DefaultHyperparams())
+	for _, id := range b.Issues() {
+		c, _ := b.Context(id)
+		for _, m := range c.Modules {
+			if !valid[m] {
+				t.Errorf("%s: unknown module table %q", id, m)
+			}
+		}
+	}
+}
+
+func TestFromExtract(t *testing.T) {
+	out := &extractor.Output{Tables: map[string]*table.Table{}}
+	// No LUSTRE table: defaults.
+	h := FromExtract(out)
+	if h != DefaultHyperparams() {
+		t.Errorf("defaults expected, got %+v", h)
+	}
+	// With a LUSTRE table: stripe size read dynamically.
+	lt := table.New(extractor.TableLustre, []string{"LUSTRE_STRIPE_SIZE"})
+	if err := lt.Append([]string{"4194304"}); err != nil {
+		t.Fatal(err)
+	}
+	out.Tables[extractor.TableLustre] = lt
+	h2 := FromExtract(out)
+	if h2.StripeSize != 4194304 {
+		t.Errorf("stripe size not extracted: %+v", h2)
+	}
+	// Garbage stripe size: defaults survive.
+	lt2 := table.New(extractor.TableLustre, []string{"LUSTRE_STRIPE_SIZE"})
+	if err := lt2.Append([]string{"0"}); err != nil {
+		t.Fatal(err)
+	}
+	out.Tables[extractor.TableLustre] = lt2
+	h3 := FromExtract(out)
+	if h3.StripeSize != DefaultHyperparams().StripeSize {
+		t.Errorf("zero stripe size accepted: %+v", h3)
+	}
+}
+
+func writeContextFile(t *testing.T, dir, name string, cf ContextFile) {
+	t.Helper()
+	data, err := json.MarshalIndent(cf, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, name), data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLoadOverrides(t *testing.T) {
+	dir := t.TempDir()
+	writeContextFile(t, dir, "small.json", ContextFile{
+		Issue:     "small-io",
+		Knowledge: "Site-specific guidance: our burst buffer absorbs requests down to 64 KiB.",
+	})
+	writeContextFile(t, dir, "meta.json", ContextFile{
+		Issue:       "metadata",
+		Title:       "MDS Overload (site policy)",
+		Mitigations: "metadata ops against the DAOS tier are free",
+	})
+	b := NewBase(DefaultHyperparams())
+	n, err := b.LoadOverrides(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 2 {
+		t.Errorf("changed = %d", n)
+	}
+	small, _ := b.Context(issue.SmallIO)
+	if !strings.Contains(small.Knowledge, "burst buffer") {
+		t.Error("knowledge not overridden")
+	}
+	if small.Title != issue.Title(issue.SmallIO) {
+		t.Error("unset fields must keep built-in values")
+	}
+	meta, _ := b.Context(issue.Metadata)
+	if meta.Title != "MDS Overload (site policy)" {
+		t.Error("title not overridden")
+	}
+	if !strings.Contains(meta.Knowledge, "metadata server") {
+		t.Error("built-in knowledge lost despite empty override field")
+	}
+}
+
+func TestLoadOverridesErrors(t *testing.T) {
+	b := NewBase(DefaultHyperparams())
+	if _, err := b.LoadOverrides(t.TempDir()); err == nil {
+		t.Error("empty dir accepted")
+	}
+	if _, err := b.LoadOverrides("/nonexistent-kb"); err == nil {
+		t.Error("missing dir accepted")
+	}
+
+	dir := t.TempDir()
+	writeContextFile(t, dir, "bad.json", ContextFile{Issue: "made-up", Knowledge: "x"})
+	if _, err := b.LoadOverrides(dir); err == nil {
+		t.Error("unknown issue accepted")
+	}
+
+	dir2 := t.TempDir()
+	writeContextFile(t, dir2, "empty.json", ContextFile{Issue: "small-io"})
+	if _, err := b.LoadOverrides(dir2); err == nil {
+		t.Error("empty override accepted")
+	}
+
+	dir3 := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir3, "corrupt.json"), []byte("{nope"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.LoadOverrides(dir3); err == nil {
+		t.Error("corrupt JSON accepted")
+	}
+}
+
+func TestOverriddenContextReachesPrompts(t *testing.T) {
+	// The override must flow into the diagnosis prompt text.
+	dir := t.TempDir()
+	writeContextFile(t, dir, "x.json", ContextFile{
+		Issue:     "misaligned-io",
+		Knowledge: "UNIQUE-OVERRIDE-MARKER alignment guidance",
+	})
+	b := NewBase(DefaultHyperparams())
+	if _, err := b.LoadOverrides(dir); err != nil {
+		t.Fatal(err)
+	}
+	c, _ := b.Context(issue.MisalignedIO)
+	if !strings.Contains(c.Knowledge, "UNIQUE-OVERRIDE-MARKER") {
+		t.Error("override lost")
+	}
+}

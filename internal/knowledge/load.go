@@ -1,0 +1,98 @@
+package knowledge
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"ion/internal/issue"
+)
+
+// ContextFile is the on-disk JSON shape for a knowledge override. The
+// paper highlights that in-context learning allows "dynamic adjustment
+// of the context to meet the specific needs of scientists": sites tune
+// the issue contexts (their file system's quirks, their tuning
+// vocabulary) without recompiling by dropping JSON files into a
+// directory and passing it to `ion -kb`.
+type ContextFile struct {
+	Issue       string   `json:"issue"`
+	Title       string   `json:"title,omitempty"`
+	Knowledge   string   `json:"knowledge"`
+	KeyMetrics  []string `json:"key_metrics,omitempty"`
+	Modules     []string `json:"modules,omitempty"`
+	Mitigations string   `json:"mitigations,omitempty"`
+}
+
+// LoadOverrides merges every *.json context file in dir into the base,
+// replacing the named issues' contexts field-by-field (empty fields
+// keep the built-in value). It returns the number of contexts changed.
+// Only issues in the taxonomy can be overridden: a custom issue type
+// would also need an analysis planner (or a live LLM backend), so an
+// unknown id is an error rather than a silent no-op.
+func (b *Base) LoadOverrides(dir string) (int, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return 0, fmt.Errorf("knowledge: %w", err)
+	}
+	var names []string
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".json") {
+			names = append(names, e.Name())
+		}
+	}
+	sort.Strings(names)
+	changed := 0
+	for _, name := range names {
+		path := filepath.Join(dir, name)
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return changed, fmt.Errorf("knowledge: %w", err)
+		}
+		var cf ContextFile
+		if err := json.Unmarshal(data, &cf); err != nil {
+			return changed, fmt.Errorf("knowledge: parsing %s: %w", path, err)
+		}
+		if err := b.applyOverride(path, cf); err != nil {
+			return changed, err
+		}
+		changed++
+	}
+	if changed == 0 {
+		return 0, fmt.Errorf("knowledge: no context files (*.json) found in %s", dir)
+	}
+	return changed, nil
+}
+
+func (b *Base) applyOverride(path string, cf ContextFile) error {
+	id := issue.ID(cf.Issue)
+	if !issue.Valid(id) {
+		return fmt.Errorf("knowledge: %s overrides unknown issue %q (taxonomy: %v)", path, cf.Issue, issue.All)
+	}
+	c, err := b.Context(id)
+	if err != nil {
+		return err
+	}
+	if strings.TrimSpace(cf.Knowledge) == "" && cf.Title == "" &&
+		len(cf.KeyMetrics) == 0 && len(cf.Modules) == 0 && cf.Mitigations == "" {
+		return fmt.Errorf("knowledge: %s overrides nothing for issue %q", path, cf.Issue)
+	}
+	if cf.Title != "" {
+		c.Title = cf.Title
+	}
+	if strings.TrimSpace(cf.Knowledge) != "" {
+		c.Knowledge = cf.Knowledge
+	}
+	if len(cf.KeyMetrics) > 0 {
+		c.KeyMetrics = append([]string(nil), cf.KeyMetrics...)
+	}
+	if len(cf.Modules) > 0 {
+		c.Modules = append([]string(nil), cf.Modules...)
+	}
+	if cf.Mitigations != "" {
+		c.Mitigations = cf.Mitigations
+	}
+	return nil
+}

@@ -1,0 +1,119 @@
+package llm_test
+
+// Integration tests for the record/replay flow against the real ION
+// pipeline: a full analysis is recorded once, then replayed with the
+// backend disabled — the reproducibility workflow users rely on when a
+// live LLM backs the analyzer.
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"ion/internal/expertsim"
+	"ion/internal/ion"
+	"ion/internal/issue"
+	"ion/internal/llm"
+	"ion/internal/testutil"
+)
+
+// deadClient fails every request; replay must never reach it.
+type deadClient struct{}
+
+func (deadClient) Name() string { return "dead" }
+func (deadClient) Complete(ctx context.Context, req llm.Request) (llm.Completion, error) {
+	return llm.Completion{}, errors.New("backend must not be called during replay")
+}
+
+func TestRecordThenReplayFullAnalysis(t *testing.T) {
+	log, err := testutil.Log("ior-hard")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cassettes := t.TempDir()
+	workdir := t.TempDir()
+
+	// Pass 1: record a full analysis.
+	rec, err := llm.NewRecorder(expertsim.New(), cassettes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fw1, err := ion.New(ion.Config{Client: rec})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep1, err := fw1.AnalyzeLog(context.Background(), log, "ior-hard", workdir)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Pass 2: replay with a dead backend. The extraction must land in
+	// the same workdir so the prompts (and fingerprints) are identical.
+	replay, err := llm.NewReplay(cassettes, deadClient{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fw2, err := ion.New(ion.Config{Client: replay})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep2, err := fw2.AnalyzeLog(context.Background(), log, "ior-hard", workdir)
+	if err != nil {
+		t.Fatalf("replayed analysis failed (cassette miss?): %v", err)
+	}
+
+	for _, id := range issue.All {
+		if rep1.Verdict(id) != rep2.Verdict(id) {
+			t.Errorf("%s: verdict changed between record (%s) and replay (%s)",
+				id, rep1.Verdict(id), rep2.Verdict(id))
+		}
+		d1, d2 := rep1.Diagnoses[id], rep2.Diagnoses[id]
+		if d1 != nil && d2 != nil && d1.Conclusion != d2.Conclusion {
+			t.Errorf("%s: conclusion changed through replay", id)
+		}
+	}
+	if rep1.Summary != rep2.Summary {
+		t.Error("summary changed through replay")
+	}
+}
+
+func TestReplayDifferentTraceFallsBack(t *testing.T) {
+	// A cassette dir recorded for one trace cannot serve another: the
+	// fallback client must be consulted.
+	log, err := testutil.Log("ior-easy-1m-fpp")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cassettes := t.TempDir()
+	rec, err := llm.NewRecorder(expertsim.New(), cassettes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fw, err := ion.New(ion.Config{Client: rec, SkipSummary: true, Issues: []issue.ID{issue.SmallIO}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fw.AnalyzeLog(context.Background(), log, "a", t.TempDir()); err != nil {
+		t.Fatal(err)
+	}
+
+	other, err := testutil.Log("md-workbench")
+	if err != nil {
+		t.Fatal(err)
+	}
+	replay, err := llm.NewReplay(cassettes, expertsim.New())
+	if err != nil {
+		t.Fatal(err)
+	}
+	fw2, err := ion.New(ion.Config{Client: replay, SkipSummary: true, Issues: []issue.ID{issue.SmallIO}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := fw2.AnalyzeLog(context.Background(), other, "b", t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Verdict(issue.SmallIO) != issue.VerdictDetected {
+		t.Errorf("fallback analysis wrong: %s", rep.Verdict(issue.SmallIO))
+	}
+}

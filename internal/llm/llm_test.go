@@ -1,0 +1,375 @@
+package llm
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func sampleRequest() Request {
+	return Request{
+		Model: "test-model",
+		Messages: []Message{
+			{Role: RoleSystem, Content: "you are an expert"},
+			{Role: RoleUser, Content: "analyze this"},
+		},
+		Metadata: map[string]string{"ion-issue": "small-io"},
+	}
+}
+
+func TestFingerprintStability(t *testing.T) {
+	a := Fingerprint(sampleRequest())
+	b := Fingerprint(sampleRequest())
+	if a != b {
+		t.Error("fingerprint not deterministic")
+	}
+	mod := sampleRequest()
+	mod.Messages[1].Content = "analyze that"
+	if Fingerprint(mod) == a {
+		t.Error("content change did not change fingerprint")
+	}
+	mod2 := sampleRequest()
+	mod2.Metadata["ion-issue"] = "metadata"
+	if Fingerprint(mod2) == a {
+		t.Error("metadata change did not change fingerprint")
+	}
+}
+
+func TestFingerprintMetadataOrderInsensitive(t *testing.T) {
+	a := sampleRequest()
+	a.Metadata = map[string]string{"k1": "v1", "k2": "v2", "k3": "v3"}
+	b := sampleRequest()
+	b.Metadata = map[string]string{"k3": "v3", "k1": "v1", "k2": "v2"}
+	if Fingerprint(a) != Fingerprint(b) {
+		t.Error("fingerprint sensitive to map iteration order")
+	}
+}
+
+func TestFingerprintCollisionResistanceProperty(t *testing.T) {
+	f := func(a, b string) bool {
+		if a == b {
+			return true
+		}
+		ra := Request{Messages: []Message{{Role: RoleUser, Content: a}}}
+		rb := Request{Messages: []Message{{Role: RoleUser, Content: b}}}
+		return Fingerprint(ra) != Fingerprint(rb)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEstimateTokens(t *testing.T) {
+	if EstimateTokens("") != 0 {
+		t.Error("empty string should be 0 tokens")
+	}
+	if got := EstimateTokens("abcd"); got != 1 {
+		t.Errorf("4 chars = %d tokens", got)
+	}
+	if got := EstimateTokens("abcde"); got != 2 {
+		t.Errorf("5 chars = %d tokens (ceil)", got)
+	}
+	req := sampleRequest()
+	if PromptTokens(req) <= 0 {
+		t.Error("prompt tokens not positive")
+	}
+}
+
+func TestUsageTotal(t *testing.T) {
+	u := Usage{PromptTokens: 10, CompletionTokens: 5}
+	if u.Total() != 15 {
+		t.Errorf("total = %d", u.Total())
+	}
+}
+
+// --- OpenAI client ---
+
+func chatHandler(t *testing.T, reply string, status int) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		t.Helper()
+		if r.URL.Path != "/v1/chat/completions" {
+			t.Errorf("unexpected path %s", r.URL.Path)
+		}
+		if status != http.StatusOK {
+			w.WriteHeader(status)
+			fmt.Fprint(w, `{"error":{"message":"boom"}}`)
+			return
+		}
+		var req chatRequest
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			t.Errorf("bad request body: %v", err)
+		}
+		resp := map[string]interface{}{
+			"model": req.Model,
+			"choices": []map[string]interface{}{
+				{"message": map[string]string{"role": "assistant", "content": reply}},
+			},
+			"usage": map[string]int{"prompt_tokens": 11, "completion_tokens": 7},
+		}
+		if err := json.NewEncoder(w).Encode(resp); err != nil {
+			t.Error(err)
+		}
+	}
+}
+
+func TestOpenAIComplete(t *testing.T) {
+	var gotAuth string
+	mux := http.NewServeMux()
+	mux.HandleFunc("/v1/chat/completions", func(w http.ResponseWriter, r *http.Request) {
+		gotAuth = r.Header.Get("Authorization")
+		chatHandler(t, "diagnosis text", http.StatusOK)(w, r)
+	})
+	srv := httptest.NewServer(mux)
+	defer srv.Close()
+
+	c, err := NewOpenAI(OpenAIConfig{BaseURL: srv.URL + "/v1", APIKey: "sk-test", Model: "m"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	comp, err := c.Complete(context.Background(), sampleRequest())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if comp.Content != "diagnosis text" {
+		t.Errorf("content = %q", comp.Content)
+	}
+	if comp.Usage.PromptTokens != 11 || comp.Usage.CompletionTokens != 7 {
+		t.Errorf("usage = %+v", comp.Usage)
+	}
+	if gotAuth != "Bearer sk-test" {
+		t.Errorf("auth header = %q", gotAuth)
+	}
+	if c.Name() != "openai" {
+		t.Errorf("name = %q", c.Name())
+	}
+}
+
+func TestOpenAIRetriesOn500(t *testing.T) {
+	var calls int32
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if atomic.AddInt32(&calls, 1) < 3 {
+			w.WriteHeader(http.StatusInternalServerError)
+			return
+		}
+		chatHandler(t, "ok after retries", http.StatusOK)(w, r)
+	}))
+	defer srv.Close()
+
+	c, err := NewOpenAI(OpenAIConfig{
+		BaseURL: srv.URL + "/v1", MaxRetries: 3, RetryBackoff: time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	comp, err := c.Complete(context.Background(), sampleRequest())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if comp.Content != "ok after retries" {
+		t.Errorf("content = %q", comp.Content)
+	}
+	if calls != 3 {
+		t.Errorf("calls = %d, want 3", calls)
+	}
+}
+
+func TestOpenAIDoesNotRetryOn400(t *testing.T) {
+	var calls int32
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		atomic.AddInt32(&calls, 1)
+		w.WriteHeader(http.StatusBadRequest)
+		fmt.Fprint(w, `{"error":{"message":"bad request"}}`)
+	}))
+	defer srv.Close()
+
+	c, err := NewOpenAI(OpenAIConfig{BaseURL: srv.URL + "/v1", RetryBackoff: time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Complete(context.Background(), sampleRequest()); err == nil {
+		t.Fatal("400 should fail")
+	}
+	if calls != 1 {
+		t.Errorf("client retried a 400: %d calls", calls)
+	}
+}
+
+func TestOpenAIGivesUpAfterRetries(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusTooManyRequests)
+	}))
+	defer srv.Close()
+	c, err := NewOpenAI(OpenAIConfig{BaseURL: srv.URL + "/v1", MaxRetries: 2, RetryBackoff: time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = c.Complete(context.Background(), sampleRequest())
+	if err == nil || !strings.Contains(err.Error(), "giving up") {
+		t.Errorf("expected give-up error, got %v", err)
+	}
+}
+
+func TestOpenAIInlinesFiles(t *testing.T) {
+	dir := t.TempDir()
+	csv := dir + "/POSIX.csv"
+	if err := os.WriteFile(csv, []byte("a,b\n1,2\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var sawAttachment bool
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		var req chatRequest
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			t.Error(err)
+		}
+		for _, m := range req.Messages {
+			if strings.Contains(m.Content, "POSIX.csv") && strings.Contains(m.Content, "a,b") {
+				sawAttachment = true
+			}
+		}
+		resp := map[string]interface{}{
+			"model":   req.Model,
+			"choices": []map[string]interface{}{{"message": map[string]string{"role": "assistant", "content": "ok"}}},
+		}
+		if err := json.NewEncoder(w).Encode(resp); err != nil {
+			t.Error(err)
+		}
+	}))
+	defer srv.Close()
+
+	c, err := NewOpenAI(OpenAIConfig{BaseURL: srv.URL + "/v1"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	req := sampleRequest()
+	req.Files = []string{csv}
+	if _, err := c.Complete(context.Background(), req); err != nil {
+		t.Fatal(err)
+	}
+	if !sawAttachment {
+		t.Error("file contents not inlined into the prompt")
+	}
+}
+
+func TestOpenAIRequiresBaseURL(t *testing.T) {
+	if _, err := NewOpenAI(OpenAIConfig{}); err == nil {
+		t.Error("missing BaseURL accepted")
+	}
+}
+
+// --- record / replay ---
+
+type stubClient struct {
+	reply string
+	calls int32
+	err   error
+}
+
+func (s *stubClient) Name() string { return "stub" }
+func (s *stubClient) Complete(ctx context.Context, req Request) (Completion, error) {
+	atomic.AddInt32(&s.calls, 1)
+	if s.err != nil {
+		return Completion{}, s.err
+	}
+	return Completion{Content: s.reply, Model: "stub"}, nil
+}
+
+func TestRecordReplayRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	stub := &stubClient{reply: "recorded answer"}
+	rec, err := NewRecorder(stub, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req := sampleRequest()
+	comp, err := rec.Complete(context.Background(), req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if comp.Content != "recorded answer" {
+		t.Errorf("content = %q", comp.Content)
+	}
+
+	replay, err := NewReplay(dir, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := replay.Complete(context.Background(), req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Content != "recorded answer" {
+		t.Errorf("replayed = %q", got.Content)
+	}
+	if stub.calls != 1 {
+		t.Errorf("inner called %d times, want 1", stub.calls)
+	}
+}
+
+func TestReplayStrictMissing(t *testing.T) {
+	replay, err := NewReplay(t.TempDir(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := replay.Complete(context.Background(), sampleRequest()); err == nil {
+		t.Error("missing cassette accepted in strict mode")
+	}
+}
+
+func TestReplayFallback(t *testing.T) {
+	stub := &stubClient{reply: "live answer"}
+	replay, err := NewReplay(t.TempDir(), stub)
+	if err != nil {
+		t.Fatal(err)
+	}
+	comp, err := replay.Complete(context.Background(), sampleRequest())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if comp.Content != "live answer" {
+		t.Errorf("fallback not used: %q", comp.Content)
+	}
+}
+
+func TestRecorderPropagatesErrors(t *testing.T) {
+	rec, err := NewRecorder(&stubClient{err: errors.New("down")}, t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := rec.Complete(context.Background(), sampleRequest()); err == nil {
+		t.Error("inner error swallowed")
+	}
+}
+
+func TestReplayRejectsNonDirectory(t *testing.T) {
+	f, err := os.CreateTemp(t.TempDir(), "file")
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	if _, err := NewReplay(f.Name(), nil); err == nil {
+		t.Error("file path accepted as cassette dir")
+	}
+}
+
+func TestMarshalRequest(t *testing.T) {
+	data, err := MarshalRequest(sampleRequest())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Request
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Model != "test-model" || len(back.Messages) != 2 {
+		t.Errorf("round trip lost data: %+v", back)
+	}
+}

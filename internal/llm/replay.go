@@ -1,0 +1,95 @@
+package llm
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+)
+
+// Recorder wraps a client and persists every (request, completion)
+// pair under a directory, keyed by the request fingerprint. Recording
+// a session once makes later runs reproducible through Replay — ION's
+// answer to non-deterministic LLM backends in regression tests.
+type Recorder struct {
+	inner Client
+	dir   string
+	mu    sync.Mutex
+}
+
+// NewRecorder returns a recording wrapper storing into dir.
+func NewRecorder(inner Client, dir string) (*Recorder, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("llm: recorder: %w", err)
+	}
+	return &Recorder{inner: inner, dir: dir}, nil
+}
+
+// Name implements Client.
+func (r *Recorder) Name() string { return r.inner.Name() + "+record" }
+
+type cassette struct {
+	Request    Request    `json:"request"`
+	Completion Completion `json:"completion"`
+}
+
+// Complete implements Client: delegates, then persists.
+func (r *Recorder) Complete(ctx context.Context, req Request) (Completion, error) {
+	comp, err := r.inner.Complete(ctx, req)
+	if err != nil {
+		return Completion{}, err
+	}
+	data, err := json.MarshalIndent(cassette{Request: req, Completion: comp}, "", "  ")
+	if err != nil {
+		return Completion{}, fmt.Errorf("llm: recorder: %w", err)
+	}
+	path := filepath.Join(r.dir, Fingerprint(req)+".json")
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		return Completion{}, fmt.Errorf("llm: recorder: %w", err)
+	}
+	return comp, nil
+}
+
+// Replay serves completions recorded by Recorder. Unknown requests
+// fail (strict mode) or fall through to an optional fallback client.
+type Replay struct {
+	dir      string
+	fallback Client
+}
+
+// NewReplay returns a replay client reading from dir. fallback may be
+// nil, making unknown requests an error.
+func NewReplay(dir string, fallback Client) (*Replay, error) {
+	info, err := os.Stat(dir)
+	if err != nil {
+		return nil, fmt.Errorf("llm: replay: %w", err)
+	}
+	if !info.IsDir() {
+		return nil, fmt.Errorf("llm: replay: %s is not a directory", dir)
+	}
+	return &Replay{dir: dir, fallback: fallback}, nil
+}
+
+// Name implements Client.
+func (r *Replay) Name() string { return "replay" }
+
+// Complete implements Client.
+func (r *Replay) Complete(ctx context.Context, req Request) (Completion, error) {
+	path := filepath.Join(r.dir, Fingerprint(req)+".json")
+	data, err := os.ReadFile(path)
+	if err != nil {
+		if os.IsNotExist(err) && r.fallback != nil {
+			return r.fallback.Complete(ctx, req)
+		}
+		return Completion{}, fmt.Errorf("llm: replay: no recording for request %s: %w", Fingerprint(req), err)
+	}
+	var c cassette
+	if err := json.Unmarshal(data, &c); err != nil {
+		return Completion{}, fmt.Errorf("llm: replay: corrupt cassette %s: %w", path, err)
+	}
+	return c.Completion, nil
+}

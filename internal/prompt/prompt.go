@@ -1,0 +1,271 @@
+// Package prompt constructs the Analyzer's LLM prompts: one diagnosis
+// prompt per I/O issue (issue context + CSV column descriptions
+// filtered by the issue's module map + chain-of-thought instructions +
+// output format), a global summarization prompt, and interactive
+// follow-up prompts. This is the paper's divide-and-conquer prompting
+// design: many focused prompts instead of one voluminous one.
+package prompt
+
+import (
+	"fmt"
+	"strings"
+
+	"ion/internal/darshan"
+	"ion/internal/extractor"
+	"ion/internal/issue"
+	"ion/internal/knowledge"
+	"ion/internal/llm"
+)
+
+// Metadata keys attached to requests for routing and replay.
+const (
+	MetaKind   = "ion-kind" // "diagnosis", "summary", or "chat"
+	MetaIssue  = "ion-issue"
+	MetaCSVDir = "ion-csv-dir"
+)
+
+// Request kinds.
+const (
+	KindDiagnosis = "diagnosis"
+	KindSummary   = "summary"
+	KindChat      = "chat"
+)
+
+// Output format markers the model is instructed to emit and the
+// Analyzer parses back out of completions.
+const (
+	SectionSteps      = "### ANALYSIS STEPS"
+	SectionCode       = "### ANALYSIS CODE"
+	SectionConclusion = "### CONCLUSION"
+	VerdictPrefix     = "VERDICT:"
+)
+
+// systemPersona is the shared system message.
+const systemPersona = `You are ION, an expert in HPC parallel I/O
+performance: POSIX, MPI-IO, HDF5/PnetCDF, and the Lustre file system.
+You analyze Darshan trace data extracted into CSV files. You reason
+carefully step by step, write and execute analysis code against the
+attached CSVs, ground every claim in computed numbers, and clearly
+separate genuine performance problems from benign patterns.`
+
+// Builder assembles prompts from a knowledge base.
+type Builder struct {
+	KB    *knowledge.Base
+	Model string
+}
+
+// NewBuilder returns a Builder for the knowledge base.
+func NewBuilder(kb *knowledge.Base) *Builder {
+	return &Builder{KB: kb, Model: "gpt-4-1106-preview"}
+}
+
+// Diagnosis builds the per-issue diagnosis prompt. The CSV descriptions
+// are filtered to the issue's module map; file attachments reference
+// the extracted CSV paths.
+func (b *Builder) Diagnosis(id issue.ID, out *extractor.Output) (llm.Request, error) {
+	ctx, err := b.KB.Context(id)
+	if err != nil {
+		return llm.Request{}, err
+	}
+	mods, err := b.KB.ModulesFor(id)
+	if err != nil {
+		return llm.Request{}, err
+	}
+
+	var u strings.Builder
+	fmt.Fprintf(&u, "# Diagnosis request: %s\n\n", ctx.Title)
+	fmt.Fprintf(&u, "Issue-ID: %s\n\n", id)
+
+	u.WriteString("## I/O Performance Issue Context\n\n")
+	u.WriteString(strings.TrimSpace(ctx.Knowledge))
+	u.WriteString("\n\n")
+	fmt.Fprintf(&u, "Key metrics: %s\n\n", strings.Join(ctx.KeyMetrics, ", "))
+	fmt.Fprintf(&u, "Conditions that mitigate this issue: %s.\n\n", ctx.Mitigations)
+
+	u.WriteString("## System hyper-parameters\n\n")
+	fmt.Fprintf(&u, "- lustre_stripe_size = %d bytes\n", b.KB.Hyper.StripeSize)
+	fmt.Fprintf(&u, "- rpc_size = %d bytes\n", b.KB.Hyper.RPCSize)
+	fmt.Fprintf(&u, "- mem_alignment = %d bytes\n\n", b.KB.Hyper.MemAlignment)
+
+	u.WriteString("## Job\n\n")
+	h := out.Header
+	fmt.Fprintf(&u, "- exe: %s\n- nprocs: %d\n- run time: %.3f s\n\n", h.Exe, h.NProcs, h.RunTime)
+
+	u.WriteString("## Attached trace data\n\n")
+	var files []string
+	for _, mod := range mods {
+		t := out.Table(mod)
+		if t == nil {
+			continue
+		}
+		if p, ok := out.Paths[mod]; ok {
+			files = append(files, p)
+		}
+		fmt.Fprintf(&u, "### %s.csv (%d rows)\n\n", mod, t.NumRows())
+		describeColumns(&u, mod, t.Cols)
+		u.WriteString("\n")
+	}
+
+	u.WriteString("## Task\n\n")
+	u.WriteString(`Determine whether this issue is present in the trace and how severe
+it is. Think step by step: (1) state which metrics you will compute and
+why, (2) write analysis code against the attached CSVs and execute it,
+(3) interpret each computed number against the issue context, explicitly
+checking the mitigating conditions before concluding. Quantify every
+claim (counts and percentages) and name the affected files and ranks.
+
+`)
+	u.WriteString("## Output format\n\n")
+	fmt.Fprintf(&u, `Respond with exactly these sections:
+
+%s
+A numbered list of reasoning steps, each grounded in a computed value.
+
+%s
+The analysis code you executed, in one fenced python block.
+
+%s
+A short diagnosis paragraph for the user. End with a single line:
+%s detected|mitigated|not-detected
+`, SectionSteps, SectionCode, SectionConclusion, VerdictPrefix)
+
+	req := llm.Request{
+		Model: b.Model,
+		Messages: []llm.Message{
+			{Role: llm.RoleSystem, Content: systemPersona},
+			{Role: llm.RoleUser, Content: u.String()},
+		},
+		Files:       files,
+		Temperature: 0,
+		Metadata: map[string]string{
+			MetaKind:  KindDiagnosis,
+			MetaIssue: string(id),
+		},
+	}
+	if dir := csvDir(out); dir != "" {
+		req.Metadata[MetaCSVDir] = dir
+	}
+	return req, nil
+}
+
+// Summary builds the global summarization prompt over the per-issue
+// conclusions.
+func (b *Builder) Summary(conclusions map[issue.ID]string) llm.Request {
+	var u strings.Builder
+	u.WriteString("# Summarization request\n\n")
+	u.WriteString("## Diagnoses to summarize\n\n")
+	for _, id := range b.KB.Issues() {
+		c, ok := conclusions[id]
+		if !ok {
+			continue
+		}
+		fmt.Fprintf(&u, "### %s [%s]\n\n%s\n\n", issue.Title(id), id, strings.TrimSpace(c))
+	}
+	u.WriteString(`## Task
+
+Write a global diagnosis summary for the scientist who ran this
+application: open with the overall health of the run's I/O, then cover
+the detected issues in order of severity with their key numbers, then
+note the patterns that looked suspicious but turned out benign (and
+why), and close with the most impactful optimization suggestions.
+`)
+	return llm.Request{
+		Model: b.Model,
+		Messages: []llm.Message{
+			{Role: llm.RoleSystem, Content: systemPersona},
+			{Role: llm.RoleUser, Content: u.String()},
+		},
+		Temperature: 0,
+		Metadata:    map[string]string{MetaKind: KindSummary},
+	}
+}
+
+// Chat builds an interactive follow-up prompt: the accumulated
+// diagnosis context plus the user's question and the running
+// conversation.
+func (b *Builder) Chat(reportContext string, history []llm.Message, question string) llm.Request {
+	var u strings.Builder
+	u.WriteString("# Interactive question\n\n")
+	u.WriteString("## Diagnosis context\n\n")
+	u.WriteString(strings.TrimSpace(reportContext))
+	u.WriteString("\n\n## Question\n\n")
+	u.WriteString(strings.TrimSpace(question))
+	u.WriteString("\n")
+
+	msgs := []llm.Message{{Role: llm.RoleSystem, Content: systemPersona}}
+	msgs = append(msgs, history...)
+	msgs = append(msgs, llm.Message{Role: llm.RoleUser, Content: u.String()})
+	return llm.Request{
+		Model:       b.Model,
+		Messages:    msgs,
+		Temperature: 0,
+		Metadata:    map[string]string{MetaKind: KindChat},
+	}
+}
+
+// describeColumns writes one bullet per column, using the Darshan
+// counter documentation where available.
+func describeColumns(w *strings.Builder, mod string, cols []string) {
+	for _, c := range cols {
+		doc := columnDoc(mod, c)
+		fmt.Fprintf(w, "- %s: %s\n", c, doc)
+	}
+}
+
+func columnDoc(mod, col string) string {
+	switch col {
+	case "file_id":
+		return "Darshan record id of the file"
+	case "file_name":
+		return "full path of the file"
+	case "rank":
+		return "MPI rank, or -1 for a record reduced across all ranks of a shared file"
+	case "module":
+		return "tracing module that captured the event (X_POSIX or X_MPIIO)"
+	case "op":
+		return "operation type: read or write"
+	case "segment":
+		return "per-rank sequence number of the event within the file"
+	case "offset":
+		return "file offset of the access in bytes"
+	case "length":
+		return "size of the access in bytes"
+	case "start":
+		return "operation start time in seconds since job start"
+	case "end":
+		return "operation end time in seconds since job start"
+	case "osts":
+		return "semicolon-separated Lustre OST indices that served the access"
+	case "OST_IDS":
+		return "semicolon-separated OST indices the file is striped over, in stripe order"
+	case "exe":
+		return "application command line"
+	case "nprocs":
+		return "number of MPI processes in the job"
+	case "run_time":
+		return "job wall-clock time in seconds"
+	case "start_time", "end_time":
+		return "job start/end as epoch seconds"
+	case "jobid":
+		return "scheduler job id"
+	case "uid":
+		return "numeric user id"
+	}
+	if doc, ok := darshan.CounterDoc[col]; ok {
+		return doc
+	}
+	if strings.HasSuffix(col, "_TIMESTAMP") {
+		return "timestamp counter in seconds relative to job start"
+	}
+	return "Darshan counter"
+}
+
+// csvDir infers the extraction directory from the output's paths.
+func csvDir(out *extractor.Output) string {
+	for _, p := range out.Paths {
+		if i := strings.LastIndexByte(p, '/'); i > 0 {
+			return p[:i]
+		}
+	}
+	return ""
+}

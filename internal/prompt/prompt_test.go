@@ -1,0 +1,181 @@
+package prompt
+
+import (
+	"strings"
+	"testing"
+
+	"ion/internal/extractor"
+	"ion/internal/issue"
+	"ion/internal/knowledge"
+	"ion/internal/llm"
+	"ion/internal/testutil"
+)
+
+func builderAndOutput(t *testing.T, workload string) (*Builder, *extractor.Output) {
+	t.Helper()
+	out, _, err := testutil.Extracted(workload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return NewBuilder(knowledge.NewBase(knowledge.FromExtract(out))), out
+}
+
+func TestDiagnosisPromptStructure(t *testing.T) {
+	b, out := builderAndOutput(t, "ior-hard")
+	req, err := b.Diagnosis(issue.SmallIO, out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(req.Messages) != 2 || req.Messages[0].Role != llm.RoleSystem {
+		t.Fatalf("message structure wrong: %+v", req.Messages)
+	}
+	content := req.Messages[1].Content
+	for _, want := range []string{
+		"Issue-ID: small-io",
+		"## I/O Performance Issue Context",
+		"## System hyper-parameters",
+		"lustre_stripe_size = 1048576",
+		"rpc_size = 4194304",
+		"## Attached trace data",
+		"POSIX.csv",
+		"POSIX_CONSEC_WRITES:",
+		SectionSteps,
+		SectionCode,
+		SectionConclusion,
+		VerdictPrefix,
+	} {
+		if !strings.Contains(content, want) {
+			t.Errorf("prompt missing %q", want)
+		}
+	}
+	if req.Metadata[MetaKind] != KindDiagnosis || req.Metadata[MetaIssue] != "small-io" {
+		t.Errorf("metadata = %v", req.Metadata)
+	}
+	if req.Metadata[MetaCSVDir] == "" {
+		t.Error("csv dir metadata missing")
+	}
+	if len(req.Files) == 0 {
+		t.Error("no file attachments")
+	}
+}
+
+func TestModuleMapFiltersPrompt(t *testing.T) {
+	b, out := builderAndOutput(t, "ior-hard")
+	// The metadata issue does not need the DXT table; small-io does.
+	meta, err := b.Diagnosis(issue.Metadata, out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	small, err := b.Diagnosis(issue.SmallIO, out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(meta.Messages[1].Content, "### DXT.csv") {
+		t.Error("metadata prompt should not describe DXT.csv")
+	}
+	if !strings.Contains(small.Messages[1].Content, "### DXT.csv") {
+		t.Error("small-io prompt should describe DXT.csv")
+	}
+	// Filtering is the point: the metadata prompt must be smaller.
+	if llm.PromptTokens(meta) >= llm.PromptTokens(small) {
+		t.Errorf("module filtering ineffective: meta=%d small=%d tokens",
+			llm.PromptTokens(meta), llm.PromptTokens(small))
+	}
+}
+
+func TestDiagnosisPromptSkipsAbsentModules(t *testing.T) {
+	// ior workloads have no MPI-IO module: the interface prompt must
+	// not describe a nonexistent MPIIO.csv.
+	b, out := builderAndOutput(t, "ior-easy-1m-fpp")
+	req, err := b.Diagnosis(issue.Interface, out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(req.Messages[1].Content, "### MPIIO.csv") {
+		t.Error("prompt describes an absent module table")
+	}
+}
+
+func TestDiagnosisUnknownIssue(t *testing.T) {
+	b, out := builderAndOutput(t, "ior-hard")
+	if _, err := b.Diagnosis("bogus", out); err == nil {
+		t.Error("unknown issue accepted")
+	}
+}
+
+func TestEveryIssueBuildsAPrompt(t *testing.T) {
+	b, out := builderAndOutput(t, "openpmd-baseline")
+	for _, id := range issue.All {
+		req, err := b.Diagnosis(id, out)
+		if err != nil {
+			t.Errorf("%s: %v", id, err)
+			continue
+		}
+		if llm.PromptTokens(req) < 200 {
+			t.Errorf("%s: prompt suspiciously small (%d tokens)", id, llm.PromptTokens(req))
+		}
+	}
+}
+
+func TestSummaryPrompt(t *testing.T) {
+	b, _ := builderAndOutput(t, "ior-hard")
+	req := b.Summary(map[issue.ID]string{
+		issue.SmallIO:    "small ops everywhere\nVERDICT: detected",
+		issue.SharedFile: "no conflicts\nVERDICT: mitigated",
+	})
+	content := req.Messages[1].Content
+	if !strings.Contains(content, "## Diagnoses to summarize") {
+		t.Error("summary prompt missing header")
+	}
+	if !strings.Contains(content, "[small-io]") || !strings.Contains(content, "[shared-file]") {
+		t.Error("summary prompt missing issue blocks")
+	}
+	// Canonical order: small-io before shared-file.
+	if strings.Index(content, "[small-io]") > strings.Index(content, "[shared-file]") {
+		t.Error("summary blocks out of canonical order")
+	}
+	if req.Metadata[MetaKind] != KindSummary {
+		t.Errorf("metadata = %v", req.Metadata)
+	}
+}
+
+func TestChatPrompt(t *testing.T) {
+	b, _ := builderAndOutput(t, "ior-hard")
+	history := []llm.Message{
+		{Role: llm.RoleUser, Content: "earlier question"},
+		{Role: llm.RoleAssistant, Content: "earlier answer"},
+	}
+	req := b.Chat("the report context", history, "what about alignment?")
+	if len(req.Messages) != 4 {
+		t.Fatalf("messages = %d, want 4 (system + 2 history + question)", len(req.Messages))
+	}
+	last := req.Messages[3].Content
+	if !strings.Contains(last, "## Diagnosis context") || !strings.Contains(last, "## Question") {
+		t.Error("chat prompt structure wrong")
+	}
+	if !strings.Contains(last, "what about alignment?") {
+		t.Error("question missing")
+	}
+	if req.Metadata[MetaKind] != KindChat {
+		t.Errorf("metadata = %v", req.Metadata)
+	}
+}
+
+func TestColumnDocCoverageInPrompt(t *testing.T) {
+	b, out := builderAndOutput(t, "openpmd-baseline")
+	req, err := b.Diagnosis(issue.CollectiveIO, out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	content := req.Messages[1].Content
+	// Every described column carries a non-placeholder description for
+	// the counters the issue context names as key metrics.
+	for _, col := range []string{"MPIIO_COLL_WRITES", "MPIIO_INDEP_WRITES"} {
+		if !strings.Contains(content, col+": ") {
+			t.Errorf("column %s not described", col)
+		}
+	}
+	if strings.Contains(content, ": Darshan counter\n- MPIIO_COLL") {
+		t.Error("key metric column described by the fallback text")
+	}
+}

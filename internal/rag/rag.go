@@ -1,0 +1,177 @@
+// Package rag implements the retrieval-augmented alternative to pure
+// in-context learning that the paper lists as planned work (§5): a
+// TF-IDF index over knowledge-base chunks and diagnosis-report sections
+// that, for each interactive question, selects only the most relevant
+// context to embed in the chat prompt — keeping long conversations
+// cheap instead of re-sending the whole report every turn.
+package rag
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Document is one indexed chunk.
+type Document struct {
+	ID   string
+	Text string
+	// Kind tags the source ("knowledge", "diagnosis", "step", ...).
+	Kind string
+}
+
+// Hit is one retrieval result.
+type Hit struct {
+	Doc   Document
+	Score float64
+}
+
+// Index is a TF-IDF inverted index with cosine scoring. The zero value
+// is not usable; create with NewIndex. Add all documents before Query.
+type Index struct {
+	docs []Document
+	// termFreq[i] maps term -> frequency within document i.
+	termFreq []map[string]float64
+	// docFreq maps term -> number of documents containing it.
+	docFreq map[string]int
+	// norms caches document vector norms, built lazily at first query.
+	norms []float64
+	built bool
+}
+
+// NewIndex returns an empty index.
+func NewIndex() *Index {
+	return &Index{docFreq: map[string]int{}}
+}
+
+// Len returns the number of indexed documents.
+func (ix *Index) Len() int { return len(ix.docs) }
+
+// Add indexes a document. Adding after a Query is allowed; statistics
+// are rebuilt on the next query.
+func (ix *Index) Add(doc Document) error {
+	if strings.TrimSpace(doc.Text) == "" {
+		return fmt.Errorf("rag: document %q has no text", doc.ID)
+	}
+	tf := map[string]float64{}
+	for _, tok := range Tokenize(doc.Text) {
+		tf[tok]++
+	}
+	if len(tf) == 0 {
+		return fmt.Errorf("rag: document %q has no indexable terms", doc.ID)
+	}
+	ix.docs = append(ix.docs, doc)
+	ix.termFreq = append(ix.termFreq, tf)
+	for term := range tf {
+		ix.docFreq[term]++
+	}
+	ix.built = false
+	return nil
+}
+
+// idf computes smoothed inverse document frequency.
+func (ix *Index) idf(term string) float64 {
+	df := ix.docFreq[term]
+	if df == 0 {
+		return 0
+	}
+	return math.Log(1+float64(len(ix.docs))/float64(df)) + 1
+}
+
+func (ix *Index) build() {
+	ix.norms = make([]float64, len(ix.docs))
+	for i, tf := range ix.termFreq {
+		var sum float64
+		for term, f := range tf {
+			w := (1 + math.Log(f)) * ix.idf(term)
+			sum += w * w
+		}
+		ix.norms[i] = math.Sqrt(sum)
+	}
+	ix.built = true
+}
+
+// Query returns the top-k documents by TF-IDF cosine similarity.
+// Documents with zero overlap are omitted; fewer than k hits may
+// return.
+func (ix *Index) Query(query string, k int) []Hit {
+	if !ix.built {
+		ix.build()
+	}
+	qtf := map[string]float64{}
+	for _, tok := range Tokenize(query) {
+		qtf[tok]++
+	}
+	if len(qtf) == 0 || len(ix.docs) == 0 {
+		return nil
+	}
+	var qnorm float64
+	qw := map[string]float64{}
+	for term, f := range qtf {
+		w := (1 + math.Log(f)) * ix.idf(term)
+		qw[term] = w
+		qnorm += w * w
+	}
+	qnorm = math.Sqrt(qnorm)
+	if qnorm == 0 {
+		return nil
+	}
+
+	var hits []Hit
+	for i, tf := range ix.termFreq {
+		var dot float64
+		for term, w := range qw {
+			if f, ok := tf[term]; ok {
+				dot += w * (1 + math.Log(f)) * ix.idf(term)
+			}
+		}
+		if dot <= 0 || ix.norms[i] == 0 {
+			continue
+		}
+		hits = append(hits, Hit{Doc: ix.docs[i], Score: dot / (qnorm * ix.norms[i])})
+	}
+	sort.SliceStable(hits, func(a, b int) bool { return hits[a].Score > hits[b].Score })
+	if k > 0 && len(hits) > k {
+		hits = hits[:k]
+	}
+	return hits
+}
+
+// stopwords excluded from indexing.
+var stopwords = map[string]bool{
+	"the": true, "a": true, "an": true, "and": true, "or": true,
+	"of": true, "to": true, "in": true, "on": true, "for": true,
+	"is": true, "are": true, "was": true, "be": true, "with": true,
+	"that": true, "this": true, "it": true, "its": true, "as": true,
+	"by": true, "at": true, "from": true, "into": true, "can": true,
+	"do": true, "does": true, "how": true, "what": true, "which": true,
+	"when": true, "why": true, "i": true, "my": true, "you": true,
+}
+
+// Tokenize lowercases and splits text into alphanumeric terms, dropping
+// stopwords and single characters. Underscores stay inside tokens so
+// Darshan counter names survive as units.
+func Tokenize(text string) []string {
+	var out []string
+	var cur strings.Builder
+	flush := func() {
+		if cur.Len() > 1 {
+			tok := strings.ToLower(cur.String())
+			if !stopwords[tok] {
+				out = append(out, tok)
+			}
+		}
+		cur.Reset()
+	}
+	for _, r := range text {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9', r == '_', r == '-':
+			cur.WriteRune(r)
+		default:
+			flush()
+		}
+	}
+	flush()
+	return out
+}

@@ -1,0 +1,198 @@
+package rag
+
+import (
+	"context"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"ion/internal/expertsim"
+	"ion/internal/ion"
+	"ion/internal/knowledge"
+	"ion/internal/testutil"
+)
+
+func TestTokenize(t *testing.T) {
+	toks := Tokenize("The POSIX_FILE_NOT_ALIGNED counter is 99.8% of I/O!")
+	joined := strings.Join(toks, " ")
+	if !strings.Contains(joined, "posix_file_not_aligned") {
+		t.Errorf("counter name split: %v", toks)
+	}
+	if strings.Contains(joined, "the ") || strings.Contains(joined, " is") {
+		t.Errorf("stopwords kept: %v", toks)
+	}
+	if len(Tokenize("")) != 0 {
+		t.Error("empty text tokenized")
+	}
+	if len(Tokenize("a I")) != 0 {
+		t.Error("single chars / stopwords kept")
+	}
+}
+
+func TestIndexAddValidation(t *testing.T) {
+	ix := NewIndex()
+	if err := ix.Add(Document{ID: "x", Text: "   "}); err == nil {
+		t.Error("blank document accepted")
+	}
+	if err := ix.Add(Document{ID: "y", Text: "a a a"}); err == nil {
+		t.Error("stopword-only document accepted")
+	}
+	if err := ix.Add(Document{ID: "z", Text: "lustre striping"}); err != nil {
+		t.Errorf("valid document rejected: %v", err)
+	}
+	if ix.Len() != 1 {
+		t.Errorf("len = %d", ix.Len())
+	}
+}
+
+func TestQueryRanking(t *testing.T) {
+	ix := NewIndex()
+	docs := []Document{
+		{ID: "align", Text: "misaligned file offsets straddle lustre stripe boundaries causing read-modify-write"},
+		{ID: "small", Text: "small requests below the RPC size underutilize the bulk transfer mechanism"},
+		{ID: "meta", Text: "metadata server load from opens stats and closes of many files"},
+	}
+	for _, d := range docs {
+		if err := ix.Add(d); err != nil {
+			t.Fatal(err)
+		}
+	}
+	hits := ix.Query("why are my offsets misaligned with the stripe boundary?", 3)
+	if len(hits) == 0 || hits[0].Doc.ID != "align" {
+		t.Errorf("ranking wrong: %+v", hits)
+	}
+	hits = ix.Query("metadata server opens", 1)
+	if len(hits) != 1 || hits[0].Doc.ID != "meta" {
+		t.Errorf("k-limit or ranking wrong: %+v", hits)
+	}
+	if hits := ix.Query("zzz qqq www", 3); len(hits) != 0 {
+		t.Errorf("no-overlap query returned hits: %+v", hits)
+	}
+	if hits := ix.Query("", 3); len(hits) != 0 {
+		t.Error("empty query returned hits")
+	}
+}
+
+func TestQueryScoresDescending(t *testing.T) {
+	ix := NewIndex()
+	for _, d := range []Document{
+		{ID: "1", Text: "stripe stripe stripe lustre"},
+		{ID: "2", Text: "stripe lustre metadata"},
+		{ID: "3", Text: "metadata opens"},
+	} {
+		if err := ix.Add(d); err != nil {
+			t.Fatal(err)
+		}
+	}
+	hits := ix.Query("stripe lustre", 0)
+	for i := 1; i < len(hits); i++ {
+		if hits[i].Score > hits[i-1].Score {
+			t.Fatalf("scores not descending: %+v", hits)
+		}
+	}
+}
+
+func TestSelfRetrievalProperty(t *testing.T) {
+	// A document queried by its own full text is always the top hit.
+	corpus := []string{
+		"lustre stripe conflicts between writer ranks",
+		"client cache aggregation of consecutive small writes",
+		"metadata storms from per-iteration open close cycles",
+		"collective buffering funnels data through aggregator nodes",
+		"random reads defeat readahead prefetching entirely",
+	}
+	ix := NewIndex()
+	for i, text := range corpus {
+		if err := ix.Add(Document{ID: string(rune('a' + i)), Text: text}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	f := func(pick uint8) bool {
+		i := int(pick) % len(corpus)
+		hits := ix.Query(corpus[i], 1)
+		return len(hits) == 1 && hits[0].Doc.ID == string(rune('a'+i))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func diagnose(t *testing.T, name string) (*ion.Report, *knowledge.Base) {
+	t.Helper()
+	out, _, err := testutil.Extracted(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fw, err := ion.New(ion.Config{Client: expertsim.New(), SkipSummary: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := fw.AnalyzeExtracted(context.Background(), out, name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rep, knowledge.NewBase(knowledge.FromExtract(out))
+}
+
+func TestIndexReport(t *testing.T) {
+	rep, kb := diagnose(t, "ior-hard")
+	ix, err := IndexReport(rep, kb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 9 diagnoses + steps + 9 knowledge chunks.
+	if ix.Len() < 20 {
+		t.Errorf("index too small: %d docs", ix.Len())
+	}
+	hits := ix.Query("lock conflicts on the shared file stripes", 3)
+	if len(hits) == 0 {
+		t.Fatal("no hits")
+	}
+	if !strings.Contains(hits[0].Doc.ID, "shared-file") {
+		t.Errorf("top hit %s, want a shared-file chunk", hits[0].Doc.ID)
+	}
+	if _, err := IndexReport(nil, kb); err == nil {
+		t.Error("nil report accepted")
+	}
+}
+
+func TestContextProviderShrinksContext(t *testing.T) {
+	rep, kb := diagnose(t, "e2e-baseline")
+	provider, err := ContextProvider(rep, kb, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	full := rep.ContextText()
+	got := provider("which rank is overloaded with write bytes?")
+	if !strings.Contains(got, "load-imbalance") {
+		t.Errorf("retrieved context misses the imbalance diagnosis:\n%s", got)
+	}
+	if len(got) >= len(full) {
+		t.Errorf("retrieval did not shrink context: %d >= %d", len(got), len(full))
+	}
+	// Unmatched questions fall back to the full report.
+	if fb := provider("zzzz qqqq"); fb != full {
+		t.Error("no-hit query should fall back to the full context")
+	}
+}
+
+func TestRAGSessionEndToEnd(t *testing.T) {
+	rep, kb := diagnose(t, "e2e-baseline")
+	client := expertsim.New()
+	session, err := ion.NewSession(client, rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	provider, err := ContextProvider(rep, kb, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	session.SetContextProvider(provider)
+	answer, err := session.Ask(context.Background(), "Which rank is responsible for the load imbalance?")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(answer, "Imbalanced I/O Workload") && !strings.Contains(answer, "rank 0") {
+		t.Errorf("RAG-backed answer off-topic: %s", answer)
+	}
+}

@@ -1,0 +1,112 @@
+package rag
+
+import (
+	"fmt"
+	"strings"
+
+	"ion/internal/ion"
+	"ion/internal/issue"
+	"ion/internal/knowledge"
+)
+
+// IndexReport builds an index over a diagnosis report (one chunk per
+// issue conclusion and one per reasoning step) and the knowledge base
+// (one chunk per issue context), the corpus the interactive interface
+// retrieves from.
+func IndexReport(rep *ion.Report, kb *knowledge.Base) (*Index, error) {
+	if rep == nil {
+		return nil, fmt.Errorf("rag: nil report")
+	}
+	ix := NewIndex()
+	for _, id := range rep.Order {
+		d := rep.Diagnoses[id]
+		if d == nil {
+			continue
+		}
+		header := fmt.Sprintf("[%s] %s\nVERDICT: %s\n", id, d.Title, d.Verdict)
+		if err := ix.Add(Document{
+			ID:   "diagnosis/" + string(id),
+			Kind: "diagnosis",
+			Text: header + d.Conclusion,
+		}); err != nil {
+			return nil, err
+		}
+		for i, s := range d.Steps {
+			if err := ix.Add(Document{
+				ID:   fmt.Sprintf("step/%s/%d", id, i+1),
+				Kind: "step",
+				Text: header + s,
+			}); err != nil {
+				return nil, err
+			}
+		}
+	}
+	if kb != nil {
+		for _, id := range kb.Issues() {
+			c, err := kb.Context(id)
+			if err != nil {
+				return nil, err
+			}
+			if err := ix.Add(Document{
+				ID:   "knowledge/" + string(id),
+				Kind: "knowledge",
+				Text: fmt.Sprintf("[%s] %s\n%s\nMitigations: %s", id, c.Title, c.Knowledge, c.Mitigations),
+			}); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return ix, nil
+}
+
+// ContextProvider returns a function suitable for
+// ion.Session.SetContextProvider: for each question it retrieves the
+// top-k chunks and renders a compact context block instead of the full
+// report.
+func ContextProvider(rep *ion.Report, kb *knowledge.Base, k int) (func(string) string, error) {
+	ix, err := IndexReport(rep, kb)
+	if err != nil {
+		return nil, err
+	}
+	if k <= 0 {
+		k = 4
+	}
+	full := rep.ContextText()
+	return func(question string) string {
+		hits := ix.Query(question, k)
+		if len(hits) == 0 {
+			return full // nothing matched: fall back to everything
+		}
+		var b strings.Builder
+		b.WriteString("Retrieved context (most relevant first):\n\n")
+		seen := map[issue.ID]bool{}
+		for _, h := range hits {
+			fmt.Fprintf(&b, "--- %s (score %.3f)\n%s\n\n", h.Doc.ID, h.Score, strings.TrimSpace(h.Doc.Text))
+			// Make sure the full diagnosis of a matched step's issue is
+			// present at least once.
+			if h.Doc.Kind == "step" {
+				id := stepIssue(h.Doc.ID)
+				if id != "" && !seen[id] {
+					if d := rep.Diagnoses[id]; d != nil {
+						fmt.Fprintf(&b, "--- diagnosis/%s\n[%s] %s\nVERDICT: %s\n%s\n\n",
+							id, id, d.Title, d.Verdict, d.Conclusion)
+					}
+					seen[id] = true
+				}
+			}
+		}
+		return b.String()
+	}, nil
+}
+
+func stepIssue(docID string) issue.ID {
+	parts := strings.Split(docID, "/")
+	if len(parts) != 3 || parts[0] != "step" {
+		return ""
+	}
+	id := issue.ID(parts[1])
+	if !issue.Valid(id) {
+		return ""
+	}
+	return id
+}

@@ -1,0 +1,91 @@
+package report
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"ion/internal/darshan"
+	"ion/internal/ion"
+	"ion/internal/issue"
+)
+
+func htmlSample() *ion.Report {
+	return &ion.Report{
+		Trace: "sample<trace>",
+		Header: darshan.Header{
+			Exe: "ior -a POSIX & <escape me>", NProcs: 4, RunTime: 1.5,
+		},
+		Model:   "expertsim",
+		Order:   []issue.ID{issue.SmallIO, issue.SharedFile, issue.Metadata},
+		Summary: "## Global I/O Diagnosis Summary\nOne issue needs attention.",
+		Diagnoses: map[issue.ID]*ion.IssueDiagnosis{
+			issue.SmallIO: {
+				Issue: issue.SmallIO, Title: issue.Title(issue.SmallIO),
+				Steps:      []string{"step with <html> & symbols", "second step"},
+				Code:       "import pandas as pd  # <code>",
+				Conclusion: "100% small ops & misaligned",
+				Verdict:    issue.VerdictDetected,
+			},
+			issue.SharedFile: {
+				Issue: issue.SharedFile, Title: issue.Title(issue.SharedFile),
+				Steps:      []string{"checked stripes"},
+				Conclusion: "no overlap",
+				Verdict:    issue.VerdictMitigated,
+			},
+			issue.Metadata: {
+				Issue: issue.Metadata, Title: issue.Title(issue.Metadata),
+				Steps:      []string{"counted opens"},
+				Conclusion: "negligible",
+				Verdict:    issue.VerdictNotDetected,
+			},
+		},
+	}
+}
+
+func TestWriteHTML(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteHTML(&buf, htmlSample()); err != nil {
+		t.Fatal(err)
+	}
+	page := buf.String()
+	for _, want := range []string{
+		"<!DOCTYPE html>",
+		"sample&lt;trace&gt;",           // escaping
+		"ior -a POSIX &amp; &lt;escape", // escaping in header
+		`class="badge detected"`,
+		`class="badge mitigated"`,
+		`class="badge not-detected"`,
+		"step with &lt;html&gt; &amp; symbols",
+		"import pandas as pd  # &lt;code&gt;",
+		"Global I/O Diagnosis Summary",
+		`id="issue-small-io"`,
+	} {
+		if !strings.Contains(page, want) {
+			t.Errorf("HTML missing %q", want)
+		}
+	}
+	// Detected issues open by default; benign ones collapsed.
+	if !strings.Contains(page, `<details open id="issue-small-io">`) {
+		t.Error("detected modal should be open")
+	}
+	if strings.Contains(page, `<details open id="issue-metadata">`) {
+		t.Error("clear modal should be collapsed")
+	}
+	// Raw user strings must not appear unescaped.
+	if strings.Contains(page, "<escape me>") || strings.Contains(page, "step with <html>") {
+		t.Error("unescaped user content leaked into the page")
+	}
+}
+
+func TestWriteHTMLWithoutSummary(t *testing.T) {
+	r := htmlSample()
+	r.Summary = ""
+	var buf bytes.Buffer
+	if err := WriteHTML(&buf, r); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(buf.String(), `class="summary"`) {
+		t.Error("empty summary should omit the section")
+	}
+}

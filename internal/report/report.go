@@ -1,0 +1,172 @@
+// Package report renders ION diagnoses for the terminal: the per-issue
+// "modals" of the paper's front end (steps, code, conclusion), the
+// global summary, and side-by-side ION-vs-Drishti views. Colors are
+// ANSI and can be disabled.
+package report
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"ion/internal/drishti"
+	"ion/internal/ion"
+	"ion/internal/issue"
+)
+
+// Options control rendering.
+type Options struct {
+	// Color enables ANSI colors.
+	Color bool
+	// ShowCode includes the generated analysis code listings.
+	ShowCode bool
+	// ShowSteps includes the chain-of-thought steps.
+	ShowSteps bool
+	// OnlyFindings hides issues with a not-detected verdict.
+	OnlyFindings bool
+}
+
+// DefaultOptions shows steps and findings without code.
+func DefaultOptions() Options {
+	return Options{Color: false, ShowCode: false, ShowSteps: true, OnlyFindings: true}
+}
+
+const (
+	ansiReset  = "\x1b[0m"
+	ansiRed    = "\x1b[31m"
+	ansiYellow = "\x1b[33m"
+	ansiGreen  = "\x1b[32m"
+	ansiBold   = "\x1b[1m"
+	ansiDim    = "\x1b[2m"
+)
+
+func (o Options) paint(color, s string) string {
+	if !o.Color {
+		return s
+	}
+	return color + s + ansiReset
+}
+
+func (o Options) verdictLabel(v issue.Verdict) string {
+	switch v {
+	case issue.VerdictDetected:
+		return o.paint(ansiRed, "DETECTED")
+	case issue.VerdictMitigated:
+		return o.paint(ansiYellow, "MITIGATED")
+	default:
+		return o.paint(ansiGreen, "clear")
+	}
+}
+
+// WriteReport renders a full ION report.
+func WriteReport(w io.Writer, r *ion.Report, o Options) error {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", o.paint(ansiBold, "ION — I/O Navigator diagnosis"))
+	fmt.Fprintf(&b, "trace: %s\n", r.Trace)
+	fmt.Fprintf(&b, "job:   %s (nprocs=%d, runtime=%.3fs)\n", r.Header.Exe, r.Header.NProcs, r.Header.RunTime)
+	fmt.Fprintf(&b, "model: %s\n", r.Model)
+	b.WriteString(strings.Repeat("=", 72) + "\n")
+
+	for _, id := range r.Order {
+		d := r.Diagnoses[id]
+		if d == nil {
+			continue
+		}
+		if o.OnlyFindings && d.Verdict == issue.VerdictNotDetected {
+			continue
+		}
+		fmt.Fprintf(&b, "\n%s  [%s]\n", o.paint(ansiBold, d.Title), o.verdictLabel(d.Verdict))
+		b.WriteString(strings.Repeat("-", 72) + "\n")
+		if o.ShowSteps {
+			for i, s := range d.Steps {
+				fmt.Fprintf(&b, "  %d. %s\n", i+1, s)
+			}
+		}
+		if o.ShowCode && d.Code != "" {
+			b.WriteString(o.paint(ansiDim, indent(d.Code, "  | ")) + "\n")
+		}
+		fmt.Fprintf(&b, "  %s\n", wrap(d.Conclusion, 70, "  "))
+	}
+
+	if r.Summary != "" {
+		b.WriteString("\n" + strings.Repeat("=", 72) + "\n")
+		b.WriteString(strings.TrimSpace(r.Summary) + "\n")
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// WriteComparison renders ION and Drishti outputs side by side by
+// issue, the Figure-3 view.
+func WriteComparison(w io.Writer, r *ion.Report, d *drishti.Report, o Options) error {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s — ION vs Drishti\n", r.Trace)
+	b.WriteString(strings.Repeat("=", 72) + "\n")
+	for _, id := range issue.All {
+		diag := r.Diagnoses[id]
+		ionCell := "clear"
+		if diag != nil && diag.Verdict != issue.VerdictNotDetected {
+			ionCell = string(diag.Verdict) + ": " + clip(diag.Conclusion, 150)
+		}
+		var dMsgs []string
+		for _, in := range d.Insights {
+			if in.Issue == id && (in.Level == drishti.LevelHigh || in.Level == drishti.LevelWarn) {
+				dMsgs = append(dMsgs, fmt.Sprintf("[%s] %s", in.Level, clip(in.Message, 130)))
+			}
+		}
+		if ionCell == "clear" && len(dMsgs) == 0 {
+			continue
+		}
+		fmt.Fprintf(&b, "\n%s\n", o.paint(ansiBold, issue.Title(id)))
+		fmt.Fprintf(&b, "  ION:     %s\n", ionCell)
+		if len(dMsgs) == 0 {
+			b.WriteString("  Drishti: (silent)\n")
+		} else {
+			for i, m := range dMsgs {
+				if i == 0 {
+					fmt.Fprintf(&b, "  Drishti: %s\n", m)
+				} else {
+					fmt.Fprintf(&b, "           %s\n", m)
+				}
+			}
+		}
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+func indent(s, prefix string) string {
+	lines := strings.Split(strings.TrimSpace(s), "\n")
+	for i, l := range lines {
+		lines[i] = prefix + l
+	}
+	return strings.Join(lines, "\n")
+}
+
+// wrap reflows text to a width with a hanging indent.
+func wrap(s string, width int, indent string) string {
+	words := strings.Fields(s)
+	if len(words) == 0 {
+		return ""
+	}
+	var b strings.Builder
+	line := words[0]
+	for _, w := range words[1:] {
+		if len(line)+1+len(w) > width {
+			b.WriteString(line + "\n" + indent)
+			line = w
+			continue
+		}
+		line += " " + w
+	}
+	b.WriteString(line)
+	return b.String()
+}
+
+func clip(s string, n int) string {
+	s = strings.Join(strings.Fields(s), " ")
+	if len(s) <= n {
+		return s
+	}
+	return s[:n] + "..."
+}

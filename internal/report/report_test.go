@@ -1,0 +1,142 @@
+package report
+
+import (
+	"bytes"
+	"context"
+	"strings"
+	"testing"
+
+	"ion/internal/drishti"
+	"ion/internal/expertsim"
+	"ion/internal/ion"
+	"ion/internal/issue"
+	"ion/internal/testutil"
+)
+
+func sampleReport(t *testing.T) (*ion.Report, *drishti.Report) {
+	t.Helper()
+	out, dir, err := testutil.Extracted("ior-hard")
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = dir
+	fw, err := ion.New(ion.Config{Client: expertsim.New(), SkipSummary: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := fw.AnalyzeExtracted(context.Background(), out, "ior-hard")
+	if err != nil {
+		t.Fatal(err)
+	}
+	drep, err := drishti.Analyze(out, drishti.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rep, drep
+}
+
+func TestWriteReport(t *testing.T) {
+	rep, _ := sampleReport(t)
+	var buf bytes.Buffer
+	if err := WriteReport(&buf, rep, DefaultOptions()); err != nil {
+		t.Fatal(err)
+	}
+	text := buf.String()
+	for _, want := range []string{
+		"ION — I/O Navigator diagnosis",
+		"trace: ior-hard",
+		"Small I/O Operations",
+		"[DETECTED]",
+		"1.", // steps numbered
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("report missing %q", want)
+		}
+	}
+	if strings.Contains(text, "\x1b[") {
+		t.Error("colors leaked with Color=false")
+	}
+}
+
+func TestWriteReportOptions(t *testing.T) {
+	rep, _ := sampleReport(t)
+
+	// ShowCode includes listings.
+	var withCode bytes.Buffer
+	o := DefaultOptions()
+	o.ShowCode = true
+	if err := WriteReport(&withCode, rep, o); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(withCode.String(), "pd.read_csv") {
+		t.Error("code listing missing with ShowCode")
+	}
+
+	// OnlyFindings=false shows clear issues too.
+	var verbose bytes.Buffer
+	o2 := DefaultOptions()
+	o2.OnlyFindings = false
+	if err := WriteReport(&verbose, rep, o2); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(verbose.String(), "clear") {
+		t.Error("clear verdicts hidden despite OnlyFindings=false")
+	}
+
+	// Color emits ANSI.
+	var colored bytes.Buffer
+	o3 := DefaultOptions()
+	o3.Color = true
+	if err := WriteReport(&colored, rep, o3); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(colored.String(), "\x1b[31m") {
+		t.Error("no red ANSI for detected issues")
+	}
+
+	// ShowSteps=false hides steps.
+	var noSteps bytes.Buffer
+	o4 := DefaultOptions()
+	o4.ShowSteps = false
+	if err := WriteReport(&noSteps, rep, o4); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(noSteps.String(), "  1. Computed") {
+		t.Error("steps shown despite ShowSteps=false")
+	}
+}
+
+func TestWriteComparison(t *testing.T) {
+	rep, drep := sampleReport(t)
+	var buf bytes.Buffer
+	if err := WriteComparison(&buf, rep, drep, DefaultOptions()); err != nil {
+		t.Fatal(err)
+	}
+	text := buf.String()
+	if !strings.Contains(text, "ION vs Drishti") {
+		t.Error("header missing")
+	}
+	if !strings.Contains(text, "ION:") || !strings.Contains(text, "Drishti:") {
+		t.Error("columns missing")
+	}
+	// ior-hard: ION detects shared-file; Drishti is silent there.
+	if !strings.Contains(text, issue.Title(issue.SharedFile)) {
+		t.Error("shared-file row missing")
+	}
+}
+
+func TestWrap(t *testing.T) {
+	out := wrap("aa bb cc dd", 5, "  ")
+	lines := strings.Split(out, "\n")
+	if len(lines) < 2 {
+		t.Errorf("no wrapping: %q", out)
+	}
+	for i, l := range lines[1:] {
+		if !strings.HasPrefix(l, "  ") {
+			t.Errorf("line %d lacks hanging indent: %q", i+1, l)
+		}
+	}
+	if wrap("", 10, "") != "" {
+		t.Error("empty wrap")
+	}
+}

@@ -1,0 +1,283 @@
+// Package table provides a small typed-access CSV table used across the
+// ION pipeline: the Extractor writes module tables as CSV, the analysis
+// interpreter and the Drishti baseline consume them, and the simulated
+// expert model reads them back when "executing" generated code.
+package table
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strconv"
+)
+
+// Table is an in-memory CSV table: a header row plus string cells with
+// typed accessors.
+type Table struct {
+	Name string
+	Cols []string
+	Rows [][]string
+
+	colIdx map[string]int
+}
+
+// New returns an empty table with the given column header.
+func New(name string, cols []string) *Table {
+	t := &Table{Name: name, Cols: append([]string(nil), cols...)}
+	t.reindex()
+	return t
+}
+
+func (t *Table) reindex() {
+	t.colIdx = make(map[string]int, len(t.Cols))
+	for i, c := range t.Cols {
+		t.colIdx[c] = i
+	}
+}
+
+// Append adds a row; the row length must match the header.
+func (t *Table) Append(row []string) error {
+	if len(row) != len(t.Cols) {
+		return fmt.Errorf("table %s: row has %d cells, header has %d", t.Name, len(row), len(t.Cols))
+	}
+	t.Rows = append(t.Rows, row)
+	return nil
+}
+
+// NumRows returns the number of data rows.
+func (t *Table) NumRows() int { return len(t.Rows) }
+
+// HasCol reports whether the column exists.
+func (t *Table) HasCol(col string) bool {
+	_, ok := t.colIdx[col]
+	return ok
+}
+
+// ColIndex returns the index of a column, or an error naming the table.
+func (t *Table) ColIndex(col string) (int, error) {
+	i, ok := t.colIdx[col]
+	if !ok {
+		return 0, fmt.Errorf("table %s: no column %q", t.Name, col)
+	}
+	return i, nil
+}
+
+// Value returns the cell at (row, col). It returns an error for an
+// unknown column or out-of-range row.
+func (t *Table) Value(row int, col string) (string, error) {
+	i, err := t.ColIndex(col)
+	if err != nil {
+		return "", err
+	}
+	if row < 0 || row >= len(t.Rows) {
+		return "", fmt.Errorf("table %s: row %d out of range [0,%d)", t.Name, row, len(t.Rows))
+	}
+	return t.Rows[row][i], nil
+}
+
+// Int returns the cell parsed as int64.
+func (t *Table) Int(row int, col string) (int64, error) {
+	s, err := t.Value(row, col)
+	if err != nil {
+		return 0, err
+	}
+	v, err := strconv.ParseInt(s, 10, 64)
+	if err != nil {
+		return 0, fmt.Errorf("table %s: %s[%d] = %q is not an integer", t.Name, col, row, s)
+	}
+	return v, nil
+}
+
+// Float returns the cell parsed as float64.
+func (t *Table) Float(row int, col string) (float64, error) {
+	s, err := t.Value(row, col)
+	if err != nil {
+		return 0, err
+	}
+	v, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		return 0, fmt.Errorf("table %s: %s[%d] = %q is not a number", t.Name, col, row, s)
+	}
+	return v, nil
+}
+
+// SumInt sums an integer column.
+func (t *Table) SumInt(col string) (int64, error) {
+	var sum int64
+	for i := range t.Rows {
+		v, err := t.Int(i, col)
+		if err != nil {
+			return 0, err
+		}
+		sum += v
+	}
+	return sum, nil
+}
+
+// SumFloat sums a numeric column.
+func (t *Table) SumFloat(col string) (float64, error) {
+	var sum float64
+	for i := range t.Rows {
+		v, err := t.Float(i, col)
+		if err != nil {
+			return 0, err
+		}
+		sum += v
+	}
+	return sum, nil
+}
+
+// MaxFloat returns the maximum of a numeric column, or an error on an
+// empty table.
+func (t *Table) MaxFloat(col string) (float64, error) {
+	if len(t.Rows) == 0 {
+		return 0, fmt.Errorf("table %s: MaxFloat on empty table", t.Name)
+	}
+	best, err := t.Float(0, col)
+	if err != nil {
+		return 0, err
+	}
+	for i := 1; i < len(t.Rows); i++ {
+		v, err := t.Float(i, col)
+		if err != nil {
+			return 0, err
+		}
+		if v > best {
+			best = v
+		}
+	}
+	return best, nil
+}
+
+// Filter returns a new table with the rows for which keep returns true.
+func (t *Table) Filter(keep func(row int) bool) *Table {
+	out := New(t.Name, t.Cols)
+	for i := range t.Rows {
+		if keep(i) {
+			out.Rows = append(out.Rows, t.Rows[i])
+		}
+	}
+	return out
+}
+
+// GroupBy partitions rows by the value of a column, with deterministic
+// (sorted) key order available through GroupKeys.
+func (t *Table) GroupBy(col string) (map[string]*Table, error) {
+	i, err := t.ColIndex(col)
+	if err != nil {
+		return nil, err
+	}
+	groups := map[string]*Table{}
+	for _, row := range t.Rows {
+		key := row[i]
+		g, ok := groups[key]
+		if !ok {
+			g = New(t.Name+"["+col+"="+key+"]", t.Cols)
+			groups[key] = g
+		}
+		g.Rows = append(g.Rows, row)
+	}
+	return groups, nil
+}
+
+// GroupKeys returns the sorted keys of a GroupBy result.
+func GroupKeys(groups map[string]*Table) []string {
+	keys := make([]string, 0, len(groups))
+	for k := range groups {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// SortByFloat sorts rows by a numeric column, descending when desc.
+func (t *Table) SortByFloat(col string, desc bool) error {
+	i, err := t.ColIndex(col)
+	if err != nil {
+		return err
+	}
+	var parseErr error
+	sort.SliceStable(t.Rows, func(a, b int) bool {
+		va, ea := strconv.ParseFloat(t.Rows[a][i], 64)
+		vb, eb := strconv.ParseFloat(t.Rows[b][i], 64)
+		if ea != nil && parseErr == nil {
+			parseErr = fmt.Errorf("table %s: %s = %q is not a number", t.Name, col, t.Rows[a][i])
+		}
+		if eb != nil && parseErr == nil {
+			parseErr = fmt.Errorf("table %s: %s = %q is not a number", t.Name, col, t.Rows[b][i])
+		}
+		if desc {
+			return va > vb
+		}
+		return va < vb
+	})
+	return parseErr
+}
+
+// Write serializes the table as CSV (header first).
+func (t *Table) Write(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(t.Cols); err != nil {
+		return fmt.Errorf("table %s: writing header: %w", t.Name, err)
+	}
+	for _, row := range t.Rows {
+		if err := cw.Write(row); err != nil {
+			return fmt.Errorf("table %s: writing row: %w", t.Name, err)
+		}
+	}
+	cw.Flush()
+	if err := cw.Error(); err != nil {
+		return fmt.Errorf("table %s: flushing: %w", t.Name, err)
+	}
+	return nil
+}
+
+// WriteFile writes the table as a CSV file.
+func (t *Table) WriteFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("table %s: %w", t.Name, err)
+	}
+	if err := t.Write(f); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("table %s: closing %s: %w", t.Name, path, err)
+	}
+	return nil
+}
+
+// Read parses a CSV stream into a table.
+func Read(name string, r io.Reader) (*Table, error) {
+	cr := csv.NewReader(r)
+	// Leave FieldsPerRecord at its default: every row must match the
+	// header's width, so truncated or ragged files fail loudly instead
+	// of silently losing columns.
+	records, err := cr.ReadAll()
+	if err != nil {
+		return nil, fmt.Errorf("table %s: %w", name, err)
+	}
+	if len(records) == 0 {
+		return nil, fmt.Errorf("table %s: empty CSV (no header)", name)
+	}
+	t := New(name, records[0])
+	for _, row := range records[1:] {
+		if err := t.Append(row); err != nil {
+			return nil, err
+		}
+	}
+	return t, nil
+}
+
+// ReadFile loads a CSV file into a table named after the file.
+func ReadFile(path string) (*Table, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("table: %w", err)
+	}
+	defer f.Close()
+	return Read(path, f)
+}

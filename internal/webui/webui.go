@@ -1,0 +1,153 @@
+// Package webui serves a completed diagnosis over HTTP: the front-end
+// of the paper's Figure 1 — the report with its per-issue modals plus
+// the message window through which the user asks follow-up questions.
+// Everything is stdlib net/http; the page is self-contained HTML with a
+// small inline script that talks to the JSON chat endpoint.
+package webui
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strings"
+	"sync"
+
+	"ion/internal/ion"
+	"ion/internal/llm"
+	"ion/internal/report"
+)
+
+// Server wires a report and a chat session behind an http.Handler.
+type Server struct {
+	report *ion.Report
+	client llm.Client
+
+	mu      sync.Mutex
+	session *ion.Session
+}
+
+// New builds a Server for the report. The client backs the chat
+// endpoint.
+func New(client llm.Client, rep *ion.Report) (*Server, error) {
+	if rep == nil || client == nil {
+		return nil, fmt.Errorf("webui: report and client are required")
+	}
+	session, err := ion.NewSession(client, rep)
+	if err != nil {
+		return nil, err
+	}
+	return &Server{report: rep, client: client, session: session}, nil
+}
+
+// Handler returns the HTTP routes:
+//
+//	GET  /            the diagnosis page (HTML, with the chat box)
+//	GET  /api/report  the report as JSON
+//	POST /api/ask     {"question": "..."} -> {"answer": "..."}
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/", s.handleIndex)
+	mux.HandleFunc("/api/report", s.handleReport)
+	mux.HandleFunc("/api/ask", s.handleAsk)
+	return mux
+}
+
+func (s *Server) handleIndex(w http.ResponseWriter, r *http.Request) {
+	if r.URL.Path != "/" {
+		http.NotFound(w, r)
+		return
+	}
+	w.Header().Set("Content-Type", "text/html; charset=utf-8")
+	var page strings.Builder
+	if err := report.WriteHTML(&page, s.report); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	// Inject the chat box before </body>.
+	html := strings.Replace(page.String(), "</body>", chatWidget+"</body>", 1)
+	fmt.Fprint(w, html)
+}
+
+func (s *Server) handleReport(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	if err := json.NewEncoder(w).Encode(s.report); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
+}
+
+// askRequest/askResponse are the chat wire types.
+type askRequest struct {
+	Question string `json:"question"`
+}
+
+type askResponse struct {
+	Answer string `json:"answer"`
+}
+
+func (s *Server) handleAsk(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		return
+	}
+	var req askRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		http.Error(w, "bad request: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	if strings.TrimSpace(req.Question) == "" {
+		http.Error(w, "bad request: empty question", http.StatusBadRequest)
+		return
+	}
+	// Session history is stateful: serialize questions.
+	s.mu.Lock()
+	answer, err := s.session.Ask(r.Context(), req.Question)
+	s.mu.Unlock()
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	if err := json.NewEncoder(w).Encode(askResponse{Answer: answer}); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
+}
+
+// chatWidget is the message window of the paper's front end.
+const chatWidget = `
+<section id="chat" style="margin-top:2rem;border-top:2px solid #ddd;padding-top:1rem">
+<h2>Ask about this diagnosis</h2>
+<div id="chat-log" style="white-space:pre-wrap;background:#fafafa;border:1px solid #ddd;border-radius:6px;padding:.8rem;min-height:4rem;max-height:24rem;overflow-y:auto"></div>
+<form id="chat-form" style="display:flex;gap:.5rem;margin-top:.6rem">
+  <input id="chat-q" type="text" placeholder="e.g. which rank causes the imbalance?" style="flex:1;padding:.5rem;border:1px solid #ccc;border-radius:6px">
+  <button type="submit" style="padding:.5rem 1rem;border:0;border-radius:6px;background:#3274b5;color:#fff;cursor:pointer">Ask</button>
+</form>
+<script>
+document.getElementById("chat-form").addEventListener("submit", async function(e) {
+  e.preventDefault();
+  var q = document.getElementById("chat-q");
+  var log = document.getElementById("chat-log");
+  var question = q.value.trim();
+  if (!question) return;
+  log.textContent += "you> " + question + "\n";
+  q.value = "";
+  try {
+    var resp = await fetch("/api/ask", {
+      method: "POST",
+      headers: {"Content-Type": "application/json"},
+      body: JSON.stringify({question: question})
+    });
+    if (!resp.ok) throw new Error(await resp.text());
+    var data = await resp.json();
+    log.textContent += "ion> " + data.answer + "\n\n";
+  } catch (err) {
+    log.textContent += "error: " + err + "\n\n";
+  }
+  log.scrollTop = log.scrollHeight;
+});
+</script>
+</section>
+`

@@ -1,0 +1,158 @@
+package webui
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"ion/internal/expertsim"
+	"ion/internal/ion"
+	"ion/internal/testutil"
+)
+
+func server(t *testing.T) *Server {
+	t.Helper()
+	out, _, err := testutil.Extracted("ior-hard")
+	if err != nil {
+		t.Fatal(err)
+	}
+	client := expertsim.New()
+	fw, err := ion.New(ion.Config{Client: client})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := fw.AnalyzeExtracted(context.Background(), out, "ior-hard")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := New(client, rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestIndexPage(t *testing.T) {
+	srv := httptest.NewServer(server(t).Handler())
+	defer srv.Close()
+	resp, err := http.Get(srv.URL + "/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	var buf bytes.Buffer
+	if _, err := buf.ReadFrom(resp.Body); err != nil {
+		t.Fatal(err)
+	}
+	page := buf.String()
+	for _, want := range []string{
+		"<!DOCTYPE html>",
+		"ION — I/O Navigator diagnosis",
+		"Small I/O Operations",
+		`class="badge detected"`,
+		"Analysis steps",
+		"Analysis code",
+		"Conclusion",
+		"chat-form", // the message window
+		"Global I/O Diagnosis Summary",
+	} {
+		if !strings.Contains(page, want) {
+			t.Errorf("page missing %q", want)
+		}
+	}
+	// Unknown paths 404.
+	resp2, err := http.Get(srv.URL + "/nope")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp2.Body.Close()
+	if resp2.StatusCode != http.StatusNotFound {
+		t.Errorf("unknown path status = %d", resp2.StatusCode)
+	}
+}
+
+func TestReportAPI(t *testing.T) {
+	srv := httptest.NewServer(server(t).Handler())
+	defer srv.Close()
+	resp, err := http.Get(srv.URL + "/api/report")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var rep ion.Report
+	if err := json.NewDecoder(resp.Body).Decode(&rep); err != nil {
+		t.Fatal(err)
+	}
+	if rep.Trace != "ior-hard" || len(rep.Diagnoses) == 0 {
+		t.Errorf("report JSON malformed: trace=%q diagnoses=%d", rep.Trace, len(rep.Diagnoses))
+	}
+}
+
+func TestAskAPI(t *testing.T) {
+	srv := httptest.NewServer(server(t).Handler())
+	defer srv.Close()
+	body, err := json.Marshal(map[string]string{"question": "why is the small I/O a problem?"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(srv.URL+"/api/ask", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	var ar askResponse
+	if err := json.NewDecoder(resp.Body).Decode(&ar); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(ar.Answer, "Small I/O") {
+		t.Errorf("answer off-topic: %s", ar.Answer)
+	}
+}
+
+func TestAskAPIValidation(t *testing.T) {
+	srv := httptest.NewServer(server(t).Handler())
+	defer srv.Close()
+	// Wrong method.
+	resp, err := http.Get(srv.URL + "/api/ask")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("GET /api/ask status = %d", resp.StatusCode)
+	}
+	// Empty question.
+	resp2, err := http.Post(srv.URL+"/api/ask", "application/json", strings.NewReader(`{"question":"  "}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp2.Body.Close()
+	if resp2.StatusCode != http.StatusBadRequest {
+		t.Errorf("empty question status = %d", resp2.StatusCode)
+	}
+	// Garbage body.
+	resp3, err := http.Post(srv.URL+"/api/ask", "application/json", strings.NewReader("{nope"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp3.Body.Close()
+	if resp3.StatusCode != http.StatusBadRequest {
+		t.Errorf("garbage body status = %d", resp3.StatusCode)
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(nil, nil); err == nil {
+		t.Error("nil inputs accepted")
+	}
+}

@@ -1,0 +1,100 @@
+package workloads
+
+import (
+	"bytes"
+	"testing"
+
+	"ion/internal/issue"
+)
+
+func TestExtrasGenerate(t *testing.T) {
+	for _, w := range Extras() {
+		w := w
+		t.Run(w.Name, func(t *testing.T) {
+			l, err := w.Generate()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := l.Validate(); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+func TestHealthyHasNoLargeOrMisalignedSmalls(t *testing.T) {
+	w := Healthy()
+	l, err := w.Generate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := smallShare(l); got != 0 {
+		t.Errorf("healthy small share = %.4f", got)
+	}
+	if got := misalignShare(l); got != 0 {
+		t.Errorf("healthy misalign share = %.4f", got)
+	}
+}
+
+func TestStdioWorkloadModules(t *testing.T) {
+	w := StdioPostprocess()
+	l, err := w.Generate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !l.HasModule("STDIO") {
+		t.Error("STDIO module missing")
+	}
+	if l.HasModule("POSIX") {
+		t.Error("STDIO-only run must not populate POSIX")
+	}
+	for _, e := range w.Truth {
+		if !issue.Valid(e.Issue) {
+			t.Errorf("bad expectation %v", e)
+		}
+	}
+}
+
+func TestByNameFindsExtras(t *testing.T) {
+	if _, err := ByName("healthy-checkpoint"); err != nil {
+		t.Error(err)
+	}
+	if _, err := ByName("stdio-postprocess"); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestWorkloadDeterminism(t *testing.T) {
+	// Generating the same workload twice yields byte-identical logs —
+	// the property the golden figure tests and record/replay rely on.
+	for _, name := range []string{"ior-rnd4k", "openpmd-baseline"} {
+		w, err := ByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		a, err := w.Generate()
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := w.Generate()
+		if err != nil {
+			t.Fatal(err)
+		}
+		var ta, tb bytes.Buffer
+		if err := a.WriteText(&ta); err != nil {
+			t.Fatal(err)
+		}
+		if err := a.WriteDXTText(&ta); err != nil {
+			t.Fatal(err)
+		}
+		if err := b.WriteText(&tb); err != nil {
+			t.Fatal(err)
+		}
+		if err := b.WriteDXTText(&tb); err != nil {
+			t.Fatal(err)
+		}
+		if ta.String() != tb.String() {
+			t.Errorf("%s: generation not deterministic", name)
+		}
+	}
+}

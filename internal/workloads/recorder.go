@@ -1,0 +1,519 @@
+package workloads
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"ion/internal/darshan"
+	"ion/internal/iosim"
+)
+
+// Meta carries job-level information the recorder stamps into the log.
+type Meta struct {
+	Exe        string
+	NProcs     int
+	JobID      int64
+	UID        int
+	StartTime  int64
+	MountPoint string // e.g. "/lustre"
+	FSType     string // e.g. "lustre"
+	// WithDXT controls whether fine-grained DXT events are recorded.
+	WithDXT bool
+}
+
+// Record folds a simulated run into a Darshan log: it derives every
+// POSIX/MPI-IO/STDIO/Lustre counter from the operation stream and the
+// simulator's timings, applies Darshan's shared-file reduction (records
+// of files touched by multiple ranks collapse to a rank -1 record with
+// fastest/slowest/variance statistics), and emits DXT events.
+func Record(sim *iosim.Sim, ops []iosim.Op, results []iosim.Result, meta Meta) (*darshan.Log, error) {
+	if len(ops) != len(results) {
+		return nil, fmt.Errorf("workloads: %d ops but %d results", len(ops), len(results))
+	}
+	cfg := sim.Config()
+	log := darshan.NewLog()
+	log.Header.Exe = meta.Exe
+	log.Header.UID = meta.UID
+	log.Header.JobID = meta.JobID
+	log.Header.NProcs = meta.NProcs
+	log.Header.StartTime = meta.StartTime
+	makespan := sim.Stats().Makespan
+	log.Header.RunTime = makespan
+	log.Header.EndTime = meta.StartTime + int64(math.Ceil(makespan))
+	log.Header.Metadata["h"] = "romio_no_indep_rw=false;cb_nodes=4"
+	log.Mounts = []darshan.Mount{
+		{Point: meta.MountPoint, FSType: meta.FSType},
+		{Point: "/", FSType: "ext4"},
+	}
+
+	acc := newAccumulator(log, cfg, sim, meta)
+	for i, op := range ops {
+		acc.observe(op, results[i])
+	}
+	acc.finalize()
+	if err := log.Validate(); err != nil {
+		return nil, fmt.Errorf("workloads: recorded log invalid: %w", err)
+	}
+	return log, nil
+}
+
+// fileKey identifies one per-rank record under accumulation.
+type fileKey struct {
+	id   uint64
+	rank int64
+}
+
+// streamState tracks consecutive/sequential detection for one access
+// stream (one kind within one file/rank), mirroring Darshan runtime
+// bookkeeping.
+type streamState struct {
+	hasPrev    bool
+	prevOffset int64
+	prevEnd    int64
+}
+
+type accumulator struct {
+	log  *darshan.Log
+	cfg  iosim.Config
+	sim  *iosim.Sim
+	meta Meta
+
+	posix  map[fileKey]*darshan.Record
+	mpiio  map[fileKey]*darshan.Record
+	stdio  map[fileKey]*darshan.Record
+	lustre map[uint64]bool
+
+	// streams is keyed by (file, rank, kind) for consec/seq detection.
+	streams map[streamKey]*streamState
+	// lastKind tracks read/write alternation per (file, rank).
+	lastKind map[fileKey]iosim.Kind
+	hasKind  map[fileKey]bool
+
+	// segments numbers DXT events per (file, rank).
+	segments map[fileKey]int64
+}
+
+type streamKey struct {
+	id   uint64
+	rank int64
+	kind iosim.Kind
+}
+
+func newAccumulator(log *darshan.Log, cfg iosim.Config, sim *iosim.Sim, meta Meta) *accumulator {
+	return &accumulator{
+		log: log, cfg: cfg, sim: sim, meta: meta,
+		posix:    map[fileKey]*darshan.Record{},
+		mpiio:    map[fileKey]*darshan.Record{},
+		stdio:    map[fileKey]*darshan.Record{},
+		lustre:   map[uint64]bool{},
+		streams:  map[streamKey]*streamState{},
+		lastKind: map[fileKey]iosim.Kind{},
+		hasKind:  map[fileKey]bool{},
+		segments: map[fileKey]int64{},
+	}
+}
+
+// FileID derives the stable Darshan record id for a path (FNV-1a).
+func FileID(path string) uint64 {
+	var h uint64 = 14695981039346656037
+	for i := 0; i < len(path); i++ {
+		h ^= uint64(path[i])
+		h *= 1099511628211
+	}
+	// Darshan record ids print as unsigned decimals; clear the top bit
+	// to stay comfortably inside int64 ranges some tools assume.
+	return h &^ (1 << 63)
+}
+
+func (a *accumulator) record(m map[fileKey]*darshan.Record, id uint64, rank int64) *darshan.Record {
+	k := fileKey{id, rank}
+	r, ok := m[k]
+	if !ok {
+		r = darshan.NewRecord(id, rank)
+		m[k] = r
+	}
+	return r
+}
+
+func (a *accumulator) observe(op iosim.Op, res iosim.Result) {
+	id := FileID(op.File)
+	a.log.Names[id] = op.File
+	a.ensureLustre(id, op.File)
+
+	switch op.API {
+	case iosim.APISTDIO:
+		a.observeSTDIO(op, res, id)
+	case iosim.APIMPIIOIndep, iosim.APIMPIIOColl:
+		a.observeMPIIO(op, res, id)
+		// MPI-IO is layered on POSIX: the data path also shows up in the
+		// POSIX module, as it does under real ROMIO.
+		a.observePOSIX(op, res, id)
+	default:
+		a.observePOSIX(op, res, id)
+	}
+
+	if a.meta.WithDXT && (op.Kind == iosim.KindRead || op.Kind == iosim.KindWrite) {
+		a.observeDXT(op, res, id)
+	}
+}
+
+func (a *accumulator) observePOSIX(op iosim.Op, res iosim.Result, id uint64) {
+	r := a.record(a.posix, id, int64(op.Rank))
+	dur := res.Duration()
+	switch op.Kind {
+	case iosim.KindOpen:
+		r.Add(darshan.CPosixOpens, 1)
+		r.FAdd(darshan.FPosixMetaTime, dur)
+		r.FSetMin(darshan.FPosixOpenStart, res.Start)
+		r.FSetMax(darshan.FPosixOpenEnd, res.End)
+	case iosim.KindClose:
+		r.FAdd(darshan.FPosixMetaTime, dur)
+		r.FSetMin(darshan.FPosixCloseStart, res.Start)
+		r.FSetMax(darshan.FPosixCloseEnd, res.End)
+	case iosim.KindStat:
+		r.Add(darshan.CPosixStats, 1)
+		r.FAdd(darshan.FPosixMetaTime, dur)
+	case iosim.KindSeek:
+		r.Add(darshan.CPosixSeeks, 1)
+		r.FAdd(darshan.FPosixMetaTime, dur)
+	case iosim.KindFsync:
+		r.Add(darshan.CPosixFsyncs, 1)
+		r.FAdd(darshan.FPosixMetaTime, dur)
+	case iosim.KindRead:
+		r.Add(darshan.CPosixReads, 1)
+		r.Add(darshan.CPosixBytesRead, op.Size)
+		r.Add("POSIX_SIZE_READ_"+darshan.SizeBinFor(op.Size), 1)
+		r.SetMax(darshan.CPosixMaxByteRead, op.Offset+op.Size-1)
+		r.FAdd(darshan.FPosixReadTime, dur)
+		r.FSetMax(darshan.FPosixMaxReadTime, dur)
+		r.FSetMin(darshan.FPosixReadStart, res.Start)
+		r.FSetMax(darshan.FPosixReadEnd, res.End)
+		a.observeAccessPattern(op, r, id)
+	case iosim.KindWrite:
+		r.Add(darshan.CPosixWrites, 1)
+		r.Add(darshan.CPosixBytesWritten, op.Size)
+		r.Add("POSIX_SIZE_WRITE_"+darshan.SizeBinFor(op.Size), 1)
+		r.SetMax(darshan.CPosixMaxByteWritten, op.Offset+op.Size-1)
+		r.FAdd(darshan.FPosixWriteTime, dur)
+		r.FSetMax(darshan.FPosixMaxWriteTime, dur)
+		r.FSetMin(darshan.FPosixWriteStart, res.Start)
+		r.FSetMax(darshan.FPosixWriteEnd, res.End)
+		a.observeAccessPattern(op, r, id)
+	}
+	r.Counters[darshan.CPosixMemAlignment] = a.cfg.MemAlignment
+	r.Counters[darshan.CPosixFileAlignment] = a.fileAlignment(op.File)
+}
+
+// observeAccessPattern updates alignment, consecutiveness, sequential
+// and read/write switch counters for a data access.
+func (a *accumulator) observeAccessPattern(op iosim.Op, r *darshan.Record, id uint64) {
+	align := a.fileAlignment(op.File)
+	if align > 0 && op.Offset%align != 0 {
+		r.Add(darshan.CPosixFileNotAligned, 1)
+	}
+	if !op.MemAligned {
+		r.Add(darshan.CPosixMemNotAligned, 1)
+	}
+
+	sk := streamKey{id, int64(op.Rank), op.Kind}
+	st, ok := a.streams[sk]
+	if !ok {
+		st = &streamState{}
+		a.streams[sk] = st
+	}
+	var consecC, seqC string
+	if op.Kind == iosim.KindRead {
+		consecC, seqC = darshan.CPosixConsecReads, darshan.CPosixSeqReads
+	} else {
+		consecC, seqC = darshan.CPosixConsecWrites, darshan.CPosixSeqWrites
+	}
+	if st.hasPrev {
+		if op.Offset == st.prevEnd {
+			r.Add(consecC, 1)
+		}
+		if op.Offset > st.prevOffset {
+			r.Add(seqC, 1)
+		}
+	}
+	st.hasPrev = true
+	st.prevOffset = op.Offset
+	st.prevEnd = op.Offset + op.Size
+
+	fk := fileKey{id, int64(op.Rank)}
+	if a.hasKind[fk] && a.lastKind[fk] != op.Kind {
+		r.Add(darshan.CPosixRWSwitches, 1)
+	}
+	a.hasKind[fk] = true
+	a.lastKind[fk] = op.Kind
+}
+
+func (a *accumulator) observeMPIIO(op iosim.Op, res iosim.Result, id uint64) {
+	r := a.record(a.mpiio, id, int64(op.Rank))
+	dur := res.Duration()
+	coll := op.API == iosim.APIMPIIOColl
+	switch op.Kind {
+	case iosim.KindOpen:
+		if coll {
+			r.Add(darshan.CMpiioCollOpens, 1)
+		} else {
+			r.Add(darshan.CMpiioIndepOpens, 1)
+		}
+		r.FAdd(darshan.FMpiioMetaTime, dur)
+		r.FSetMin(darshan.FMpiioOpenStart, res.Start)
+	case iosim.KindClose:
+		r.FAdd(darshan.FMpiioMetaTime, dur)
+		r.FSetMax(darshan.FMpiioCloseEnd, res.End)
+	case iosim.KindFsync:
+		r.Add(darshan.CMpiioSyncs, 1)
+		r.FAdd(darshan.FMpiioMetaTime, dur)
+	case iosim.KindRead:
+		if coll {
+			r.Add(darshan.CMpiioCollReads, 1)
+		} else {
+			r.Add(darshan.CMpiioIndepReads, 1)
+		}
+		r.Add(darshan.CMpiioBytesRead, op.Size)
+		r.Add("MPIIO_SIZE_READ_AGG_"+darshan.SizeBinFor(op.Size), 1)
+		r.FAdd(darshan.FMpiioReadTime, dur)
+	case iosim.KindWrite:
+		if coll {
+			r.Add(darshan.CMpiioCollWrites, 1)
+		} else {
+			r.Add(darshan.CMpiioIndepWrites, 1)
+		}
+		r.Add(darshan.CMpiioBytesWritten, op.Size)
+		r.Add("MPIIO_SIZE_WRITE_AGG_"+darshan.SizeBinFor(op.Size), 1)
+		r.FAdd(darshan.FMpiioWriteTime, dur)
+	}
+}
+
+func (a *accumulator) observeSTDIO(op iosim.Op, res iosim.Result, id uint64) {
+	r := a.record(a.stdio, id, int64(op.Rank))
+	dur := res.Duration()
+	switch op.Kind {
+	case iosim.KindOpen:
+		r.Add(darshan.CStdioOpens, 1)
+		r.FAdd(darshan.FStdioMetaTime, dur)
+	case iosim.KindClose, iosim.KindStat:
+		r.FAdd(darshan.FStdioMetaTime, dur)
+	case iosim.KindSeek:
+		r.Add(darshan.CStdioSeeks, 1)
+		r.FAdd(darshan.FStdioMetaTime, dur)
+	case iosim.KindFsync:
+		r.Add(darshan.CStdioFlushes, 1)
+		r.FAdd(darshan.FStdioMetaTime, dur)
+	case iosim.KindRead:
+		r.Add(darshan.CStdioReads, 1)
+		r.Add(darshan.CStdioBytesRead, op.Size)
+		r.FAdd(darshan.FStdioReadTime, dur)
+	case iosim.KindWrite:
+		r.Add(darshan.CStdioWrites, 1)
+		r.Add(darshan.CStdioBytesWritten, op.Size)
+		r.FAdd(darshan.FStdioWriteTime, dur)
+	}
+}
+
+func (a *accumulator) observeDXT(op iosim.Op, res iosim.Result, id uint64) {
+	fk := fileKey{id, int64(op.Rank)}
+	seg := a.segments[fk]
+	a.segments[fk] = seg + 1
+	module := darshan.DXTPosix
+	if op.API == iosim.APIMPIIOIndep || op.API == iosim.APIMPIIOColl {
+		module = darshan.DXTMPIIO
+	}
+	kind := darshan.OpRead
+	if op.Kind == iosim.KindWrite {
+		kind = darshan.OpWrite
+	}
+	tr := a.log.DXTForFile(id)
+	if tr.Hostname == "" {
+		tr.Hostname = fmt.Sprintf("nid%05d", op.Rank%64)
+	}
+	tr.Events = append(tr.Events, darshan.DXTEvent{
+		Module: module, Rank: int64(op.Rank), Op: kind,
+		Segment: seg, Offset: op.Offset, Length: op.Size,
+		Start: res.Start, End: res.End, OSTs: res.OSTs,
+	})
+}
+
+func (a *accumulator) ensureLustre(id uint64, file string) {
+	if a.lustre[id] || a.meta.FSType != "lustre" {
+		return
+	}
+	a.lustre[id] = true
+	layout := a.sim.Layout(file)
+	r := a.log.Module(darshan.ModLustre).Record(id, darshan.SharedRank)
+	r.Counters[darshan.CLustreOSTs] = int64(a.cfg.NumOSTs)
+	mdts := int64(a.cfg.NumMDTs)
+	if mdts <= 0 {
+		mdts = 1
+	}
+	r.Counters[darshan.CLustreMDTs] = mdts
+	r.Counters[darshan.CLustreStripeOffset] = int64(layout.StripeOffset)
+	r.Counters[darshan.CLustreStripeSize] = layout.StripeSize
+	r.Counters[darshan.CLustreStripeWidth] = int64(layout.StripeCount)
+	for k := 0; k < layout.StripeCount; k++ {
+		r.Counters[fmt.Sprintf("LUSTRE_OST_ID_%d", k)] = int64((layout.StripeOffset + k) % a.cfg.NumOSTs)
+	}
+}
+
+func (a *accumulator) fileAlignment(file string) int64 {
+	if a.meta.FSType == "lustre" {
+		return a.sim.Layout(file).StripeSize
+	}
+	return 4096
+}
+
+// finalize applies Darshan's shared-file reduction and installs the
+// accumulated records into the log's modules.
+func (a *accumulator) finalize() {
+	a.reduce(a.posix, darshan.ModPOSIX)
+	a.reduce(a.mpiio, darshan.ModMPIIO)
+	a.reduce(a.stdio, darshan.ModSTDIO)
+	for _, t := range a.log.DXT {
+		t.SortByStart()
+	}
+}
+
+// reduce collapses per-rank records of multi-rank files into one shared
+// (rank -1) record with fastest/slowest/variance statistics, and copies
+// single-rank records through unchanged — matching darshan-util.
+func (a *accumulator) reduce(recs map[fileKey]*darshan.Record, module string) {
+	if len(recs) == 0 {
+		return
+	}
+	mod := a.log.Module(module)
+	byFile := map[uint64][]*darshan.Record{}
+	for k, r := range recs {
+		byFile[k.id] = append(byFile[k.id], r)
+	}
+	// Deterministic reduction: process files by id and ranks in order,
+	// so float accumulation (times, variances) is reproducible.
+	ids := make([]uint64, 0, len(byFile))
+	for id := range byFile {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	for _, id := range ids {
+		rs := byFile[id]
+		sort.Slice(rs, func(i, j int) bool { return rs[i].Rank < rs[j].Rank })
+		if len(rs) == 1 {
+			mod.Records = append(mod.Records, rs[0])
+			continue
+		}
+		shared := darshan.NewRecord(id, darshan.SharedRank)
+		type rankLoad struct {
+			rank  int64
+			time  float64
+			bytes int64
+		}
+		loads := make([]rankLoad, 0, len(rs))
+		for _, r := range rs {
+			for c, v := range r.Counters {
+				switch c {
+				case darshan.CPosixMemAlignment, darshan.CPosixFileAlignment:
+					shared.Counters[c] = v
+				case darshan.CPosixMaxByteRead, darshan.CPosixMaxByteWritten:
+					shared.SetMax(c, v)
+				default:
+					shared.Counters[c] += v
+				}
+			}
+			for c, v := range r.FCounters {
+				switch {
+				case isStartTimestamp(c):
+					shared.FSetMin(c, v)
+				case isEndTimestamp(c):
+					shared.FSetMax(c, v)
+				case isMaxTime(c):
+					shared.FSetMax(c, v)
+				default:
+					shared.FCounters[c] += v
+				}
+			}
+			t, b := ioLoad(module, r)
+			loads = append(loads, rankLoad{rank: r.Rank, time: t, bytes: b})
+		}
+		if module == darshan.ModPOSIX {
+			fastest, slowest := loads[0], loads[0]
+			var meanT, meanB float64
+			for _, l := range loads {
+				if l.time < fastest.time {
+					fastest = l
+				}
+				if l.time > slowest.time {
+					slowest = l
+				}
+				meanT += l.time
+				meanB += float64(l.bytes)
+			}
+			meanT /= float64(len(loads))
+			meanB /= float64(len(loads))
+			var varT, varB float64
+			for _, l := range loads {
+				varT += (l.time - meanT) * (l.time - meanT)
+				varB += (float64(l.bytes) - meanB) * (float64(l.bytes) - meanB)
+			}
+			varT /= float64(len(loads))
+			varB /= float64(len(loads))
+			shared.Counters[darshan.CPosixFastestRank] = fastest.rank
+			shared.Counters[darshan.CPosixFastestBytes] = fastest.bytes
+			shared.Counters[darshan.CPosixSlowestRank] = slowest.rank
+			shared.Counters[darshan.CPosixSlowestBytes] = slowest.bytes
+			shared.FCounters[darshan.FPosixFastestTime] = fastest.time
+			shared.FCounters[darshan.FPosixSlowestTime] = slowest.time
+			shared.FCounters[darshan.FPosixVarianceTime] = varT
+			shared.FCounters[darshan.FPosixVarianceBytes] = varB
+		}
+		if module == darshan.ModMPIIO {
+			var meanT, meanB float64
+			for _, l := range loads {
+				meanT += l.time
+				meanB += float64(l.bytes)
+			}
+			meanT /= float64(len(loads))
+			meanB /= float64(len(loads))
+			var varT, varB float64
+			for _, l := range loads {
+				varT += (l.time - meanT) * (l.time - meanT)
+				varB += (float64(l.bytes) - meanB) * (float64(l.bytes) - meanB)
+			}
+			shared.FCounters[darshan.FMpiioVarianceTime] = varT / float64(len(loads))
+			shared.FCounters[darshan.FMpiioVarianceBytes] = varB / float64(len(loads))
+		}
+		mod.Records = append(mod.Records, shared)
+	}
+}
+
+// ioLoad returns the total I/O seconds and bytes of one per-rank record.
+func ioLoad(module string, r *darshan.Record) (float64, int64) {
+	switch module {
+	case darshan.ModPOSIX:
+		return r.F(darshan.FPosixReadTime) + r.F(darshan.FPosixWriteTime) + r.F(darshan.FPosixMetaTime),
+			r.C(darshan.CPosixBytesRead) + r.C(darshan.CPosixBytesWritten)
+	case darshan.ModMPIIO:
+		return r.F(darshan.FMpiioReadTime) + r.F(darshan.FMpiioWriteTime) + r.F(darshan.FMpiioMetaTime),
+			r.C(darshan.CMpiioBytesRead) + r.C(darshan.CMpiioBytesWritten)
+	case darshan.ModSTDIO:
+		return r.F(darshan.FStdioReadTime) + r.F(darshan.FStdioWriteTime) + r.F(darshan.FStdioMetaTime),
+			r.C(darshan.CStdioBytesRead) + r.C(darshan.CStdioBytesWritten)
+	}
+	return 0, 0
+}
+
+func isStartTimestamp(c string) bool {
+	return len(c) > 16 && c[len(c)-16:] == "_START_TIMESTAMP"
+}
+
+func isEndTimestamp(c string) bool {
+	return len(c) > 14 && c[len(c)-14:] == "_END_TIMESTAMP"
+}
+
+func isMaxTime(c string) bool {
+	switch c {
+	case darshan.FPosixMaxReadTime, darshan.FPosixMaxWriteTime:
+		return true
+	}
+	return false
+}
