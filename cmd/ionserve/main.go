@@ -1,99 +1,209 @@
-// Command ionserve analyzes a Darshan trace and serves the diagnosis
-// through the paper's web front end (Figure 1): the report page with
-// per-issue modals plus the interactive message window, backed by a
-// JSON chat API.
+// Command ionserve runs the ION diagnosis service: Darshan traces are
+// uploaded as analysis jobs, queued onto a bounded worker pool, run
+// through the ion pipeline, and served through the paper's web front
+// end (Figure 1) — a report page with per-issue modals and interactive
+// message window per job, plus a JSON API for job lifecycle and
+// service stats.
 //
 // Usage:
 //
-//	ionserve -log trace.darshan -addr :8080
-//	# then open http://localhost:8080
+//	ionserve -addr :8080                      # empty service, POST traces to /api/jobs
+//	ionserve -log trace.darshan -addr :8080   # one-shot: submit, wait, serve
+//	ionserve -report saved.json               # serve a previously saved report
+//	ionserve -log trace.darshan -html out.html  # render the report page and exit
 package main
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"net/http"
 	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
 
 	"ion/internal/expertsim"
 	"ion/internal/ion"
+	"ion/internal/jobs"
 	"ion/internal/webui"
 )
 
 func main() {
 	var (
-		logPath    = flag.String("log", "", "Darshan log to analyze and serve")
-		reportPath = flag.String("report", "", "serve a previously saved report JSON instead of analyzing a log")
-		workdir    = flag.String("workdir", "", "directory for extracted CSVs (default: <log>.csv)")
+		logPath    = flag.String("log", "", "Darshan log to submit as the first job")
+		reportPath = flag.String("report", "", "serve a previously saved report JSON instead of running the service")
+		dataDir    = flag.String("data", "", "service data directory for jobs, traces, and reports (default: <log>.ionserve or ./ionserve-data)")
+		workdir    = flag.String("workdir", "", "deprecated alias for -data")
 		addr       = flag.String("addr", "127.0.0.1:8080", "listen address")
 		htmlOut    = flag.String("html", "", "write the report page to this file and exit (no server)")
+		workers    = flag.Int("workers", 2, "analysis worker pool size")
+		queueDepth = flag.Int("queue", 16, "queued-job bound; submissions beyond it get HTTP 429")
+		jobTimeout = flag.Duration("job-timeout", 5*time.Minute, "per-attempt analysis timeout")
+		retries    = flag.Int("retries", 3, "max analysis attempts per job (first run included)")
 	)
 	flag.Parse()
-	if *logPath == "" && *reportPath == "" {
-		fmt.Fprintln(os.Stderr, "ionserve: -log or -report is required")
-		flag.Usage()
-		os.Exit(2)
-	}
 
 	client := expertsim.New()
-	var (
-		rep *ion.Report
-		err error
-	)
+
+	// -report keeps its original single-report behavior.
 	if *reportPath != "" {
-		rep, err = ion.LoadJSON(*reportPath)
-	} else {
-		dir := *workdir
-		if dir == "" {
-			dir = *logPath + ".csv"
-		}
-		var fw *ion.Framework
-		fw, err = ion.New(ion.Config{Client: client})
-		if err == nil {
-			rep, err = fw.AnalyzeFile(context.Background(), *logPath, dir)
-		}
-	}
-	if err != nil {
-		fatal(err)
-	}
-
-	srv, err := webui.New(client, rep)
-	if err != nil {
-		fatal(err)
-	}
-
-	if *htmlOut != "" {
-		f, err := os.Create(*htmlOut)
+		rep, err := ion.LoadJSON(*reportPath)
 		if err != nil {
 			fatal(err)
 		}
-		req, _ := http.NewRequest(http.MethodGet, "/", nil)
-		rec := &fileResponse{f: f, header: http.Header{}}
-		srv.Handler().ServeHTTP(rec, req)
-		if err := f.Close(); err != nil {
+		srv, err := webui.New(client, rep)
+		if err != nil {
 			fatal(err)
 		}
-		fmt.Printf("ionserve: wrote %s\n", *htmlOut)
+		if *htmlOut != "" {
+			renderHTML(srv.Handler(), *htmlOut)
+			return
+		}
+		fmt.Printf("ionserve: report %s ready — http://%s\n", rep.Trace, *addr)
+		serve(*addr, srv.Handler(), nil)
 		return
 	}
 
-	fmt.Printf("ionserve: diagnosis of %s ready — http://%s\n", rep.Trace, *addr)
-	if err := http.ListenAndServe(*addr, srv.Handler()); err != nil {
+	dir := *dataDir
+	if dir == "" {
+		dir = *workdir
+	}
+	if dir == "" {
+		if *logPath != "" {
+			dir = *logPath + ".ionserve"
+		} else {
+			dir = "ionserve-data"
+		}
+	}
+	svc, err := jobs.Open(jobs.Config{
+		Dir:         dir,
+		Client:      client,
+		Workers:     *workers,
+		QueueDepth:  *queueDepth,
+		JobTimeout:  *jobTimeout,
+		MaxAttempts: *retries,
+	})
+	if err != nil {
 		fatal(err)
+	}
+
+	home := "/"
+	if *logPath != "" {
+		// One-shot mode: submit the trace as a job and wait for it, so
+		// the classic `ionserve -log trace.darshan` flow still comes up
+		// with the diagnosis ready.
+		trace, err := os.ReadFile(*logPath)
+		if err != nil {
+			fatal(err)
+		}
+		job, dedup, err := svc.Submit(*logPath, trace)
+		if err != nil {
+			fatal(err)
+		}
+		if dedup {
+			fmt.Printf("ionserve: %s already analyzed (job %s)\n", *logPath, job.ID)
+		}
+		final, err := svc.Wait(context.Background(), job.ID)
+		if err != nil {
+			fatal(err)
+		}
+		if final.State != jobs.StateDone {
+			fatal(fmt.Errorf("analyzing %s: %s", *logPath, final.Error))
+		}
+		if *htmlOut != "" {
+			rep, err := svc.Report(final.ID)
+			if err != nil {
+				fatal(err)
+			}
+			single, err := webui.New(client, rep)
+			if err != nil {
+				fatal(err)
+			}
+			renderHTML(single.Handler(), *htmlOut)
+			closeService(svc)
+			return
+		}
+		home = "/jobs/" + final.ID
+		fmt.Printf("ionserve: diagnosis of %s ready — http://%s%s\n", *logPath, *addr, home)
+	} else {
+		fmt.Printf("ionserve: service ready — http://%s (POST traces to /api/jobs)\n", *addr)
+	}
+
+	js, err := webui.NewJobServer(client, svc)
+	if err != nil {
+		fatal(err)
+	}
+	serve(*addr, js.Handler(), svc)
+}
+
+// serve runs a configured http.Server and shuts it down gracefully on
+// SIGINT/SIGTERM, draining the job service (when present) afterwards.
+func serve(addr string, handler http.Handler, svc *jobs.Service) {
+	server := &http.Server{
+		Addr:              addr,
+		Handler:           handler,
+		ReadHeaderTimeout: 10 * time.Second,
+		ReadTimeout:       2 * time.Minute,
+		WriteTimeout:      2 * time.Minute,
+		IdleTimeout:       2 * time.Minute,
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() { errc <- server.ListenAndServe() }()
+	select {
+	case err := <-errc:
+		if err != nil && !errors.Is(err, http.ErrServerClosed) {
+			fatal(err)
+		}
+	case <-ctx.Done():
+		fmt.Fprintln(os.Stderr, "ionserve: shutting down")
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
+		defer cancel()
+		if err := server.Shutdown(shutdownCtx); err != nil {
+			fmt.Fprintln(os.Stderr, "ionserve: shutdown:", err)
+		}
+	}
+	if svc != nil {
+		closeService(svc)
 	}
 }
 
-// fileResponse adapts an os.File into an http.ResponseWriter for the
+func closeService(svc *jobs.Service) {
+	ctx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
+	defer cancel()
+	if err := svc.Close(ctx); err != nil {
+		fmt.Fprintln(os.Stderr, "ionserve: draining jobs:", err)
+	}
+}
+
+// renderHTML writes the handler's index page to a file (the -html
+// render-and-exit mode).
+func renderHTML(h http.Handler, path string) {
+	req, _ := http.NewRequest(http.MethodGet, "/", nil)
+	var page strings.Builder
+	rec := &fileResponse{w: &page, header: http.Header{}}
+	h.ServeHTTP(rec, req)
+	if err := os.WriteFile(path, []byte(page.String()), 0o644); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("ionserve: wrote %s\n", path)
+}
+
+// fileResponse adapts a writer into an http.ResponseWriter for the
 // -html render-to-file mode.
 type fileResponse struct {
-	f      *os.File
+	w      *strings.Builder
 	header http.Header
 }
 
 func (r *fileResponse) Header() http.Header         { return r.header }
 func (r *fileResponse) WriteHeader(int)             {}
-func (r *fileResponse) Write(p []byte) (int, error) { return r.f.Write(p) }
+func (r *fileResponse) Write(p []byte) (int, error) { return r.w.Write(p) }
 
 func fatal(err error) {
 	fmt.Fprintln(os.Stderr, "ionserve:", err)

@@ -3,6 +3,7 @@ package ion
 import (
 	"encoding/json"
 	"fmt"
+	"io"
 	"os"
 
 	"ion/internal/issue"
@@ -17,15 +18,52 @@ type reportFile struct {
 
 const reportFileVersion = 1
 
-// SaveJSON writes the report to path as versioned JSON, so a diagnosis
-// can be archived, diffed later, or reopened for an interactive session
-// without re-running the analysis.
-func (r *Report) SaveJSON(path string) error {
+// EncodeJSON writes the report to w in the same versioned envelope
+// SaveJSON uses, for callers that manage their own files (the job
+// store) or stream over the network.
+func (r *Report) EncodeJSON(w io.Writer) error {
 	data, err := json.MarshalIndent(reportFile{Version: reportFileVersion, Report: r}, "", "  ")
 	if err != nil {
 		return fmt.Errorf("ion: marshaling report: %w", err)
 	}
-	if err := os.WriteFile(path, data, 0o644); err != nil {
+	if _, err := w.Write(data); err != nil {
+		return fmt.Errorf("ion: writing report: %w", err)
+	}
+	return nil
+}
+
+// DecodeJSON reads a report from the versioned envelope EncodeJSON
+// produces.
+func DecodeJSON(r io.Reader) (*Report, error) {
+	var rf reportFile
+	if err := json.NewDecoder(r).Decode(&rf); err != nil {
+		return nil, fmt.Errorf("ion: parsing report: %w", err)
+	}
+	if rf.Version != reportFileVersion {
+		return nil, fmt.Errorf("ion: report has version %d, want %d", rf.Version, reportFileVersion)
+	}
+	if rf.Report == nil {
+		return nil, fmt.Errorf("ion: report is empty")
+	}
+	if rf.Report.Diagnoses == nil {
+		rf.Report.Diagnoses = map[issue.ID]*IssueDiagnosis{}
+	}
+	return rf.Report, nil
+}
+
+// SaveJSON writes the report to path as versioned JSON, so a diagnosis
+// can be archived, diffed later, or reopened for an interactive session
+// without re-running the analysis.
+func (r *Report) SaveJSON(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("ion: saving report: %w", err)
+	}
+	if err := r.EncodeJSON(f); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
 		return fmt.Errorf("ion: saving report: %w", err)
 	}
 	return nil
@@ -33,22 +71,14 @@ func (r *Report) SaveJSON(path string) error {
 
 // LoadJSON reads a report saved by SaveJSON.
 func LoadJSON(path string) (*Report, error) {
-	data, err := os.ReadFile(path)
+	f, err := os.Open(path)
 	if err != nil {
 		return nil, fmt.Errorf("ion: loading report: %w", err)
 	}
-	var rf reportFile
-	if err := json.Unmarshal(data, &rf); err != nil {
-		return nil, fmt.Errorf("ion: parsing report %s: %w", path, err)
+	defer f.Close()
+	rep, err := DecodeJSON(f)
+	if err != nil {
+		return nil, fmt.Errorf("ion: report %s: %w", path, err)
 	}
-	if rf.Version != reportFileVersion {
-		return nil, fmt.Errorf("ion: report %s has version %d, want %d", path, rf.Version, reportFileVersion)
-	}
-	if rf.Report == nil {
-		return nil, fmt.Errorf("ion: report %s is empty", path)
-	}
-	if rf.Report.Diagnoses == nil {
-		rf.Report.Diagnoses = map[issue.ID]*IssueDiagnosis{}
-	}
-	return rf.Report, nil
+	return rep, nil
 }

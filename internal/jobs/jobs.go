@@ -1,0 +1,111 @@
+// Package jobs turns the one-shot ION pipeline into an asynchronous
+// analysis service: Darshan traces are submitted as jobs, queued with
+// bounded depth, executed on a worker pool by the ion.Framework, and
+// persisted as JSON so a restarted service resumes where it left off.
+// Identical traces are deduplicated by content hash, transient failures
+// are retried with exponential backoff and jitter, and a full set of
+// counters (queue depth, utilization, retries, cache hits) is exposed
+// for the /api/stats endpoint.
+package jobs
+
+import (
+	"errors"
+	"time"
+)
+
+// State is a job's position in the lifecycle state machine:
+//
+//	queued → running → done
+//	              ↘ retrying → running (until attempts are exhausted)
+//	              ↘ failed
+//
+// Non-terminal states found on disk at startup are recovered as queued.
+type State string
+
+// Job lifecycle states.
+const (
+	StateQueued   State = "queued"
+	StateRunning  State = "running"
+	StateRetrying State = "retrying"
+	StateDone     State = "done"
+	StateFailed   State = "failed"
+)
+
+// Terminal reports whether the state is final (done or failed).
+func (s State) Terminal() bool { return s == StateDone || s == StateFailed }
+
+// Valid reports whether s is a known lifecycle state.
+func (s State) Valid() bool {
+	switch s {
+	case StateQueued, StateRunning, StateRetrying, StateDone, StateFailed:
+		return true
+	}
+	return false
+}
+
+// Job is one analysis request: a Darshan trace submitted for diagnosis.
+// The service hands out copies; the canonical record lives in the
+// Service and is persisted through the Store on every state change.
+type Job struct {
+	// ID uniquely identifies the job ("j-" + 12 hex chars).
+	ID string `json:"id"`
+	// Trace is the display name of the submitted trace.
+	Trace string `json:"trace"`
+	// Hash is the hex SHA-256 of the trace bytes, the dedup key.
+	Hash string `json:"hash"`
+	// State is the current lifecycle state.
+	State State `json:"state"`
+	// Attempts counts analysis attempts so far (1 on first run).
+	Attempts int `json:"attempts"`
+	// Error holds the most recent failure message, if any.
+	Error string `json:"error,omitempty"`
+	// SubmittedAt/StartedAt/FinishedAt are lifecycle timestamps.
+	SubmittedAt time.Time `json:"submitted_at"`
+	StartedAt   time.Time `json:"started_at"`
+	FinishedAt  time.Time `json:"finished_at"`
+}
+
+// Service errors surfaced to the HTTP layer.
+var (
+	// ErrQueueFull is returned by Submit when the queue is at capacity;
+	// the HTTP layer maps it to 429 Too Many Requests.
+	ErrQueueFull = errors.New("jobs: queue is full")
+	// ErrClosed is returned by Submit after Close has begun.
+	ErrClosed = errors.New("jobs: service is shutting down")
+	// ErrNotFound is returned for unknown job ids.
+	ErrNotFound = errors.New("jobs: no such job")
+	// ErrBadTrace wraps trace-parse failures at submission; the HTTP
+	// layer maps it to 400 Bad Request.
+	ErrBadTrace = errors.New("jobs: trace does not parse as a Darshan log")
+	// ErrNotDone is returned when a report is requested for a job that
+	// has not completed successfully.
+	ErrNotDone = errors.New("jobs: job has not completed")
+)
+
+// Stats is a snapshot of the service counters for /api/stats.
+type Stats struct {
+	// Workers is the configured pool size; Busy is how many are
+	// currently running a job.
+	Workers int `json:"workers"`
+	Busy    int `json:"busy"`
+	// QueueDepth is the number of queued-but-unstarted jobs;
+	// QueueCapacity is the bound beyond which Submit sheds load.
+	QueueDepth    int `json:"queue_depth"`
+	QueueCapacity int `json:"queue_capacity"`
+	// Jobs is the total number of job records held.
+	Jobs int `json:"jobs"`
+	// Submitted counts accepted submissions (including dedup hits);
+	// Completed/Failed count terminal outcomes; Retried counts retry
+	// attempts; CacheHits counts submissions answered from the dedup
+	// cache; Recovered counts jobs re-queued from disk at startup.
+	Submitted int64 `json:"submitted"`
+	Completed int64 `json:"completed"`
+	Failed    int64 `json:"failed"`
+	Retried   int64 `json:"retried"`
+	CacheHits int64 `json:"cache_hits"`
+	Recovered int64 `json:"recovered"`
+	// CacheHitRate is CacheHits / Submitted (0 when nothing submitted).
+	CacheHitRate float64 `json:"cache_hit_rate"`
+	// Utilization is Busy / Workers (0 when the pool is empty).
+	Utilization float64 `json:"utilization"`
+}

@@ -1,0 +1,570 @@
+package jobs
+
+import (
+	"bytes"
+	"context"
+	"crypto/rand"
+	"crypto/sha256"
+	"encoding/hex"
+	"errors"
+	"fmt"
+	mathrand "math/rand"
+	"sort"
+	"sync"
+	"time"
+
+	"ion/internal/darshan"
+	"ion/internal/ion"
+	"ion/internal/llm"
+)
+
+// Config assembles a Service.
+type Config struct {
+	// Dir is the data directory for the persistent store (required).
+	Dir string
+	// Client is the language-model backend analyses run against
+	// (required).
+	Client llm.Client
+	// Framework optionally overrides the analysis pipeline; nil builds
+	// a default ion.Framework over Client.
+	Framework *ion.Framework
+	// Workers is the worker-pool size; 0 or negative means the default
+	// (2). A paused pool for tests is requested explicitly via Paused.
+	Workers int
+	// Paused starts the service with no workers: jobs queue and persist
+	// but never run. Used by tests and by recovery drills.
+	Paused bool
+	// QueueDepth bounds queued-but-unstarted jobs; Submit returns
+	// ErrQueueFull beyond it. 0 or negative means the default (16).
+	QueueDepth int
+	// JobTimeout bounds one analysis attempt; 0 means the default (5m).
+	JobTimeout time.Duration
+	// MaxAttempts bounds analysis attempts per job, counting the first;
+	// 0 means the default (3).
+	MaxAttempts int
+	// RetryDelay is the base backoff before the second attempt, doubled
+	// per retry with ±50% jitter; 0 means the default (500ms).
+	RetryDelay time.Duration
+	// MaxRetryDelay caps the backoff; 0 means the default (10s).
+	MaxRetryDelay time.Duration
+}
+
+func (c *Config) applyDefaults() {
+	if c.Workers <= 0 {
+		c.Workers = 2
+	}
+	if c.Paused {
+		c.Workers = 0
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 16
+	}
+	if c.JobTimeout <= 0 {
+		c.JobTimeout = 5 * time.Minute
+	}
+	if c.MaxAttempts <= 0 {
+		c.MaxAttempts = 3
+	}
+	if c.RetryDelay <= 0 {
+		c.RetryDelay = 500 * time.Millisecond
+	}
+	if c.MaxRetryDelay <= 0 {
+		c.MaxRetryDelay = 10 * time.Second
+	}
+}
+
+// Service is the asynchronous analysis engine: a persistent job store,
+// a bounded queue, and a pool of workers running the ion pipeline.
+type Service struct {
+	cfg   Config
+	store *Store
+	fw    *ion.Framework
+
+	baseCtx context.Context // canceled to abort in-flight analyses
+	abort   context.CancelFunc
+	stop    chan struct{} // closed to tell idle workers to exit
+	queue   chan string   // job ids awaiting a worker
+	wg      sync.WaitGroup
+
+	mu     sync.Mutex
+	jobs   map[string]*Job
+	done   map[string]chan struct{} // closed when the job reaches a terminal state
+	byHash map[string]string        // trace hash → job id (dedup cache)
+	closed bool
+	busy   int
+
+	submitted, completed, failed, retried, cacheHits, recovered int64
+}
+
+// Open starts a Service over cfg.Dir, recovering any jobs a previous
+// process left queued or in flight (they restart as queued).
+func Open(cfg Config) (*Service, error) {
+	if cfg.Client == nil {
+		return nil, fmt.Errorf("jobs: Config.Client is required")
+	}
+	cfg.applyDefaults()
+	store, err := OpenStore(cfg.Dir)
+	if err != nil {
+		return nil, err
+	}
+	fw := cfg.Framework
+	if fw == nil {
+		fw, err = ion.New(ion.Config{Client: cfg.Client})
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	existing, err := store.Jobs()
+	if err != nil {
+		return nil, err
+	}
+	var pending []*Job
+	for _, j := range existing {
+		if !j.State.Terminal() {
+			pending = append(pending, j)
+		}
+	}
+	// Oldest first, so recovered work keeps its submission order.
+	sort.Slice(pending, func(i, k int) bool {
+		return pending[i].SubmittedAt.Before(pending[k].SubmittedAt)
+	})
+
+	ctx, cancel := context.WithCancel(context.Background())
+	s := &Service{
+		cfg:     cfg,
+		store:   store,
+		fw:      fw,
+		baseCtx: ctx,
+		abort:   cancel,
+		stop:    make(chan struct{}),
+		// Recovered jobs must all fit alongside a full queue.
+		queue:  make(chan string, cfg.QueueDepth+len(pending)),
+		jobs:   make(map[string]*Job, len(existing)),
+		done:   make(map[string]chan struct{}, len(existing)),
+		byHash: make(map[string]string, len(existing)),
+	}
+	for _, j := range existing {
+		s.jobs[j.ID] = j
+		ch := make(chan struct{})
+		if j.State.Terminal() {
+			close(ch)
+		}
+		s.done[j.ID] = ch
+		// Completed jobs seed the dedup cache; non-terminal jobs join it
+		// too so a resubmission coalesces onto the recovered job.
+		if j.State != StateFailed && j.Hash != "" {
+			s.byHash[j.Hash] = j.ID
+		}
+	}
+	for _, j := range pending {
+		j.State = StateQueued
+		j.Error = ""
+		if err := store.PutJob(j); err != nil {
+			cancel()
+			return nil, err
+		}
+		s.queue <- j.ID
+		s.recovered++
+	}
+
+	for i := 0; i < cfg.Workers; i++ {
+		s.wg.Add(1)
+		go s.worker()
+	}
+	return s, nil
+}
+
+// Store exposes the underlying store (read-only use by the web layer).
+func (s *Service) Store() *Store { return s.store }
+
+// Submit accepts a Darshan trace (binary container or darshan-parser
+// text) for analysis. name is a display label. The returned bool is
+// true when the submission was answered from the dedup cache — an
+// identical trace was already submitted — in which case the returned
+// job is the cached one. Returns ErrQueueFull when the queue is at
+// capacity, ErrBadTrace when the bytes do not parse, ErrClosed after
+// shutdown has begun.
+func (s *Service) Submit(name string, trace []byte) (Job, bool, error) {
+	if _, err := ParseTrace(trace); err != nil {
+		return Job{}, false, err
+	}
+	sum := sha256.Sum256(trace)
+	hash := hex.EncodeToString(sum[:])
+	if name == "" {
+		name = "trace-" + hash[:8]
+	}
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return Job{}, false, ErrClosed
+	}
+	if id, ok := s.byHash[hash]; ok {
+		if j := s.jobs[id]; j != nil && j.State != StateFailed {
+			s.submitted++
+			s.cacheHits++
+			return *j, true, nil
+		}
+	}
+	if len(s.queue) >= s.cfg.QueueDepth {
+		return Job{}, false, ErrQueueFull
+	}
+	j := &Job{
+		ID:          newID(),
+		Trace:       name,
+		Hash:        hash,
+		State:       StateQueued,
+		SubmittedAt: time.Now().UTC(),
+	}
+	if err := s.store.PutTrace(j.ID, trace); err != nil {
+		return Job{}, false, err
+	}
+	if err := s.store.PutJob(j); err != nil {
+		return Job{}, false, err
+	}
+	s.jobs[j.ID] = j
+	s.done[j.ID] = make(chan struct{})
+	s.byHash[hash] = j.ID
+	s.submitted++
+	select {
+	case s.queue <- j.ID:
+	default:
+		// Unreachable: the depth check above holds s.mu and workers only
+		// drain the channel, but fail closed rather than block.
+		delete(s.jobs, j.ID)
+		delete(s.done, j.ID)
+		delete(s.byHash, hash)
+		s.submitted--
+		return Job{}, false, ErrQueueFull
+	}
+	return *j, false, nil
+}
+
+// Get returns a snapshot of one job.
+func (s *Service) Get(id string) (Job, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	if !ok {
+		return Job{}, ErrNotFound
+	}
+	return *j, nil
+}
+
+// List returns snapshots of all jobs, newest submission first.
+func (s *Service) List() []Job {
+	s.mu.Lock()
+	out := make([]Job, 0, len(s.jobs))
+	for _, j := range s.jobs {
+		out = append(out, *j)
+	}
+	s.mu.Unlock()
+	sort.Slice(out, func(i, k int) bool {
+		if !out[i].SubmittedAt.Equal(out[k].SubmittedAt) {
+			return out[i].SubmittedAt.After(out[k].SubmittedAt)
+		}
+		return out[i].ID < out[k].ID
+	})
+	return out
+}
+
+// Report returns the finished report for a done job. For a dedup alias
+// the id is the cached job's id, so callers always read through Get.
+func (s *Service) Report(id string) (*ion.Report, error) {
+	j, err := s.Get(id)
+	if err != nil {
+		return nil, err
+	}
+	if j.State != StateDone {
+		return nil, fmt.Errorf("%w: %s is %s", ErrNotDone, id, j.State)
+	}
+	return s.store.Report(id)
+}
+
+// Wait blocks until the job reaches a terminal state or ctx expires,
+// then returns the job snapshot.
+func (s *Service) Wait(ctx context.Context, id string) (Job, error) {
+	s.mu.Lock()
+	ch, ok := s.done[id]
+	s.mu.Unlock()
+	if !ok {
+		return Job{}, ErrNotFound
+	}
+	select {
+	case <-ctx.Done():
+		return Job{}, ctx.Err()
+	case <-ch:
+	}
+	return s.Get(id)
+}
+
+// Stats returns a snapshot of the service counters.
+func (s *Service) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st := Stats{
+		Workers:       s.cfg.Workers,
+		Busy:          s.busy,
+		QueueDepth:    len(s.queue),
+		QueueCapacity: s.cfg.QueueDepth,
+		Jobs:          len(s.jobs),
+		Submitted:     s.submitted,
+		Completed:     s.completed,
+		Failed:        s.failed,
+		Retried:       s.retried,
+		CacheHits:     s.cacheHits,
+		Recovered:     s.recovered,
+	}
+	if st.Submitted > 0 {
+		st.CacheHitRate = float64(st.CacheHits) / float64(st.Submitted)
+	}
+	if st.Workers > 0 {
+		st.Utilization = float64(st.Busy) / float64(st.Workers)
+	}
+	return st
+}
+
+// Close shuts the service down gracefully: no new submissions are
+// accepted, idle workers exit, and running analyses are drained. Jobs
+// still queued stay persisted as queued and are recovered by the next
+// Open. If ctx expires before the drain completes, in-flight analyses
+// are aborted (their jobs retry on the next start).
+func (s *Service) Close(ctx context.Context) error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		s.wg.Wait()
+		return nil
+	}
+	s.closed = true
+	s.mu.Unlock()
+	close(s.stop)
+
+	drained := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(drained)
+	}()
+	select {
+	case <-drained:
+		return nil
+	case <-ctx.Done():
+		s.abort()
+		<-drained
+		return ctx.Err()
+	}
+}
+
+func (s *Service) worker() {
+	defer s.wg.Done()
+	for {
+		// A closed stop channel wins over more queued work, so shutdown
+		// drains only the jobs already running.
+		select {
+		case <-s.stop:
+			return
+		default:
+		}
+		select {
+		case <-s.stop:
+			return
+		case id := <-s.queue:
+			s.run(id)
+		}
+	}
+}
+
+// run executes one job: parse the stored trace, run the analysis with a
+// per-attempt timeout, retry transient failures with backoff + jitter.
+func (s *Service) run(id string) {
+	s.mu.Lock()
+	j, ok := s.jobs[id]
+	if !ok || j.State.Terminal() {
+		s.mu.Unlock()
+		return
+	}
+	s.busy++
+	s.mu.Unlock()
+	defer func() {
+		s.mu.Lock()
+		s.busy--
+		s.mu.Unlock()
+	}()
+
+	trace, err := s.store.Trace(id)
+	if err == nil {
+		var log *darshan.Log
+		log, err = ParseTrace(trace)
+		if err == nil {
+			s.attempts(id, log)
+			return
+		}
+	}
+	s.finish(id, StateFailed, err)
+}
+
+func (s *Service) attempts(id string, log *darshan.Log) {
+	for attempt := 1; ; attempt++ {
+		s.transition(id, StateRunning, attempt, "")
+		ctx, cancel := context.WithTimeout(s.baseCtx, s.cfg.JobTimeout)
+		name := s.snapshotName(id)
+		rep, err := s.fw.AnalyzeLog(ctx, log, name, s.store.WorkDir(id))
+		cancel()
+		if err == nil {
+			if err = s.store.PutReport(id, rep); err == nil {
+				s.finish(id, StateDone, nil)
+				return
+			}
+		}
+		if !s.retryable(err, attempt) {
+			s.finish(id, StateFailed, err)
+			return
+		}
+		s.mu.Lock()
+		s.retried++
+		s.mu.Unlock()
+		s.transition(id, StateRetrying, attempt, err.Error())
+		if !s.sleep(backoff(s.cfg.RetryDelay, s.cfg.MaxRetryDelay, attempt)) {
+			// Shutdown interrupted the backoff: park the job as queued so
+			// the next Open recovers it.
+			s.transition(id, StateQueued, attempt, err.Error())
+			return
+		}
+	}
+}
+
+// retryable classifies a failure: shutdown cancellation is final,
+// everything else (LLM hiccups, per-attempt timeouts) is transient
+// until the attempt budget runs out.
+func (s *Service) retryable(err error, attempt int) bool {
+	if attempt >= s.cfg.MaxAttempts {
+		return false
+	}
+	if s.baseCtx.Err() != nil || errors.Is(err, context.Canceled) {
+		return false
+	}
+	return true
+}
+
+// sleep waits d, returning false if shutdown interrupts the wait.
+func (s *Service) sleep(d time.Duration) bool {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return true
+	case <-s.stop:
+		return false
+	case <-s.baseCtx.Done():
+		return false
+	}
+}
+
+func (s *Service) snapshotName(id string) string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if j, ok := s.jobs[id]; ok {
+		return j.Trace
+	}
+	return id
+}
+
+// transition moves a job to a non-terminal state and persists it.
+func (s *Service) transition(id string, state State, attempt int, errMsg string) {
+	s.mu.Lock()
+	j, ok := s.jobs[id]
+	if !ok {
+		s.mu.Unlock()
+		return
+	}
+	j.State = state
+	j.Attempts = attempt
+	j.Error = errMsg
+	if state == StateRunning && j.StartedAt.IsZero() {
+		j.StartedAt = time.Now().UTC()
+	}
+	snapshot := *j
+	s.mu.Unlock()
+	s.store.PutJob(&snapshot)
+}
+
+// finish moves a job to a terminal state, persists it, bumps the
+// outcome counters, and releases waiters.
+func (s *Service) finish(id string, state State, cause error) {
+	s.mu.Lock()
+	j, ok := s.jobs[id]
+	if !ok {
+		s.mu.Unlock()
+		return
+	}
+	j.State = state
+	j.FinishedAt = time.Now().UTC()
+	if cause != nil {
+		j.Error = cause.Error()
+	} else {
+		j.Error = ""
+	}
+	switch state {
+	case StateDone:
+		s.completed++
+	case StateFailed:
+		s.failed++
+		// A failed job no longer answers dedup lookups.
+		if s.byHash[j.Hash] == id {
+			delete(s.byHash, j.Hash)
+		}
+	}
+	ch := s.done[id]
+	snapshot := *j
+	s.mu.Unlock()
+	s.store.PutJob(&snapshot)
+	if ch != nil {
+		close(ch)
+	}
+}
+
+// backoff computes the exponential delay before retry `attempt`+1 with
+// ±50% jitter, capped at max.
+func backoff(base, max time.Duration, attempt int) time.Duration {
+	d := base
+	for i := 1; i < attempt && d < max; i++ {
+		d *= 2
+	}
+	if d > max {
+		d = max
+	}
+	// Jitter in [d/2, 3d/2) de-synchronizes retry storms.
+	return d/2 + time.Duration(mathrand.Int63n(int64(d)+1))
+}
+
+// ParseTrace decodes trace bytes as a Darshan log, accepting the binary
+// container format and falling back to darshan-parser text.
+func ParseTrace(data []byte) (*darshan.Log, error) {
+	if len(data) == 0 {
+		return nil, fmt.Errorf("%w: empty body", ErrBadTrace)
+	}
+	log, binErr := darshan.ReadBinary(bytes.NewReader(data))
+	if binErr != nil {
+		var txtErr error
+		log, txtErr = darshan.ParseText(bytes.NewReader(data))
+		if txtErr != nil {
+			return nil, fmt.Errorf("%w: %v", ErrBadTrace, txtErr)
+		}
+	}
+	if len(log.Modules) == 0 && len(log.DXT) == 0 {
+		return nil, fmt.Errorf("%w: no module records", ErrBadTrace)
+	}
+	return log, nil
+}
+
+// newID returns a fresh job id: "j-" + 12 random hex chars.
+func newID() string {
+	var b [6]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		// crypto/rand never fails on supported platforms; fall back to a
+		// time-derived id rather than panicking the service.
+		return fmt.Sprintf("j-%012x", time.Now().UnixNano()&0xffffffffffff)
+	}
+	return "j-" + hex.EncodeToString(b[:])
+}

@@ -1,0 +1,199 @@
+package jobs
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"ion/internal/ion"
+)
+
+// Store persists job records, uploaded trace bytes, and finished
+// reports as plain files under a data directory:
+//
+//	<dir>/jobs/<id>.json       job record
+//	<dir>/traces/<id>.darshan  submitted trace bytes
+//	<dir>/reports/<id>.json    finished report (ion versioned envelope)
+//	<dir>/work/<id>/           per-job CSV extraction workspace
+//
+// Writes go through a temp-file + rename so a crash mid-write never
+// leaves a torn record, and a fresh Store over an existing directory
+// recovers every job that was queued or in flight.
+type Store struct {
+	dir string
+}
+
+// OpenStore creates (if needed) and opens the data directory.
+func OpenStore(dir string) (*Store, error) {
+	if dir == "" {
+		return nil, fmt.Errorf("jobs: store directory is required")
+	}
+	for _, sub := range []string{"jobs", "traces", "reports", "work"} {
+		if err := os.MkdirAll(filepath.Join(dir, sub), 0o755); err != nil {
+			return nil, fmt.Errorf("jobs: opening store: %w", err)
+		}
+	}
+	return &Store{dir: dir}, nil
+}
+
+// Dir returns the store's root directory.
+func (s *Store) Dir() string { return s.dir }
+
+// WorkDir returns the per-job CSV extraction directory.
+func (s *Store) WorkDir(id string) string {
+	return filepath.Join(s.dir, "work", id)
+}
+
+// PutJob persists a job record atomically.
+func (s *Store) PutJob(j *Job) error {
+	if err := validID(j.ID); err != nil {
+		return err
+	}
+	data, err := json.MarshalIndent(j, "", "  ")
+	if err != nil {
+		return fmt.Errorf("jobs: marshaling job %s: %w", j.ID, err)
+	}
+	return writeAtomic(filepath.Join(s.dir, "jobs", j.ID+".json"), data)
+}
+
+// GetJob loads one job record.
+func (s *Store) GetJob(id string) (*Job, error) {
+	if err := validID(id); err != nil {
+		return nil, err
+	}
+	data, err := os.ReadFile(filepath.Join(s.dir, "jobs", id+".json"))
+	if os.IsNotExist(err) {
+		return nil, ErrNotFound
+	}
+	if err != nil {
+		return nil, fmt.Errorf("jobs: reading job %s: %w", id, err)
+	}
+	var j Job
+	if err := json.Unmarshal(data, &j); err != nil {
+		return nil, fmt.Errorf("jobs: parsing job %s: %w", id, err)
+	}
+	return &j, nil
+}
+
+// Jobs loads every job record in the store. Records that fail to parse
+// are skipped rather than poisoning recovery.
+func (s *Store) Jobs() ([]*Job, error) {
+	entries, err := os.ReadDir(filepath.Join(s.dir, "jobs"))
+	if err != nil {
+		return nil, fmt.Errorf("jobs: listing store: %w", err)
+	}
+	var out []*Job
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".json") {
+			continue
+		}
+		j, err := s.GetJob(strings.TrimSuffix(name, ".json"))
+		if err != nil {
+			continue
+		}
+		if j.ID == "" || !j.State.Valid() {
+			continue
+		}
+		out = append(out, j)
+	}
+	return out, nil
+}
+
+// PutTrace persists the submitted trace bytes for a job.
+func (s *Store) PutTrace(id string, data []byte) error {
+	if err := validID(id); err != nil {
+		return err
+	}
+	return writeAtomic(filepath.Join(s.dir, "traces", id+".darshan"), data)
+}
+
+// Trace reads back the submitted trace bytes for a job.
+func (s *Store) Trace(id string) ([]byte, error) {
+	if err := validID(id); err != nil {
+		return nil, err
+	}
+	data, err := os.ReadFile(filepath.Join(s.dir, "traces", id+".darshan"))
+	if os.IsNotExist(err) {
+		return nil, ErrNotFound
+	}
+	if err != nil {
+		return nil, fmt.Errorf("jobs: reading trace for %s: %w", id, err)
+	}
+	return data, nil
+}
+
+// PutReport persists a finished report atomically.
+func (s *Store) PutReport(id string, rep *ion.Report) error {
+	if err := validID(id); err != nil {
+		return err
+	}
+	var b strings.Builder
+	if err := rep.EncodeJSON(&b); err != nil {
+		return err
+	}
+	return writeAtomic(filepath.Join(s.dir, "reports", id+".json"), []byte(b.String()))
+}
+
+// Report reads back the report for a completed job.
+func (s *Store) Report(id string) (*ion.Report, error) {
+	if err := validID(id); err != nil {
+		return nil, err
+	}
+	f, err := os.Open(filepath.Join(s.dir, "reports", id+".json"))
+	if os.IsNotExist(err) {
+		return nil, ErrNotFound
+	}
+	if err != nil {
+		return nil, fmt.Errorf("jobs: reading report for %s: %w", id, err)
+	}
+	defer f.Close()
+	rep, err := ion.DecodeJSON(f)
+	if err != nil {
+		return nil, fmt.Errorf("jobs: report for %s: %w", id, err)
+	}
+	return rep, nil
+}
+
+// writeAtomic writes data to path via a temp file + rename so readers
+// never observe a partial record.
+func writeAtomic(path string, data []byte) error {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, ".tmp-*")
+	if err != nil {
+		return fmt.Errorf("jobs: %w", err)
+	}
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return fmt.Errorf("jobs: writing %s: %w", path, err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("jobs: writing %s: %w", path, err)
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("jobs: writing %s: %w", path, err)
+	}
+	return nil
+}
+
+// validID guards file-name construction: ids are generated internally,
+// but recovery reads names off disk and the HTTP layer passes ids from
+// URLs, so reject anything that could escape the store layout.
+func validID(id string) error {
+	if id == "" || len(id) > 64 {
+		return fmt.Errorf("jobs: invalid job id %q", id)
+	}
+	for _, r := range id {
+		switch {
+		case r >= 'a' && r <= 'z', r >= '0' && r <= '9', r == '-':
+		default:
+			return fmt.Errorf("jobs: invalid job id %q", id)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,131 @@
+package jobs
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"ion/internal/ion"
+	"ion/internal/issue"
+)
+
+func TestStoreJobRoundTrip(t *testing.T) {
+	st, err := OpenStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	j := &Job{
+		ID:          "j-0123456789ab",
+		Trace:       "ior-hard",
+		Hash:        "deadbeef",
+		State:       StateQueued,
+		Attempts:    1,
+		SubmittedAt: time.Now().UTC().Truncate(time.Second),
+	}
+	if err := st.PutJob(j); err != nil {
+		t.Fatal(err)
+	}
+	back, err := st.GetJob(j.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.ID != j.ID || back.Trace != j.Trace || back.State != j.State || !back.SubmittedAt.Equal(j.SubmittedAt) {
+		t.Errorf("round-trip mismatch: %+v != %+v", back, j)
+	}
+}
+
+func TestStoreGetJobNotFound(t *testing.T) {
+	st, err := OpenStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := st.GetJob("j-aaaaaaaaaaaa"); !errors.Is(err, ErrNotFound) {
+		t.Errorf("missing job error = %v, want ErrNotFound", err)
+	}
+	if _, err := st.Trace("j-aaaaaaaaaaaa"); !errors.Is(err, ErrNotFound) {
+		t.Errorf("missing trace error = %v, want ErrNotFound", err)
+	}
+	if _, err := st.Report("j-aaaaaaaaaaaa"); !errors.Is(err, ErrNotFound) {
+		t.Errorf("missing report error = %v, want ErrNotFound", err)
+	}
+}
+
+func TestStoreRejectsBadIDs(t *testing.T) {
+	st, err := OpenStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, id := range []string{"", "../escape", "a/b", "UPPER", "j..j", "j j"} {
+		if err := st.PutJob(&Job{ID: id}); err == nil {
+			t.Errorf("PutJob accepted id %q", id)
+		}
+		if _, err := st.GetJob(id); err == nil {
+			t.Errorf("GetJob accepted id %q", id)
+		}
+	}
+}
+
+func TestStoreJobsSkipsGarbage(t *testing.T) {
+	dir := t.TempDir()
+	st, err := OpenStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := st.PutJob(&Job{ID: "j-0123456789ab", State: StateQueued}); err != nil {
+		t.Fatal(err)
+	}
+	// A torn write, a non-JSON file, and a record with a bogus state
+	// must not poison recovery.
+	for name, body := range map[string]string{
+		"torn.json":   `{"id": "j-to`,
+		"notes.txt":   "not a job",
+		"badstate.json": `{"id":"j-badstate1234","state":"exploded"}`,
+	} {
+		if err := os.WriteFile(filepath.Join(dir, "jobs", name), []byte(body), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	jobs, err := st.Jobs()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(jobs) != 1 || jobs[0].ID != "j-0123456789ab" {
+		t.Errorf("Jobs() = %+v, want the one valid record", jobs)
+	}
+}
+
+func TestStoreTraceAndReportRoundTrip(t *testing.T) {
+	st, err := OpenStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	id := "j-0123456789ab"
+	if err := st.PutTrace(id, []byte("trace bytes")); err != nil {
+		t.Fatal(err)
+	}
+	data, err := st.Trace(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(data) != "trace bytes" {
+		t.Errorf("trace round-trip = %q", data)
+	}
+
+	rep := &ion.Report{
+		Trace:     "ior-hard",
+		Diagnoses: map[issue.ID]*ion.IssueDiagnosis{},
+		Summary:   "all clear",
+	}
+	if err := st.PutReport(id, rep); err != nil {
+		t.Fatal(err)
+	}
+	back, err := st.Report(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Trace != rep.Trace || back.Summary != rep.Summary {
+		t.Errorf("report round-trip = %+v", back)
+	}
+}

@@ -1,0 +1,304 @@
+package webui
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"html"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+
+	"ion/internal/ion"
+	"ion/internal/jobs"
+	"ion/internal/llm"
+	"ion/internal/report"
+)
+
+// maxTraceBody caps trace uploads; oversized payloads get 413.
+const maxTraceBody = 64 << 20
+
+// JobServer is the multi-trace front end over a jobs.Service: traces
+// are uploaded as jobs, polled to completion, and each finished job
+// gets its own report page and chat session.
+type JobServer struct {
+	svc    *jobs.Service
+	client llm.Client
+
+	mu       sync.Mutex
+	sessions map[string]*ion.Session // job id → chat session
+}
+
+// NewJobServer wires the service and chat backend into a handler.
+func NewJobServer(client llm.Client, svc *jobs.Service) (*JobServer, error) {
+	if client == nil || svc == nil {
+		return nil, fmt.Errorf("webui: client and service are required")
+	}
+	return &JobServer{svc: svc, client: client, sessions: map[string]*ion.Session{}}, nil
+}
+
+// Handler returns the HTTP routes of the analysis service:
+//
+//	GET  /                     the job list page (HTML)
+//	GET  /jobs/{id}            a finished job's diagnosis page (HTML)
+//	POST /api/jobs             submit a trace (raw Darshan bytes; ?name=)
+//	GET  /api/jobs             list jobs (JSON)
+//	GET  /api/jobs/{id}        one job's status (JSON)
+//	GET  /api/jobs/{id}/report the finished report (JSON)
+//	POST /api/jobs/{id}/ask    {"question": ...} against that job's report
+//	GET  /api/stats            queue/worker/cache counters (JSON)
+func (s *JobServer) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /{$}", s.handleIndex)
+	mux.HandleFunc("GET /jobs/{id}", s.handleJobPage)
+	mux.HandleFunc("POST /api/jobs", s.handleSubmit)
+	mux.HandleFunc("GET /api/jobs", s.handleList)
+	mux.HandleFunc("GET /api/jobs/{id}", s.handleJob)
+	mux.HandleFunc("GET /api/jobs/{id}/report", s.handleJobReport)
+	mux.HandleFunc("POST /api/jobs/{id}/ask", s.handleJobAsk)
+	mux.HandleFunc("GET /api/stats", s.handleStats)
+	return mux
+}
+
+// submitResponse is the POST /api/jobs wire type.
+type submitResponse struct {
+	Job jobs.Job `json:"job"`
+	// Dedup is true when an identical trace had already been submitted
+	// and the cached job is returned instead of a new run.
+	Dedup bool `json:"dedup"`
+}
+
+func (s *JobServer) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	body := http.MaxBytesReader(w, r.Body, maxTraceBody)
+	data, err := io.ReadAll(body)
+	if err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			http.Error(w, "trace too large", http.StatusRequestEntityTooLarge)
+			return
+		}
+		http.Error(w, "bad request: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	job, dedup, err := s.svc.Submit(r.URL.Query().Get("name"), data)
+	switch {
+	case errors.Is(err, jobs.ErrQueueFull):
+		w.Header().Set("Retry-After", "5")
+		http.Error(w, "queue is full, retry later", http.StatusTooManyRequests)
+		return
+	case errors.Is(err, jobs.ErrBadTrace):
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	case errors.Is(err, jobs.ErrClosed):
+		http.Error(w, "service is shutting down", http.StatusServiceUnavailable)
+		return
+	case err != nil:
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	status := http.StatusAccepted
+	if dedup {
+		status = http.StatusOK
+	}
+	writeJSON(w, status, submitResponse{Job: job, Dedup: dedup})
+}
+
+func (s *JobServer) handleList(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.svc.List())
+}
+
+func (s *JobServer) handleJob(w http.ResponseWriter, r *http.Request) {
+	job, ok := s.getJob(w, r)
+	if !ok {
+		return
+	}
+	writeJSON(w, http.StatusOK, job)
+}
+
+func (s *JobServer) handleJobReport(w http.ResponseWriter, r *http.Request) {
+	job, ok := s.getJob(w, r)
+	if !ok {
+		return
+	}
+	rep, err := s.svc.Report(job.ID)
+	if errors.Is(err, jobs.ErrNotDone) {
+		http.Error(w, err.Error(), http.StatusConflict)
+		return
+	}
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	writeJSON(w, http.StatusOK, rep)
+}
+
+func (s *JobServer) handleJobAsk(w http.ResponseWriter, r *http.Request) {
+	job, ok := s.getJob(w, r)
+	if !ok {
+		return
+	}
+	var req askRequest
+	if !readJSON(w, r, maxAskBody, &req) {
+		return
+	}
+	if strings.TrimSpace(req.Question) == "" {
+		http.Error(w, "bad request: empty question", http.StatusBadRequest)
+		return
+	}
+	session, err := s.session(job.ID)
+	if errors.Is(err, jobs.ErrNotDone) {
+		http.Error(w, err.Error(), http.StatusConflict)
+		return
+	}
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	// Session history is stateful: serialize questions per server.
+	s.mu.Lock()
+	answer, err := session.Ask(r.Context(), req.Question)
+	s.mu.Unlock()
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	writeJSON(w, http.StatusOK, askResponse{Answer: answer})
+}
+
+func (s *JobServer) handleStats(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.svc.Stats())
+}
+
+func (s *JobServer) handleJobPage(w http.ResponseWriter, r *http.Request) {
+	job, ok := s.getJob(w, r)
+	if !ok {
+		return
+	}
+	w.Header().Set("Content-Type", "text/html; charset=utf-8")
+	if job.State != jobs.StateDone {
+		fmt.Fprintf(w, pendingPage, html.EscapeString(job.Trace), html.EscapeString(string(job.State)),
+			job.Attempts, html.EscapeString(job.Error), html.EscapeString(job.ID))
+		return
+	}
+	rep, err := s.svc.Report(job.ID)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	var page strings.Builder
+	if err := report.WriteHTML(&page, rep); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	widget := navLink + chatWidgetFor("/api/jobs/"+job.ID+"/ask")
+	fmt.Fprint(w, strings.Replace(page.String(), "</body>", widget+"</body>", 1))
+}
+
+func (s *JobServer) handleIndex(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/html; charset=utf-8")
+	list := s.svc.List()
+	var rows strings.Builder
+	for _, j := range list {
+		link := html.EscapeString(j.Trace)
+		if j.State == jobs.StateDone {
+			link = fmt.Sprintf(`<a href="/jobs/%s">%s</a>`, html.EscapeString(j.ID), link)
+		}
+		fmt.Fprintf(&rows, "<tr><td>%s</td><td><code>%s</code></td><td>%s</td><td>%d</td><td>%s</td></tr>\n",
+			link, html.EscapeString(j.ID), html.EscapeString(string(j.State)),
+			j.Attempts, html.EscapeString(j.Error))
+	}
+	if len(list) == 0 {
+		rows.WriteString(`<tr><td colspan="5"><em>no jobs yet — upload a Darshan trace</em></td></tr>`)
+	}
+	st := s.svc.Stats()
+	fmt.Fprintf(w, indexPage, rows.String(),
+		st.QueueDepth, st.QueueCapacity, st.Busy, st.Workers,
+		st.Completed, st.Failed, st.Retried, st.CacheHits)
+}
+
+// getJob resolves the {id} path value, writing a 404 on miss.
+func (s *JobServer) getJob(w http.ResponseWriter, r *http.Request) (jobs.Job, bool) {
+	job, err := s.svc.Get(r.PathValue("id"))
+	if err != nil {
+		http.Error(w, "no such job", http.StatusNotFound)
+		return jobs.Job{}, false
+	}
+	return job, true
+}
+
+// session returns (creating on first use) the chat session over a
+// finished job's report.
+func (s *JobServer) session(id string) (*ion.Session, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if sess, ok := s.sessions[id]; ok {
+		return sess, nil
+	}
+	rep, err := s.svc.Report(id)
+	if err != nil {
+		return nil, err
+	}
+	sess, err := ion.NewSession(s.client, rep)
+	if err != nil {
+		return nil, err
+	}
+	s.sessions[id] = sess
+	return sess, nil
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	if err := json.NewEncoder(w).Encode(v); err != nil {
+		// Headers are gone; nothing useful left to report.
+		return
+	}
+}
+
+const navLink = `<p style="margin-top:2rem"><a href="/">&larr; all jobs</a></p>`
+
+const pendingPage = `<!DOCTYPE html>
+<html><head><meta charset="utf-8"><title>ION — job status</title>
+<meta http-equiv="refresh" content="2"></head>
+<body style="font-family:system-ui,sans-serif;max-width:42rem;margin:3rem auto">
+<h1>Diagnosis of %s</h1>
+<p>State: <strong>%s</strong> (attempt %d)</p>
+<p style="color:#a33">%s</p>
+<p>This page refreshes until job <code>%s</code> completes.</p>
+<p><a href="/">&larr; all jobs</a></p>
+</body></html>
+`
+
+const indexPage = `<!DOCTYPE html>
+<html><head><meta charset="utf-8"><title>ION — analysis jobs</title></head>
+<body style="font-family:system-ui,sans-serif;max-width:52rem;margin:3rem auto">
+<h1>ION analysis service</h1>
+<p>Upload a Darshan trace (binary container or darshan-parser text) to
+queue a diagnosis, or POST it to <code>/api/jobs</code>.</p>
+<p><input type="file" id="trace"> <button id="upload">Upload &amp; analyze</button>
+<span id="upload-status"></span></p>
+<table border="1" cellpadding="6" style="border-collapse:collapse;width:100%%">
+<tr><th>trace</th><th>job</th><th>state</th><th>attempts</th><th>error</th></tr>
+%s
+</table>
+<p style="color:#555">queue %d/%d &middot; workers busy %d/%d &middot;
+completed %d &middot; failed %d &middot; retries %d &middot; cache hits %d
+&middot; <a href="/api/stats">stats JSON</a></p>
+<script>
+document.getElementById("upload").addEventListener("click", async function() {
+  var f = document.getElementById("trace").files[0];
+  var out = document.getElementById("upload-status");
+  if (!f) { out.textContent = "pick a trace file first"; return; }
+  out.textContent = "uploading…";
+  try {
+    var resp = await fetch("/api/jobs?name=" + encodeURIComponent(f.name), {
+      method: "POST", body: await f.arrayBuffer()
+    });
+    if (!resp.ok) throw new Error(await resp.text());
+    location.reload();
+  } catch (err) { out.textContent = "error: " + err; }
+});
+</script>
+</body></html>
+`

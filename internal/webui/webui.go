@@ -7,6 +7,7 @@ package webui
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net/http"
 	"strings"
@@ -16,6 +17,9 @@ import (
 	"ion/internal/llm"
 	"ion/internal/report"
 )
+
+// maxAskBody caps /api/ask request bodies; oversized payloads get 413.
+const maxAskBody = 1 << 20
 
 // Server wires a report and a chat session behind an http.Handler.
 type Server struct {
@@ -88,14 +92,30 @@ type askResponse struct {
 	Answer string `json:"answer"`
 }
 
+// readJSON decodes the request body into v with the body capped at
+// maxBytes, writing the appropriate error response (413 for oversized
+// bodies, 400 otherwise) and returning false on failure.
+func readJSON(w http.ResponseWriter, r *http.Request, maxBytes int64, v any) bool {
+	r.Body = http.MaxBytesReader(w, r.Body, maxBytes)
+	if err := json.NewDecoder(r.Body).Decode(v); err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			http.Error(w, "request body too large", http.StatusRequestEntityTooLarge)
+			return false
+		}
+		http.Error(w, "bad request: "+err.Error(), http.StatusBadRequest)
+		return false
+	}
+	return true
+}
+
 func (s *Server) handleAsk(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
 		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
 		return
 	}
 	var req askRequest
-	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		http.Error(w, "bad request: "+err.Error(), http.StatusBadRequest)
+	if !readJSON(w, r, maxAskBody, &req) {
 		return
 	}
 	if strings.TrimSpace(req.Question) == "" {
@@ -116,8 +136,17 @@ func (s *Server) handleAsk(w http.ResponseWriter, r *http.Request) {
 	}
 }
 
-// chatWidget is the message window of the paper's front end.
-const chatWidget = `
+// chatWidget is the message window of the paper's front end, posting
+// to the single-report ask endpoint. The job server renders the same
+// widget against its per-job endpoints via chatWidgetFor.
+var chatWidget = chatWidgetFor("/api/ask")
+
+// chatWidgetFor renders the message window against an ask endpoint.
+func chatWidgetFor(askURL string) string {
+	return strings.ReplaceAll(chatWidgetTmpl, "__ASK_URL__", askURL)
+}
+
+const chatWidgetTmpl = `
 <section id="chat" style="margin-top:2rem;border-top:2px solid #ddd;padding-top:1rem">
 <h2>Ask about this diagnosis</h2>
 <div id="chat-log" style="white-space:pre-wrap;background:#fafafa;border:1px solid #ddd;border-radius:6px;padding:.8rem;min-height:4rem;max-height:24rem;overflow-y:auto"></div>
@@ -135,7 +164,7 @@ document.getElementById("chat-form").addEventListener("submit", async function(e
   log.textContent += "you> " + question + "\n";
   q.value = "";
   try {
-    var resp = await fetch("/api/ask", {
+    var resp = await fetch("__ASK_URL__", {
       method: "POST",
       headers: {"Content-Type": "application/json"},
       body: JSON.stringify({question: question})
