@@ -14,10 +14,12 @@ package main
 import (
 	"bufio"
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 	"strings"
+	"time"
 
 	"ion/internal/advisor"
 	"ion/internal/consistency"
@@ -29,6 +31,7 @@ import (
 	"ion/internal/issue"
 	"ion/internal/knowledge"
 	"ion/internal/llm"
+	"ion/internal/obs"
 	"ion/internal/rag"
 	"ion/internal/report"
 )
@@ -56,6 +59,8 @@ func main() {
 		advise      = flag.Bool("advise", false, "print the ranked optimization plan after the diagnosis")
 		saveReport  = flag.String("save-report", "", "save the diagnosis as JSON to this path")
 		kbDir       = flag.String("kb", "", "directory of JSON knowledge-context overrides")
+		traceOut    = flag.String("trace-out", "", "write the pipeline span timeline as JSON to this path")
+		logLevel    = flag.String("log-level", "warn", "structured log level: debug, info, warn, or error")
 	)
 	flag.Parse()
 	if *logPath == "" {
@@ -64,10 +69,20 @@ func main() {
 		os.Exit(2)
 	}
 
+	level, err := obs.ParseLevel(*logLevel)
+	if err != nil {
+		fatal(err)
+	}
+	logger := obs.NewLogger(os.Stderr, level)
+	reg := obs.NewRegistry()
+
 	client, err := buildClient(*backend, *baseURL, *apiKey, *model, *record, *replay)
 	if err != nil {
 		fatal(err)
 	}
+	// Instrument outermost, after record/replay composition, so the
+	// telemetry measures what the pipeline actually waited on.
+	client = llm.Instrument(client, reg)
 
 	var issues []issue.ID
 	if *issuesFlag != "" {
@@ -94,9 +109,35 @@ func main() {
 	if dir == "" {
 		dir = *logPath + ".csv"
 	}
-	rep, err := fw.AnalyzeFile(context.Background(), *logPath, dir)
+
+	ctx := obs.WithLogger(context.Background(), logger)
+	var tracer *obs.Tracer
+	var root *obs.Span
+	if *traceOut != "" {
+		tracer = obs.NewTracer()
+		ctx = obs.WithTracer(ctx, tracer)
+		ctx, root = obs.StartSpan(ctx, "pipeline", obs.L("trace", *logPath))
+	}
+	start := time.Now()
+	rep, err := fw.AnalyzeFile(ctx, *logPath, dir)
 	if err != nil {
 		fatal(err)
+	}
+	logger.Info("diagnosis complete", "trace", *logPath, "issues", len(rep.Diagnoses),
+		"elapsed", time.Since(start).Round(time.Millisecond).String())
+
+	if tracer != nil {
+		root.End()
+		tl := tracer.Timeline()
+		tl.Trace = *logPath
+		data, err := json.MarshalIndent(tl, "", "  ")
+		if err != nil {
+			fatal(err)
+		}
+		if err := os.WriteFile(*traceOut, append(data, '\n'), 0o644); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "ion: span timeline (%d spans) written to %s\n", len(tl.Spans), *traceOut)
 	}
 
 	if *saveReport != "" {

@@ -17,6 +17,7 @@ import (
 
 	"ion/internal/eval"
 	"ion/internal/expertsim"
+	"ion/internal/obs"
 )
 
 func main() {
@@ -26,6 +27,7 @@ func main() {
 		sweep    = flag.Bool("sweep", false, "run the transfer-size sweep")
 		scale    = flag.Bool("scale", false, "run the rank-scaling contention sweep")
 		all      = flag.Bool("all", false, "run every experiment")
+		stages   = flag.Bool("stages", false, "print the per-stage latency summary (p50/p95/p99) after the run")
 		workdir  = flag.String("workdir", "", "directory for extracted CSVs (default: temp)")
 	)
 	flag.Parse()
@@ -36,6 +38,11 @@ func main() {
 
 	runner := &eval.Runner{Client: expertsim.New(), WorkDir: *workdir, SkipSummary: true}
 	ctx := context.Background()
+	var tracer *obs.Tracer
+	if *stages {
+		tracer = obs.NewTracer()
+		ctx = obs.WithTracer(ctx, tracer)
+	}
 
 	var fig2, fig3 []*eval.Result
 	if *all || *figure == 2 {
@@ -77,6 +84,29 @@ func main() {
 	}
 	if *all {
 		scoreboard(append(fig2, fig3...))
+	}
+	if *stages {
+		printStages(tracer.Timeline())
+	}
+}
+
+// printStages renders the per-stage latency distribution of everything
+// the run executed, so the evaluation artifacts can track where the
+// pipeline spends its time, not just end-to-end totals.
+func printStages(tl obs.Timeline) {
+	stats := obs.Summarize(tl)
+	if len(stats) == 0 {
+		fmt.Println("\nPer-stage latency: no spans recorded")
+		return
+	}
+	fmt.Println("\nPer-stage latency")
+	fmt.Println("=================")
+	fmt.Printf("%-16s %6s %12s %10s %10s %10s %10s\n",
+		"stage", "count", "total", "p50", "p95", "p99", "max")
+	for _, st := range stats {
+		fmt.Printf("%-16s %6d %11.3fs %9.3fms %9.3fms %9.3fms %9.3fms\n",
+			st.Stage, st.Count, st.TotalSeconds,
+			1e3*st.P50, 1e3*st.P95, 1e3*st.P99, 1e3*st.Max)
 	}
 }
 

@@ -18,7 +18,9 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"log/slog"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"strings"
@@ -28,6 +30,8 @@ import (
 	"ion/internal/expertsim"
 	"ion/internal/ion"
 	"ion/internal/jobs"
+	"ion/internal/llm"
+	"ion/internal/obs"
 	"ion/internal/webui"
 )
 
@@ -43,10 +47,24 @@ func main() {
 		queueDepth = flag.Int("queue", 16, "queued-job bound; submissions beyond it get HTTP 429")
 		jobTimeout = flag.Duration("job-timeout", 5*time.Minute, "per-attempt analysis timeout")
 		retries    = flag.Int("retries", 3, "max analysis attempts per job (first run included)")
+		logLevel   = flag.String("log-level", "info", "structured log level: debug, info, warn, or error")
+		debugAddr  = flag.String("debug-addr", "", "serve net/http/pprof on this address (separate listener, never the public one)")
 	)
 	flag.Parse()
 
-	client := expertsim.New()
+	level, err := obs.ParseLevel(*logLevel)
+	if err != nil {
+		fatal(err)
+	}
+	logger := obs.NewLogger(os.Stderr, level)
+	reg := obs.NewRegistry()
+	// Instrument the client once, at the edge, so both the analysis
+	// workers and the chat sessions report into the same registry.
+	client := llm.Instrument(expertsim.New(), reg)
+
+	if *debugAddr != "" {
+		serveDebug(*debugAddr, logger)
+	}
 
 	// -report keeps its original single-report behavior.
 	if *reportPath != "" {
@@ -85,6 +103,8 @@ func main() {
 		QueueDepth:  *queueDepth,
 		JobTimeout:  *jobTimeout,
 		MaxAttempts: *retries,
+		Obs:         reg,
+		Logger:      logger,
 	})
 	if err != nil {
 		fatal(err)
@@ -136,7 +156,28 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+	js.WithObs(reg, logger)
 	serve(*addr, js.Handler(), svc)
+}
+
+// serveDebug exposes net/http/pprof on its own listener and mux so
+// profiling endpoints are never reachable through the public address.
+// (The pprof import also registers on http.DefaultServeMux, but no
+// listener here serves that mux.)
+func serveDebug(addr string, logger *slog.Logger) {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	server := &http.Server{Addr: addr, Handler: mux, ReadHeaderTimeout: 10 * time.Second}
+	logger.Info("debug listener up", "addr", addr, "endpoints", "/debug/pprof/")
+	go func() {
+		if err := server.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+			logger.Error("debug listener failed", "addr", addr, "err", err)
+		}
+	}()
 }
 
 // serve runs a configured http.Server and shuts it down gracefully on

@@ -7,6 +7,7 @@
 package extractor
 
 import (
+	"context"
 	"fmt"
 	"os"
 	"path/filepath"
@@ -15,6 +16,7 @@ import (
 	"strings"
 
 	"ion/internal/darshan"
+	"ion/internal/obs"
 	"ion/internal/table"
 )
 
@@ -71,6 +73,13 @@ func (o *Output) ModuleNames() []string {
 
 // Extract converts a Darshan log into module CSV tables in memory.
 func Extract(log *darshan.Log) (*Output, error) {
+	return ExtractContext(context.Background(), log)
+}
+
+// ExtractContext is Extract with span instrumentation: when ctx carries
+// an obs.Tracer, each module's table build is recorded as an
+// extract_module span.
+func ExtractContext(ctx context.Context, log *darshan.Log) (*Output, error) {
 	out := &Output{
 		Tables: map[string]*table.Table{},
 		Paths:  map[string]string{},
@@ -88,14 +97,20 @@ func Extract(log *darshan.Log) (*Output, error) {
 		if !log.HasModule(spec.module) {
 			continue
 		}
+		_, span := obs.StartSpan(ctx, "extract_module", obs.L("module", spec.name))
 		t, err := moduleTable(log, spec.module, spec.name)
+		span.SetError(err)
+		span.End()
 		if err != nil {
 			return nil, err
 		}
 		out.Tables[spec.name] = t
 	}
 	if len(log.DXT) > 0 {
+		_, span := obs.StartSpan(ctx, "extract_module", obs.L("module", TableDXT))
 		t, err := dxtTable(log)
+		span.SetError(err)
+		span.End()
 		if err != nil {
 			return nil, err
 		}
@@ -120,7 +135,12 @@ func Extract(log *darshan.Log) (*Output, error) {
 
 // ExtractToDir extracts the log and writes each table as <dir>/<name>.csv.
 func ExtractToDir(log *darshan.Log, dir string) (*Output, error) {
-	out, err := Extract(log)
+	return ExtractToDirContext(context.Background(), log, dir)
+}
+
+// ExtractToDirContext is ExtractToDir with span instrumentation.
+func ExtractToDirContext(ctx context.Context, log *darshan.Log, dir string) (*Output, error) {
+	out, err := ExtractContext(ctx, log)
 	if err != nil {
 		return nil, err
 	}
@@ -140,11 +160,20 @@ func ExtractToDir(log *darshan.Log, dir string) (*Output, error) {
 // ExtractFile loads a Darshan log file (binary container or parser
 // text) and extracts it to dir.
 func ExtractFile(logPath, dir string) (*Output, error) {
+	return ExtractFileContext(context.Background(), logPath, dir)
+}
+
+// ExtractFileContext is ExtractFile with span instrumentation: the
+// Darshan load is recorded as a parse span.
+func ExtractFileContext(ctx context.Context, logPath, dir string) (*Output, error) {
+	_, span := obs.StartSpan(ctx, "parse", obs.L("path", logPath))
 	log, err := darshan.Load(logPath)
+	span.SetError(err)
+	span.End()
 	if err != nil {
 		return nil, fmt.Errorf("extractor: loading %s: %w", logPath, err)
 	}
-	return ExtractToDir(log, dir)
+	return ExtractToDirContext(ctx, log, dir)
 }
 
 // LoadDir reads previously extracted CSVs back from a directory.

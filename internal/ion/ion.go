@@ -18,6 +18,7 @@ import (
 	"ion/internal/issue"
 	"ion/internal/knowledge"
 	"ion/internal/llm"
+	"ion/internal/obs"
 	"ion/internal/prompt"
 )
 
@@ -146,7 +147,10 @@ func (r *Report) ContextText() string {
 // AnalyzeLog runs the full pipeline on an in-memory Darshan log,
 // extracting CSVs into workDir.
 func (f *Framework) AnalyzeLog(ctx context.Context, log *darshan.Log, trace, workDir string) (*Report, error) {
-	out, err := extractor.ExtractToDir(log, workDir)
+	ectx, span := obs.StartSpan(ctx, "extract")
+	out, err := extractor.ExtractToDirContext(ectx, log, workDir)
+	span.SetError(err)
+	span.End()
 	if err != nil {
 		return nil, fmt.Errorf("ion: extracting trace: %w", err)
 	}
@@ -155,7 +159,10 @@ func (f *Framework) AnalyzeLog(ctx context.Context, log *darshan.Log, trace, wor
 
 // AnalyzeFile runs the full pipeline on a Darshan log file.
 func (f *Framework) AnalyzeFile(ctx context.Context, logPath, workDir string) (*Report, error) {
-	out, err := extractor.ExtractFile(logPath, workDir)
+	ectx, span := obs.StartSpan(ctx, "extract")
+	out, err := extractor.ExtractFileContext(ectx, logPath, workDir)
+	span.SetError(err)
+	span.End()
 	if err != nil {
 		return nil, fmt.Errorf("ion: %w", err)
 	}
@@ -200,6 +207,8 @@ func (f *Framework) analyze(ctx context.Context, out *extractor.Output, trace st
 	if limit <= 0 || limit > len(issues) {
 		limit = len(issues)
 	}
+	actx, analyzeSpan := obs.StartSpan(ctx, "analyze")
+	logger := obs.LoggerFrom(ctx)
 	sem := make(chan struct{}, limit)
 	var (
 		wg       sync.WaitGroup
@@ -213,7 +222,16 @@ func (f *Framework) analyze(ctx context.Context, out *extractor.Output, trace st
 		go func() {
 			defer wg.Done()
 			defer func() { <-sem }()
-			diag, err := f.diagnoseOne(ctx, builder, id, out)
+			ictx, span := obs.StartSpan(actx, "diagnose", obs.L("issue", string(id)))
+			diag, err := f.diagnoseOne(ictx, builder, id, out)
+			span.SetError(err)
+			span.End()
+			if err != nil {
+				logger.Warn("issue diagnosis failed", "issue", id, "err", err)
+			} else {
+				logger.Debug("issue diagnosed", "issue", id, "verdict", diag.Verdict,
+					"tokens", diag.Usage.Total())
+			}
 			mu.Lock()
 			defer mu.Unlock()
 			if err != nil {
@@ -226,6 +244,8 @@ func (f *Framework) analyze(ctx context.Context, out *extractor.Output, trace st
 		}()
 	}
 	wg.Wait()
+	analyzeSpan.SetError(firstErr)
+	analyzeSpan.End()
 	if firstErr != nil {
 		return nil, firstErr
 	}
@@ -236,7 +256,10 @@ func (f *Framework) analyze(ctx context.Context, out *extractor.Output, trace st
 			conclusions[id] = d.Conclusion + "\n" + prompt.VerdictPrefix + " " + string(d.Verdict)
 		}
 		sreq := builder.Summary(conclusions)
-		comp, err := f.cfg.Client.Complete(ctx, sreq)
+		sctx, span := obs.StartSpan(ctx, "summarize")
+		comp, err := f.cfg.Client.Complete(sctx, sreq)
+		span.SetError(err)
+		span.End()
 		if err != nil {
 			return nil, fmt.Errorf("ion: summarization: %w", err)
 		}

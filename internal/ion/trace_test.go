@@ -1,0 +1,94 @@
+package ion
+
+import (
+	"context"
+	"testing"
+
+	"ion/internal/expertsim"
+	"ion/internal/llm"
+	"ion/internal/obs"
+	"ion/internal/testutil"
+)
+
+// TestPipelineSpanTree runs the full pipeline under a tracer, the way
+// `ion -trace-out` does, and checks the timeline shape: one root
+// covering extract, analyze (with one diagnose child per issue, each
+// with llm_complete grandchildren), and summarize.
+func TestPipelineSpanTree(t *testing.T) {
+	log, err := testutil.Log("ior-hard")
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := obs.NewRegistry()
+	fw, err := New(Config{Client: llm.Instrument(expertsim.New(), reg)})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	tracer := obs.NewTracer()
+	ctx := obs.WithTracer(context.Background(), tracer)
+	ctx, root := obs.StartSpan(ctx, "pipeline")
+	rep, err := fw.AnalyzeLog(ctx, log, "ior-hard", t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	root.End()
+
+	tl := tracer.Timeline()
+	roots := tl.Roots()
+	if len(roots) != 1 {
+		t.Fatalf("roots = %v, want one pipeline root", roots)
+	}
+	children := map[string]int{}
+	var analyzeID int
+	for _, c := range tl.Children(roots[0]) {
+		children[c.Name]++
+		if c.Name == "analyze" {
+			analyzeID = c.ID
+		}
+	}
+	if children["extract"] != 1 || children["analyze"] != 1 || children["summarize"] != 1 {
+		t.Fatalf("root children = %v, want extract + analyze + summarize", children)
+	}
+
+	diagnoses := tl.Children(analyzeID)
+	if len(diagnoses) != len(rep.Order) {
+		t.Fatalf("analyze has %d children, want one diagnose per issue (%d)", len(diagnoses), len(rep.Order))
+	}
+	for _, d := range diagnoses {
+		if d.Name != "diagnose" || d.Attrs["issue"] == "" {
+			t.Errorf("analyze child = %+v, want a diagnose span with an issue attr", d)
+		}
+		kids := tl.Children(d.ID)
+		if len(kids) != 1 || kids[0].Name != "llm_complete" {
+			t.Errorf("diagnose %q children = %+v, want one llm_complete", d.Attrs["issue"], kids)
+		}
+	}
+
+	// The extract span parents one extract_module per emitted CSV table
+	// (JOB is assembled inline, not via a module build).
+	var extractID int
+	for _, c := range tl.Children(roots[0]) {
+		if c.Name == "extract" {
+			extractID = c.ID
+		}
+	}
+	mods := tl.Children(extractID)
+	if len(mods) == 0 {
+		t.Fatal("extract span has no extract_module children")
+	}
+	for _, m := range mods {
+		if m.Name != "extract_module" || m.Attrs["module"] == "" {
+			t.Errorf("extract child = %+v, want extract_module with a module attr", m)
+		}
+	}
+
+	// The instrumented client recorded exactly the pipeline's
+	// completions: one per issue plus the summary.
+	wantCalls := float64(len(rep.Order) + 1)
+	got := reg.Counter("ion_llm_requests_total", "",
+		obs.L("backend", "expertsim"), obs.L("outcome", "ok")).Value()
+	if got != wantCalls {
+		t.Errorf("ion_llm_requests_total = %v, want %v", got, wantCalls)
+	}
+}

@@ -9,6 +9,7 @@
 package jobs
 
 import (
+	"encoding/json"
 	"errors"
 	"time"
 )
@@ -104,8 +105,34 @@ type Stats struct {
 	Retried   int64 `json:"retried"`
 	CacheHits int64 `json:"cache_hits"`
 	Recovered int64 `json:"recovered"`
-	// CacheHitRate is CacheHits / Submitted (0 when nothing submitted).
-	CacheHitRate float64 `json:"cache_hit_rate"`
-	// Utilization is Busy / Workers (0 when the pool is empty).
-	Utilization float64 `json:"utilization"`
+}
+
+// CacheHitRate is CacheHits / Submitted (0 when nothing submitted).
+// Derived rates are methods rather than stored fields so every consumer
+// (the HTML index, /api/stats, /metrics) computes them from the same
+// counters and cannot disagree.
+func (st Stats) CacheHitRate() float64 {
+	if st.Submitted == 0 {
+		return 0
+	}
+	return float64(st.CacheHits) / float64(st.Submitted)
+}
+
+// Utilization is Busy / Workers (0 when the pool is empty).
+func (st Stats) Utilization() float64 {
+	if st.Workers == 0 {
+		return 0
+	}
+	return float64(st.Busy) / float64(st.Workers)
+}
+
+// MarshalJSON keeps the derived rates on the wire for /api/stats
+// clients while the struct itself stores only raw counters.
+func (st Stats) MarshalJSON() ([]byte, error) {
+	type raw Stats
+	return json.Marshal(struct {
+		raw
+		CacheHitRate float64 `json:"cache_hit_rate"`
+		Utilization  float64 `json:"utilization"`
+	}{raw(st), st.CacheHitRate(), st.Utilization()})
 }

@@ -8,14 +8,17 @@ import (
 	"encoding/hex"
 	"errors"
 	"fmt"
+	"log/slog"
 	mathrand "math/rand"
 	"sort"
+	"strconv"
 	"sync"
 	"time"
 
 	"ion/internal/darshan"
 	"ion/internal/ion"
 	"ion/internal/llm"
+	"ion/internal/obs"
 )
 
 // Config assembles a Service.
@@ -47,6 +50,15 @@ type Config struct {
 	RetryDelay time.Duration
 	// MaxRetryDelay caps the backoff; 0 means the default (10s).
 	MaxRetryDelay time.Duration
+	// Obs receives the service's metrics: queue/worker gauges, outcome
+	// counters, and per-stage pipeline latency histograms. nil uses a
+	// private registry (instrumentation always runs, nothing is
+	// exported). The gauges read the same fields Stats reports, so
+	// /metrics and /api/stats cannot disagree.
+	Obs *obs.Registry
+	// Logger receives structured job-lifecycle logs with job id, trace
+	// hash, and attempt attributes. nil discards.
+	Logger *slog.Logger
 }
 
 func (c *Config) applyDefaults() {
@@ -71,6 +83,12 @@ func (c *Config) applyDefaults() {
 	if c.MaxRetryDelay <= 0 {
 		c.MaxRetryDelay = 10 * time.Second
 	}
+	if c.Obs == nil {
+		c.Obs = obs.NewRegistry()
+	}
+	if c.Logger == nil {
+		c.Logger = obs.NopLogger()
+	}
 }
 
 // Service is the asynchronous analysis engine: a persistent job store,
@@ -79,6 +97,8 @@ type Service struct {
 	cfg   Config
 	store *Store
 	fw    *ion.Framework
+	obs   *obs.Registry
+	log   *slog.Logger
 
 	baseCtx context.Context // canceled to abort in-flight analyses
 	abort   context.CancelFunc
@@ -135,6 +155,8 @@ func Open(cfg Config) (*Service, error) {
 		cfg:     cfg,
 		store:   store,
 		fw:      fw,
+		obs:     cfg.Obs,
+		log:     cfg.Logger,
 		baseCtx: ctx,
 		abort:   cancel,
 		stop:    make(chan struct{}),
@@ -168,11 +190,49 @@ func Open(cfg Config) (*Service, error) {
 		s.recovered++
 	}
 
+	if s.recovered > 0 {
+		s.log.Info("recovered interrupted jobs", "count", s.recovered)
+	}
+	s.registerMetrics()
+	s.log.Info("job service open", "dir", cfg.Dir, "workers", cfg.Workers,
+		"queue_capacity", cfg.QueueDepth, "jobs", len(existing))
+
 	for i := 0; i < cfg.Workers; i++ {
 		s.wg.Add(1)
 		go s.worker()
 	}
 	return s, nil
+}
+
+// registerMetrics exposes the service state through the registry as
+// callbacks, so /metrics always reflects the same fields Stats returns.
+// The callbacks run at exposition time and take s.mu via Stats; nothing
+// in the service calls the registry while holding s.mu, so there is no
+// lock cycle.
+func (s *Service) registerMetrics() {
+	stat := func(get func(Stats) float64) func() float64 {
+		return func() float64 { return get(s.Stats()) }
+	}
+	s.obs.GaugeFunc("ion_jobs_queue_depth", "Jobs queued but not yet running.",
+		stat(func(st Stats) float64 { return float64(st.QueueDepth) }))
+	s.obs.GaugeFunc("ion_jobs_queue_capacity", "Queue bound beyond which submissions shed load.",
+		stat(func(st Stats) float64 { return float64(st.QueueCapacity) }))
+	s.obs.GaugeFunc("ion_jobs_busy_workers", "Workers currently running a job.",
+		stat(func(st Stats) float64 { return float64(st.Busy) }))
+	s.obs.GaugeFunc("ion_jobs_workers", "Configured worker-pool size.",
+		stat(func(st Stats) float64 { return float64(st.Workers) }))
+	s.obs.CounterFunc("ion_jobs_submitted_total", "Accepted submissions, dedup hits included.",
+		stat(func(st Stats) float64 { return float64(st.Submitted) }))
+	s.obs.CounterFunc("ion_jobs_completed_total", "Jobs finished successfully.",
+		stat(func(st Stats) float64 { return float64(st.Completed) }))
+	s.obs.CounterFunc("ion_jobs_failed_total", "Jobs that exhausted their attempts.",
+		stat(func(st Stats) float64 { return float64(st.Failed) }))
+	s.obs.CounterFunc("ion_jobs_retries_total", "Analysis retry attempts.",
+		stat(func(st Stats) float64 { return float64(st.Retried) }))
+	s.obs.CounterFunc("ion_jobs_cache_hits_total", "Submissions answered from the dedup cache.",
+		stat(func(st Stats) float64 { return float64(st.CacheHits) }))
+	s.obs.CounterFunc("ion_jobs_recovered_total", "Jobs re-queued from disk at startup.",
+		stat(func(st Stats) float64 { return float64(st.Recovered) }))
 }
 
 // Store exposes the underlying store (read-only use by the web layer).
@@ -204,6 +264,8 @@ func (s *Service) Submit(name string, trace []byte) (Job, bool, error) {
 		if j := s.jobs[id]; j != nil && j.State != StateFailed {
 			s.submitted++
 			s.cacheHits++
+			s.log.Info("submission answered from dedup cache",
+				"job", id, "trace", name, "hash", hash[:12])
 			return *j, true, nil
 		}
 	}
@@ -238,6 +300,8 @@ func (s *Service) Submit(name string, trace []byte) (Job, bool, error) {
 		s.submitted--
 		return Job{}, false, ErrQueueFull
 	}
+	s.log.Info("job submitted", "job", j.ID, "trace", name, "hash", hash[:12],
+		"queue_depth", len(s.queue))
 	return *j, false, nil
 }
 
@@ -303,7 +367,7 @@ func (s *Service) Wait(ctx context.Context, id string) (Job, error) {
 func (s *Service) Stats() Stats {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	st := Stats{
+	return Stats{
 		Workers:       s.cfg.Workers,
 		Busy:          s.busy,
 		QueueDepth:    len(s.queue),
@@ -316,13 +380,6 @@ func (s *Service) Stats() Stats {
 		CacheHits:     s.cacheHits,
 		Recovered:     s.recovered,
 	}
-	if st.Submitted > 0 {
-		st.CacheHitRate = float64(st.CacheHits) / float64(st.Submitted)
-	}
-	if st.Workers > 0 {
-		st.Utilization = float64(st.Busy) / float64(st.Workers)
-	}
-	return st
 }
 
 // Close shuts the service down gracefully: no new submissions are
@@ -339,6 +396,7 @@ func (s *Service) Close(ctx context.Context) error {
 	}
 	s.closed = true
 	s.mu.Unlock()
+	s.log.Info("job service closing, draining workers")
 	close(s.stop)
 
 	drained := make(chan struct{})
@@ -377,6 +435,8 @@ func (s *Service) worker() {
 
 // run executes one job: parse the stored trace, run the analysis with a
 // per-attempt timeout, retry transient failures with backoff + jitter.
+// The whole execution is traced; the span timeline is persisted next to
+// the report (win or lose) and folded into the stage-latency histogram.
 func (s *Service) run(id string) {
 	s.mu.Lock()
 	j, ok := s.jobs[id]
@@ -392,42 +452,77 @@ func (s *Service) run(id string) {
 		s.mu.Unlock()
 	}()
 
+	tracer := obs.NewTracer()
+	logger := s.log.With("job", id)
+	ctx := obs.WithLogger(obs.WithTracer(s.baseCtx, tracer), logger)
+	ctx, root := obs.StartSpan(ctx, "job", obs.L("job", id))
+
 	trace, err := s.store.Trace(id)
 	if err == nil {
 		var log *darshan.Log
+		_, span := obs.StartSpan(ctx, "parse")
 		log, err = ParseTrace(trace)
+		span.SetError(err)
+		span.End()
 		if err == nil {
-			s.attempts(id, log)
+			s.attempts(ctx, id, log)
+			s.saveTimeline(id, tracer, root)
 			return
 		}
 	}
+	logger.Error("job unrunnable", "err", err)
 	s.finish(id, StateFailed, err)
+	s.saveTimeline(id, tracer, root)
 }
 
-func (s *Service) attempts(id string, log *darshan.Log) {
+// saveTimeline closes the root span, persists the job's span timeline,
+// and feeds the stage-latency histogram.
+func (s *Service) saveTimeline(id string, tracer *obs.Tracer, root *obs.Span) {
+	root.End()
+	tl := tracer.Timeline()
+	tl.Trace = id
+	if err := s.store.PutTimeline(id, tl); err != nil {
+		s.log.Warn("persisting span timeline", "job", id, "err", err)
+	}
+	obs.ObserveStages(s.obs, tl)
+}
+
+func (s *Service) attempts(ctx context.Context, id string, log *darshan.Log) {
+	logger := obs.LoggerFrom(ctx)
 	for attempt := 1; ; attempt++ {
 		s.transition(id, StateRunning, attempt, "")
-		ctx, cancel := context.WithTimeout(s.baseCtx, s.cfg.JobTimeout)
+		logger.Info("analysis attempt starting", "attempt", attempt)
+		actx, span := obs.StartSpan(ctx, "attempt", obs.L("n", strconv.Itoa(attempt)))
+		tctx, cancel := context.WithTimeout(actx, s.cfg.JobTimeout)
 		name := s.snapshotName(id)
-		rep, err := s.fw.AnalyzeLog(ctx, log, name, s.store.WorkDir(id))
+		start := time.Now()
+		rep, err := s.fw.AnalyzeLog(tctx, log, name, s.store.WorkDir(id))
 		cancel()
 		if err == nil {
-			if err = s.store.PutReport(id, rep); err == nil {
-				s.finish(id, StateDone, nil)
-				return
-			}
+			err = s.store.PutReport(id, rep)
+		}
+		span.SetError(err)
+		span.End()
+		if err == nil {
+			logger.Info("job done", "attempt", attempt,
+				"elapsed", time.Since(start).Round(time.Millisecond).String())
+			s.finish(id, StateDone, nil)
+			return
 		}
 		if !s.retryable(err, attempt) {
+			logger.Error("job failed", "attempt", attempt, "err", err)
 			s.finish(id, StateFailed, err)
 			return
 		}
 		s.mu.Lock()
 		s.retried++
 		s.mu.Unlock()
+		logger.Warn("attempt failed, retrying", "attempt", attempt, "err", err)
 		s.transition(id, StateRetrying, attempt, err.Error())
 		if !s.sleep(backoff(s.cfg.RetryDelay, s.cfg.MaxRetryDelay, attempt)) {
 			// Shutdown interrupted the backoff: park the job as queued so
 			// the next Open recovers it.
+			logger.Info("shutdown during backoff, parking job as queued", "attempt", attempt)
 			s.transition(id, StateQueued, attempt, err.Error())
 			return
 		}
@@ -486,7 +581,11 @@ func (s *Service) transition(id string, state State, attempt int, errMsg string)
 	}
 	snapshot := *j
 	s.mu.Unlock()
-	s.store.PutJob(&snapshot)
+	if err := s.store.PutJob(&snapshot); err != nil {
+		// The in-memory state is authoritative while the process lives;
+		// a persistence miss only degrades crash recovery. Say so.
+		s.log.Warn("persisting job transition", "job", id, "state", state, "err", err)
+	}
 }
 
 // finish moves a job to a terminal state, persists it, bumps the
@@ -518,7 +617,9 @@ func (s *Service) finish(id string, state State, cause error) {
 	ch := s.done[id]
 	snapshot := *j
 	s.mu.Unlock()
-	s.store.PutJob(&snapshot)
+	if err := s.store.PutJob(&snapshot); err != nil {
+		s.log.Warn("persisting job outcome", "job", id, "state", state, "err", err)
+	}
 	if ch != nil {
 		close(ch)
 	}

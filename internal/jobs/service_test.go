@@ -147,8 +147,8 @@ func TestDedupCacheHit(t *testing.T) {
 	if st.CacheHits != 1 || st.Submitted != 2 {
 		t.Errorf("stats = %+v, want 1 cache hit of 2 submissions", st)
 	}
-	if st.CacheHitRate != 0.5 {
-		t.Errorf("cache hit rate = %v, want 0.5", st.CacheHitRate)
+	if st.CacheHitRate() != 0.5 {
+		t.Errorf("cache hit rate = %v, want 0.5", st.CacheHitRate())
 	}
 }
 
@@ -278,7 +278,7 @@ func TestBackpressureShedsLoad(t *testing.T) {
 	if _, _, err := svc.Submit("c", textTrace(t, "ior-hard", 3)); !errors.Is(err, ErrQueueFull) {
 		t.Fatalf("third submission error = %v, want ErrQueueFull", err)
 	}
-	if st := svc.Stats(); st.QueueDepth != 1 || st.Busy != 1 || st.Utilization != 1 {
+	if st := svc.Stats(); st.QueueDepth != 1 || st.Busy != 1 || st.Utilization() != 1 {
 		t.Errorf("stats under load = %+v", st)
 	}
 

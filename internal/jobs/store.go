@@ -8,15 +8,17 @@ import (
 	"strings"
 
 	"ion/internal/ion"
+	"ion/internal/obs"
 )
 
 // Store persists job records, uploaded trace bytes, and finished
 // reports as plain files under a data directory:
 //
-//	<dir>/jobs/<id>.json       job record
-//	<dir>/traces/<id>.darshan  submitted trace bytes
-//	<dir>/reports/<id>.json    finished report (ion versioned envelope)
-//	<dir>/work/<id>/           per-job CSV extraction workspace
+//	<dir>/jobs/<id>.json             job record
+//	<dir>/traces/<id>.darshan        submitted trace bytes
+//	<dir>/reports/<id>.json          finished report (ion versioned envelope)
+//	<dir>/reports/<id>.trace.json    span timeline of the analysis run
+//	<dir>/work/<id>/                 per-job CSV extraction workspace
 //
 // Writes go through a temp-file + rename so a crash mid-write never
 // leaves a torn record, and a fresh Store over an existing directory
@@ -155,6 +157,35 @@ func (s *Store) Report(id string) (*ion.Report, error) {
 		return nil, fmt.Errorf("jobs: report for %s: %w", id, err)
 	}
 	return rep, nil
+}
+
+// PutTimeline persists the span timeline of a job's analysis run next
+// to its report, atomically.
+func (s *Store) PutTimeline(id string, tl obs.Timeline) error {
+	if err := validID(id); err != nil {
+		return err
+	}
+	data, err := json.MarshalIndent(tl, "", "  ")
+	if err != nil {
+		return fmt.Errorf("jobs: marshaling timeline for %s: %w", id, err)
+	}
+	return writeAtomic(filepath.Join(s.dir, "reports", id+".trace.json"), data)
+}
+
+// Timeline reads back the raw timeline JSON for a job, for the HTTP
+// layer to serve verbatim.
+func (s *Store) Timeline(id string) ([]byte, error) {
+	if err := validID(id); err != nil {
+		return nil, err
+	}
+	data, err := os.ReadFile(filepath.Join(s.dir, "reports", id+".trace.json"))
+	if os.IsNotExist(err) {
+		return nil, ErrNotFound
+	}
+	if err != nil {
+		return nil, fmt.Errorf("jobs: reading timeline for %s: %w", id, err)
+	}
+	return data, nil
 }
 
 // writeAtomic writes data to path via a temp file + rename so readers

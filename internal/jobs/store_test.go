@@ -79,8 +79,8 @@ func TestStoreJobsSkipsGarbage(t *testing.T) {
 	// A torn write, a non-JSON file, and a record with a bogus state
 	// must not poison recovery.
 	for name, body := range map[string]string{
-		"torn.json":   `{"id": "j-to`,
-		"notes.txt":   "not a job",
+		"torn.json":     `{"id": "j-to`,
+		"notes.txt":     "not a job",
 		"badstate.json": `{"id":"j-badstate1234","state":"exploded"}`,
 	} {
 		if err := os.WriteFile(filepath.Join(dir, "jobs", name), []byte(body), 0o644); err != nil {

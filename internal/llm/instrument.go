@@ -1,0 +1,56 @@
+package llm
+
+import (
+	"context"
+	"time"
+
+	"ion/internal/obs"
+)
+
+// Instrument wraps a Client with telemetry: every Complete call records
+// request count and latency by backend and outcome, token usage by
+// kind, and an llm_complete span when the context carries a tracer.
+// Wrap the outermost client (after record/replay composition) so the
+// numbers reflect what the pipeline actually waited on.
+func Instrument(c Client, reg *obs.Registry) Client {
+	if reg == nil {
+		reg = obs.NewRegistry()
+	}
+	return &instrumented{c: c, reg: reg}
+}
+
+type instrumented struct {
+	c   Client
+	reg *obs.Registry
+}
+
+func (i *instrumented) Name() string { return i.c.Name() }
+
+func (i *instrumented) Complete(ctx context.Context, req Request) (Completion, error) {
+	backend := obs.L("backend", i.c.Name())
+	ctx, span := obs.StartSpan(ctx, "llm_complete", backend)
+	start := time.Now()
+	comp, err := i.c.Complete(ctx, req)
+	elapsed := time.Since(start).Seconds()
+	span.SetError(err)
+	span.End()
+
+	outcome := "ok"
+	if err != nil {
+		outcome = "error"
+	}
+	i.reg.Counter("ion_llm_requests_total",
+		"LLM completion requests by backend and outcome.",
+		backend, obs.L("outcome", outcome)).Inc()
+	i.reg.Histogram("ion_llm_request_seconds",
+		"LLM completion latency by backend.", nil, backend).Observe(elapsed)
+	if err == nil {
+		i.reg.Counter("ion_llm_tokens_total",
+			"LLM tokens consumed by backend and kind.",
+			backend, obs.L("kind", "prompt")).Add(float64(comp.Usage.PromptTokens))
+		i.reg.Counter("ion_llm_tokens_total",
+			"LLM tokens consumed by backend and kind.",
+			backend, obs.L("kind", "completion")).Add(float64(comp.Usage.CompletionTokens))
+	}
+	return comp, err
+}

@@ -1,0 +1,108 @@
+package obs
+
+import (
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+// TestExpositionGolden locks the Prometheus text rendering: family and
+// series ordering, counter/gauge/histogram layouts, callback families,
+// and label-value escaping.
+func TestExpositionGolden(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("ion_requests_total", "Requests served.", L("route", "/api/jobs"), L("code", "200"))
+	c.Inc()
+	c.Add(2)
+	// Same family, second series; getter must return the same instrument
+	// for an identical label set.
+	r.Counter("ion_requests_total", "Requests served.", L("route", "/metrics"), L("code", "200")).Inc()
+	if got := r.Counter("ion_requests_total", "Requests served.", L("code", "200"), L("route", "/api/jobs")); got != c {
+		t.Error("counter getter did not return the existing series for reordered labels")
+	}
+
+	g := r.Gauge("ion_queue_depth", "Queued jobs.")
+	g.Set(5)
+	g.Dec()
+
+	h := r.Histogram("ion_stage_seconds", "Stage latency.", []float64{0.1, 1, 10}, L("stage", "extract"))
+	h.Observe(0.05)
+	h.Observe(0.5)
+	h.Observe(0.5)
+	h.Observe(99)
+
+	r.GaugeFunc("ion_busy_workers", "Busy workers.", func() float64 { return 3 })
+	r.Counter("ion_escapes_total", `Tricky "help" text`+"\nsecond line",
+		L("path", `C:\tmp`+"\n"), L("quote", `say "hi"`)).Inc()
+
+	const want = `# HELP ion_busy_workers Busy workers.
+# TYPE ion_busy_workers gauge
+ion_busy_workers 3
+# HELP ion_escapes_total Tricky "help" text\nsecond line
+# TYPE ion_escapes_total counter
+ion_escapes_total{path="C:\\tmp\n",quote="say \"hi\""} 1
+# HELP ion_queue_depth Queued jobs.
+# TYPE ion_queue_depth gauge
+ion_queue_depth 4
+# HELP ion_requests_total Requests served.
+# TYPE ion_requests_total counter
+ion_requests_total{code="200",route="/api/jobs"} 3
+ion_requests_total{code="200",route="/metrics"} 1
+# HELP ion_stage_seconds Stage latency.
+# TYPE ion_stage_seconds histogram
+ion_stage_seconds_bucket{stage="extract",le="0.1"} 1
+ion_stage_seconds_bucket{stage="extract",le="1"} 3
+ion_stage_seconds_bucket{stage="extract",le="10"} 3
+ion_stage_seconds_bucket{stage="extract",le="+Inf"} 4
+ion_stage_seconds_sum{stage="extract"} 100.05
+ion_stage_seconds_count{stage="extract"} 4
+`
+	var b strings.Builder
+	if _, err := r.WriteTo(&b); err != nil {
+		t.Fatal(err)
+	}
+	if b.String() != want {
+		t.Errorf("exposition mismatch:\n--- got ---\n%s--- want ---\n%s", b.String(), want)
+	}
+}
+
+func TestMetricsHandler(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("ion_llm_requests_total", "LLM calls.", L("backend", "expertsim")).Inc()
+	rec := httptest.NewRecorder()
+	r.Handler().ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+	if ct := rec.Header().Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Errorf("content type = %q", ct)
+	}
+	if !strings.Contains(rec.Body.String(), `ion_llm_requests_total{backend="expertsim"} 1`) {
+		t.Errorf("handler body missing counter:\n%s", rec.Body.String())
+	}
+}
+
+func TestRedeclaredTypePanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("ion_x", "x")
+	defer func() {
+		if recover() == nil {
+			t.Error("redeclaring a counter as a gauge did not panic")
+		}
+	}()
+	r.Gauge("ion_x", "x")
+}
+
+func TestHistogramQuantile(t *testing.T) {
+	h := newHistogram([]float64{1, 2, 4, 8})
+	for _, v := range []float64{0.5, 1.5, 1.5, 3, 3, 3, 5, 7, 7, 7} {
+		h.Observe(v)
+	}
+	if got := h.Quantile(0.5); got < 2 || got > 4 {
+		t.Errorf("p50 = %v, want within (2,4]", got)
+	}
+	if got := h.Quantile(0.99); got < 4 || got > 8 {
+		t.Errorf("p99 = %v, want within (4,8]", got)
+	}
+	var empty Histogram
+	if got := (&empty).Quantile(0.5); got != 0 {
+		t.Errorf("empty histogram quantile = %v, want 0", got)
+	}
+}

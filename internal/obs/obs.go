@@ -1,0 +1,24 @@
+// Package obs is the zero-dependency telemetry layer of the ION
+// reproduction: a concurrency-safe metrics registry with Prometheus
+// text-format exposition, lightweight context-propagated tracing that
+// renders per-report span timelines, and log/slog helpers for
+// structured, leveled logging. Every layer of the pipeline — darshan
+// parse, extractor CSV emit, per-issue diagnosis, LLM completions, the
+// summarizer, and the jobs worker pool — is instrumented through this
+// package, so a slow or failing diagnosis can be explained the same way
+// ION explains a slow application: by looking at where the time went.
+//
+// The package is stdlib-only by design; nothing in it may import
+// outside the standard library.
+package obs
+
+// Label is one metric label or span attribute: a key/value pair.
+// Metric label values are escaped at exposition time, so any string is
+// safe.
+type Label struct {
+	Key   string `json:"key"`
+	Value string `json:"value"`
+}
+
+// L is shorthand for constructing a Label.
+func L(key, value string) Label { return Label{Key: key, Value: value} }

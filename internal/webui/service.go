@@ -6,13 +6,16 @@ import (
 	"fmt"
 	"html"
 	"io"
+	"log/slog"
 	"net/http"
 	"strings"
 	"sync"
+	"time"
 
 	"ion/internal/ion"
 	"ion/internal/jobs"
 	"ion/internal/llm"
+	"ion/internal/obs"
 	"ion/internal/report"
 )
 
@@ -25,17 +28,41 @@ const maxTraceBody = 64 << 20
 type JobServer struct {
 	svc    *jobs.Service
 	client llm.Client
+	obs    *obs.Registry
+	log    *slog.Logger
 
 	mu       sync.Mutex
 	sessions map[string]*ion.Session // job id → chat session
 }
 
-// NewJobServer wires the service and chat backend into a handler.
+// NewJobServer wires the service and chat backend into a handler. By
+// default telemetry lands in a private registry and logs are
+// discarded; call WithObs before Handler to export them.
 func NewJobServer(client llm.Client, svc *jobs.Service) (*JobServer, error) {
 	if client == nil || svc == nil {
 		return nil, fmt.Errorf("webui: client and service are required")
 	}
-	return &JobServer{svc: svc, client: client, sessions: map[string]*ion.Session{}}, nil
+	return &JobServer{
+		svc:      svc,
+		client:   client,
+		obs:      obs.NewRegistry(),
+		log:      obs.NopLogger(),
+		sessions: map[string]*ion.Session{},
+	}, nil
+}
+
+// WithObs points the server's HTTP metrics and request logs at the
+// given registry and logger (nil arguments keep the current sink) and
+// returns the server for chaining. The registry is also what GET
+// /metrics serves, so pass the one the jobs.Service reports into.
+func (s *JobServer) WithObs(reg *obs.Registry, logger *slog.Logger) *JobServer {
+	if reg != nil {
+		s.obs = reg
+	}
+	if logger != nil {
+		s.log = logger
+	}
+	return s
 }
 
 // Handler returns the HTTP routes of the analysis service:
@@ -47,18 +74,63 @@ func NewJobServer(client llm.Client, svc *jobs.Service) (*JobServer, error) {
 //	GET  /api/jobs/{id}        one job's status (JSON)
 //	GET  /api/jobs/{id}/report the finished report (JSON)
 //	POST /api/jobs/{id}/ask    {"question": ...} against that job's report
+//	GET  /api/jobs/{id}/trace  the analysis span timeline (JSON)
 //	GET  /api/stats            queue/worker/cache counters (JSON)
+//	GET  /metrics              Prometheus text exposition
+//
+// Every route is wrapped in telemetry middleware recording request
+// count, latency, and status by route into the server's registry.
 func (s *JobServer) Handler() http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("GET /{$}", s.handleIndex)
-	mux.HandleFunc("GET /jobs/{id}", s.handleJobPage)
-	mux.HandleFunc("POST /api/jobs", s.handleSubmit)
-	mux.HandleFunc("GET /api/jobs", s.handleList)
-	mux.HandleFunc("GET /api/jobs/{id}", s.handleJob)
-	mux.HandleFunc("GET /api/jobs/{id}/report", s.handleJobReport)
-	mux.HandleFunc("POST /api/jobs/{id}/ask", s.handleJobAsk)
-	mux.HandleFunc("GET /api/stats", s.handleStats)
+	handle := func(pattern string, h http.HandlerFunc) {
+		mux.Handle(pattern, s.instrument(pattern, h))
+	}
+	handle("GET /{$}", s.handleIndex)
+	handle("GET /jobs/{id}", s.handleJobPage)
+	handle("POST /api/jobs", s.handleSubmit)
+	handle("GET /api/jobs", s.handleList)
+	handle("GET /api/jobs/{id}", s.handleJob)
+	handle("GET /api/jobs/{id}/report", s.handleJobReport)
+	handle("GET /api/jobs/{id}/trace", s.handleJobTrace)
+	handle("POST /api/jobs/{id}/ask", s.handleJobAsk)
+	handle("GET /api/stats", s.handleStats)
+	handle("GET /metrics", s.obs.Handler().ServeHTTP)
 	return mux
+}
+
+// statusWriter captures the response code for metrics and logs.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	w.status = code
+	w.ResponseWriter.WriteHeader(code)
+}
+
+// instrument wraps a handler with per-route request metrics and
+// structured request logging. The route label is the mux pattern, not
+// the raw URL, so cardinality stays bounded.
+func (s *JobServer) instrument(route string, h http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
+		start := time.Now()
+		h.ServeHTTP(sw, r.WithContext(obs.WithLogger(r.Context(), s.log)))
+		elapsed := time.Since(start)
+		s.obs.Counter("ion_http_requests_total",
+			"HTTP requests by route and status code.",
+			obs.L("route", route), obs.L("code", fmt.Sprint(sw.status))).Inc()
+		s.obs.Histogram("ion_http_request_seconds",
+			"HTTP request latency by route.", nil,
+			obs.L("route", route)).Observe(elapsed.Seconds())
+		logAt := s.log.Debug
+		if sw.status >= 500 {
+			logAt = s.log.Warn
+		}
+		logAt("http request", "route", route, "status", sw.status,
+			"elapsed", elapsed.Round(time.Microsecond).String(), "remote", r.RemoteAddr)
+	})
 }
 
 // submitResponse is the POST /api/jobs wire type.
@@ -101,11 +173,11 @@ func (s *JobServer) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	if dedup {
 		status = http.StatusOK
 	}
-	writeJSON(w, status, submitResponse{Job: job, Dedup: dedup})
+	s.writeJSON(w, status, submitResponse{Job: job, Dedup: dedup})
 }
 
 func (s *JobServer) handleList(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, s.svc.List())
+	s.writeJSON(w, http.StatusOK, s.svc.List())
 }
 
 func (s *JobServer) handleJob(w http.ResponseWriter, r *http.Request) {
@@ -113,7 +185,28 @@ func (s *JobServer) handleJob(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
-	writeJSON(w, http.StatusOK, job)
+	s.writeJSON(w, http.StatusOK, job)
+}
+
+// handleJobTrace serves the analysis span timeline persisted next to
+// the job's report: where the time of this diagnosis went, stage by
+// stage.
+func (s *JobServer) handleJobTrace(w http.ResponseWriter, r *http.Request) {
+	job, ok := s.getJob(w, r)
+	if !ok {
+		return
+	}
+	data, err := s.svc.Store().Timeline(job.ID)
+	if errors.Is(err, jobs.ErrNotFound) {
+		http.Error(w, "no timeline yet: the job has not run", http.StatusConflict)
+		return
+	}
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Write(data)
 }
 
 func (s *JobServer) handleJobReport(w http.ResponseWriter, r *http.Request) {
@@ -130,7 +223,7 @@ func (s *JobServer) handleJobReport(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, err.Error(), http.StatusInternalServerError)
 		return
 	}
-	writeJSON(w, http.StatusOK, rep)
+	s.writeJSON(w, http.StatusOK, rep)
 }
 
 func (s *JobServer) handleJobAsk(w http.ResponseWriter, r *http.Request) {
@@ -163,11 +256,11 @@ func (s *JobServer) handleJobAsk(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, err.Error(), http.StatusInternalServerError)
 		return
 	}
-	writeJSON(w, http.StatusOK, askResponse{Answer: answer})
+	s.writeJSON(w, http.StatusOK, askResponse{Answer: answer})
 }
 
 func (s *JobServer) handleStats(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, s.svc.Stats())
+	s.writeJSON(w, http.StatusOK, s.svc.Stats())
 }
 
 func (s *JobServer) handleJobPage(w http.ResponseWriter, r *http.Request) {
@@ -213,8 +306,9 @@ func (s *JobServer) handleIndex(w http.ResponseWriter, r *http.Request) {
 	}
 	st := s.svc.Stats()
 	fmt.Fprintf(w, indexPage, rows.String(),
-		st.QueueDepth, st.QueueCapacity, st.Busy, st.Workers,
-		st.Completed, st.Failed, st.Retried, st.CacheHits)
+		st.QueueDepth, st.QueueCapacity, st.Busy, st.Workers, 100*st.Utilization(),
+		st.Completed, st.Failed, st.Retried, st.CacheHits, 100*st.CacheHitRate(),
+		st.Recovered)
 }
 
 // getJob resolves the {id} path value, writing a 404 on miss.
@@ -256,6 +350,17 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 	}
 }
 
+// writeJSON is the JobServer's logging variant of the package helper:
+// an encode failure after the headers are sent cannot reach the
+// client, so at least leave a trace in the logs.
+func (s *JobServer) writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	if err := json.NewEncoder(w).Encode(v); err != nil {
+		s.log.Warn("encoding response body", "err", err)
+	}
+}
+
 const navLink = `<p style="margin-top:2rem"><a href="/">&larr; all jobs</a></p>`
 
 const pendingPage = `<!DOCTYPE html>
@@ -282,9 +387,10 @@ queue a diagnosis, or POST it to <code>/api/jobs</code>.</p>
 <tr><th>trace</th><th>job</th><th>state</th><th>attempts</th><th>error</th></tr>
 %s
 </table>
-<p style="color:#555">queue %d/%d &middot; workers busy %d/%d &middot;
-completed %d &middot; failed %d &middot; retries %d &middot; cache hits %d
-&middot; <a href="/api/stats">stats JSON</a></p>
+<p style="color:#555">queue %d/%d &middot; workers busy %d/%d (%.0f%% utilized) &middot;
+completed %d &middot; failed %d &middot; retries %d &middot; cache hits %d (%.0f%% hit rate)
+&middot; recovered %d
+&middot; <a href="/api/stats">stats JSON</a> &middot; <a href="/metrics">metrics</a></p>
 <script>
 document.getElementById("upload").addEventListener("click", async function() {
   var f = document.getElementById("trace").files[0];

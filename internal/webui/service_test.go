@@ -173,8 +173,8 @@ func TestServiceEndToEnd(t *testing.T) {
 	if st.CacheHits != 1 || st.Submitted != 2 || st.Completed != 1 {
 		t.Errorf("stats = %+v, want 1 cache hit of 2 submissions", st)
 	}
-	if st.CacheHitRate != 0.5 {
-		t.Errorf("cache hit rate = %v, want 0.5", st.CacheHitRate)
+	if st.CacheHitRate() != 0.5 {
+		t.Errorf("cache hit rate = %v, want 0.5", st.CacheHitRate())
 	}
 
 	// The index lists the job with a link to its page.
