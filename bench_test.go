@@ -640,3 +640,44 @@ func BenchmarkLargeTrace(b *testing.B) {
 	}
 	b.ReportMetric(float64(log.TotalOps()), "trace-ops")
 }
+
+// BenchmarkParseTextLarge parses a synthetic trace of over a million
+// counter lines, reporting throughput in MB/s. This is the sustained-
+// ingestion number: per-record setup costs are amortized away and the
+// per-line byte-scanning path dominates.
+func BenchmarkParseTextLarge(b *testing.B) {
+	const nfiles = 16000
+	l := darshan.NewLog()
+	l.Header.Exe = "large ./in"
+	l.Header.NProcs = 64
+	l.Mounts = append(l.Mounts, darshan.Mount{Point: "/lustre", FSType: "lustre"})
+	counters := darshan.CountersFor(darshan.ModPOSIX)
+	fcounters := darshan.FCountersFor(darshan.ModPOSIX)
+	for i := 0; i < nfiles; i++ {
+		id := uint64(1 + i)
+		l.Names[id] = fmt.Sprintf("/lustre/data/file-%d", i)
+		r := l.Module(darshan.ModPOSIX).Record(id, int64(i%64))
+		for k, c := range counters {
+			r.Counters[c] = int64(k * i)
+		}
+		for k, c := range fcounters {
+			r.FCounters[c] = float64(k) * 0.25
+		}
+	}
+	var buf bytes.Buffer
+	if err := l.WriteText(&buf); err != nil {
+		b.Fatal(err)
+	}
+	text := buf.Bytes()
+	if lines := bytes.Count(text, []byte("\n")); lines < 1_000_000 {
+		b.Fatalf("synthetic trace has %d lines, want >= 1M", lines)
+	}
+	b.SetBytes(int64(len(text)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := darshan.ParseText(bytes.NewReader(text)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,131 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"testing"
+
+	"ion/internal/darshan"
+	"ion/internal/expertsim"
+	"ion/internal/extractor"
+	"ion/internal/ion"
+	"ion/internal/testutil"
+)
+
+// benchSchema versions the -bench-out JSON so future PRs can diff
+// BENCH_*.json files against each other.
+const benchSchema = "ionbench/stages/v1"
+
+// stageResult is one stage benchmark in the trajectory file.
+type stageResult struct {
+	Name        string  `json:"name"`
+	Iterations  int     `json:"iterations"`
+	NsPerOp     int64   `json:"ns_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	MBPerS      float64 `json:"mb_per_s,omitempty"`
+}
+
+// benchFile is the on-disk shape of BENCH_<n>.json.
+type benchFile struct {
+	Schema   string        `json:"schema"`
+	Go       string        `json:"go"`
+	Workload string        `json:"workload"`
+	Stages   []stageResult `json:"stages"`
+}
+
+// runBenchOut measures the ingestion stages — text parse, in-memory
+// extract, and the analyze pipeline end to end — and writes the JSON
+// trajectory file future PRs diff against.
+func runBenchOut(path string) error {
+	const workload = "openpmd-baseline"
+	log, err := testutil.Log(workload)
+	if err != nil {
+		return fmt.Errorf("bench: %w", err)
+	}
+	var text bytes.Buffer
+	if err := log.WriteText(&text); err != nil {
+		return fmt.Errorf("bench: %w", err)
+	}
+	if err := log.WriteDXTText(&text); err != nil {
+		return fmt.Errorf("bench: %w", err)
+	}
+
+	out := benchFile{Schema: benchSchema, Go: runtime.Version(), Workload: workload}
+	record := func(name string, withBytes int64, fn func(b *testing.B)) {
+		fmt.Fprintf(os.Stderr, "ionbench: measuring %s...\n", name)
+		r := testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			if withBytes > 0 {
+				b.SetBytes(withBytes)
+			}
+			fn(b)
+		})
+		st := stageResult{
+			Name:        name,
+			Iterations:  r.N,
+			NsPerOp:     r.NsPerOp(),
+			BytesPerOp:  r.AllocedBytesPerOp(),
+			AllocsPerOp: r.AllocsPerOp(),
+		}
+		if withBytes > 0 && r.T > 0 {
+			st.MBPerS = float64(withBytes) * float64(r.N) / 1e6 / r.T.Seconds()
+		}
+		out.Stages = append(out.Stages, st)
+	}
+
+	record("parse", int64(text.Len()), func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := darshan.ParseText(bytes.NewReader(text.Bytes())); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	record("extract", 0, func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := extractor.Extract(log); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+
+	fw, err := ion.New(ion.Config{Client: expertsim.New()})
+	if err != nil {
+		return fmt.Errorf("bench: %w", err)
+	}
+	workDir, err := os.MkdirTemp("", "ionbench-*")
+	if err != nil {
+		return fmt.Errorf("bench: %w", err)
+	}
+	defer os.RemoveAll(workDir)
+	ctx := context.Background()
+	record("analyze_e2e", 0, func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := fw.AnalyzeLog(ctx, log, workload, workDir); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+
+	data, err := json.MarshalIndent(out, "", "  ")
+	if err != nil {
+		return fmt.Errorf("bench: %w", err)
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		return fmt.Errorf("bench: %w", err)
+	}
+	fmt.Printf("wrote %s\n", path)
+	for _, st := range out.Stages {
+		fmt.Printf("  %-12s %12d ns/op %12d B/op %9d allocs/op", st.Name, st.NsPerOp, st.BytesPerOp, st.AllocsPerOp)
+		if st.MBPerS > 0 {
+			fmt.Printf(" %8.2f MB/s", st.MBPerS)
+		}
+		fmt.Println()
+	}
+	return nil
+}

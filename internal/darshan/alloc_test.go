@@ -1,0 +1,142 @@
+package darshan
+
+import (
+	"bytes"
+	"strconv"
+	"testing"
+)
+
+// syntheticText builds a counter-heavy log text with nfiles POSIX
+// records carrying the full canonical counter set, plus a small DXT
+// section, and returns the text with its line count.
+func syntheticText(tb testing.TB, nfiles int) ([]byte, int) {
+	tb.Helper()
+	l := NewLog()
+	l.Header.Exe = "app ./in"
+	l.Header.NProcs = 4
+	l.Header.RunTime = 12.5
+	l.Mounts = append(l.Mounts, Mount{Point: "/lustre", FSType: "lustre"})
+	counters := CountersFor(ModPOSIX)
+	fcounters := FCountersFor(ModPOSIX)
+	for i := 0; i < nfiles; i++ {
+		id := uint64(1000 + i)
+		l.Names[id] = "/lustre/data/file-" + strconv.Itoa(i)
+		r := l.Module(ModPOSIX).Record(id, int64(i%4))
+		for k, c := range counters {
+			r.Counters[c] = int64(k * i)
+		}
+		for k, c := range fcounters {
+			r.FCounters[c] = float64(k) * 0.25
+		}
+	}
+	dxt := l.DXTForFile(1000)
+	dxt.Hostname = "nid00001"
+	for i := 0; i < 64; i++ {
+		dxt.Events = append(dxt.Events, DXTEvent{
+			Module: DXTPosix, Rank: int64(i % 4), Op: OpWrite,
+			Segment: int64(i), Offset: int64(i) * 4096, Length: 4096,
+			Start: float64(i) * 0.001, End: float64(i)*0.001 + 0.0005,
+			OSTs: []int{i % 8},
+		})
+	}
+	var buf bytes.Buffer
+	if err := l.WriteText(&buf); err != nil {
+		tb.Fatal(err)
+	}
+	if err := l.WriteDXTText(&buf); err != nil {
+		tb.Fatal(err)
+	}
+	return buf.Bytes(), bytes.Count(buf.Bytes(), []byte("\n"))
+}
+
+// TestParseTextAllocBound pins the allocation profile of the hot path:
+// the per-line cost must stay far below one allocation per line. The
+// budget covers the per-record fixed cost (record structs, counter
+// maps, interned names) with headroom; the old per-line field
+// splitting alone cost several allocations per line.
+func TestParseTextAllocBound(t *testing.T) {
+	if testing.Short() {
+		t.Skip("allocation measurement")
+	}
+	text, lines := syntheticText(t, 200)
+	avg := testing.AllocsPerRun(5, func() {
+		if _, err := ParseText(bytes.NewReader(text)); err != nil {
+			t.Fatal(err)
+		}
+	})
+	perLine := avg / float64(lines)
+	t.Logf("ParseText: %.0f allocs over %d lines (%.3f allocs/line)", avg, lines, perLine)
+	if perLine > 0.5 {
+		t.Errorf("ParseText allocates %.3f per line (%.0f total), want ≤ 0.5 — the byte-scanning fast path has regressed", perLine, avg)
+	}
+}
+
+// TestParseTextEquivalence cross-checks the byte-scanning parser
+// against the writer on a counter-heavy log: every counter, name, and
+// DXT event must survive the round trip.
+func TestParseTextEquivalence(t *testing.T) {
+	text, _ := syntheticText(t, 25)
+	l, err := ParseText(bytes.NewReader(text))
+	if err != nil {
+		t.Fatal(err)
+	}
+	mod := l.Modules[ModPOSIX]
+	if mod == nil || len(mod.Records) != 25 {
+		t.Fatalf("parsed %v POSIX records, want 25", len(mod.Records))
+	}
+	counters := CountersFor(ModPOSIX)
+	for _, r := range mod.Records {
+		for k, c := range counters {
+			want := int64(k) * int64(r.FileID-1000)
+			if got := r.C(c); got != want {
+				t.Fatalf("file %d counter %s = %d, want %d", r.FileID, c, got, want)
+			}
+		}
+	}
+	for i := 0; i < 25; i++ {
+		id := uint64(1000 + i)
+		if want := "/lustre/data/file-" + strconv.Itoa(i); l.Names[id] != want {
+			t.Fatalf("Names[%d] = %q, want %q", id, l.Names[id], want)
+		}
+	}
+	if len(l.DXT) != 1 || len(l.DXT[0].Events) != 64 {
+		t.Fatalf("DXT = %d traces / %d events, want 1/64", len(l.DXT), len(l.DXT[0].Events))
+	}
+	for _, ev := range l.DXT[0].Events {
+		if len(ev.OSTs) != 1 {
+			t.Fatalf("event OSTs = %v, want one entry", ev.OSTs)
+		}
+	}
+}
+
+// TestModuleRecordIndexSurvivesDirectAppend guards the lazy record
+// index: code that appends to Records directly (the workload recorder
+// does) must still get correct Record/Find results afterwards.
+func TestModuleRecordIndexSurvivesDirectAppend(t *testing.T) {
+	m := &Module{Name: ModPOSIX}
+	a := m.Record(1, 0)
+	if m.Record(1, 0) != a {
+		t.Fatal("Record(1,0) not stable")
+	}
+	direct := NewRecord(2, SharedRank)
+	m.Records = append(m.Records, direct)
+	if got := m.Find(2, SharedRank); got != direct {
+		t.Fatalf("Find after direct append = %v, want the appended record", got)
+	}
+	if m.Record(2, SharedRank) != direct {
+		t.Fatal("Record after direct append created a duplicate")
+	}
+	if len(m.Records) != 2 {
+		t.Fatalf("records = %d, want 2", len(m.Records))
+	}
+	if m.Find(3, 0) != nil {
+		t.Fatal("Find of absent record returned non-nil")
+	}
+	// Duplicate keys added behind the index's back resolve to the
+	// first record, matching the old linear scan.
+	dup := NewRecord(1, 0)
+	m.Records = append(m.Records, dup)
+	if got := m.Find(1, 0); got != a {
+		t.Fatalf("Find with duplicate = %v, want first record", got)
+	}
+}

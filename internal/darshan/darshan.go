@@ -124,28 +124,48 @@ func (r *Record) FSetMin(name string, v float64) {
 type Module struct {
 	Name    string
 	Records []*Record
+
+	// index accelerates Record/Find lookups. It is rebuilt lazily
+	// whenever it drifts from Records, since callers (the workload
+	// recorder, tests) may append to Records directly.
+	index map[recordKey]*Record
+}
+
+type recordKey struct {
+	file uint64
+	rank int64
+}
+
+// lookup returns the indexed record for (fileID, rank), rebuilding the
+// index first if Records was modified behind its back. On duplicate
+// keys the first record wins, matching the old linear scan.
+func (m *Module) lookup(fileID uint64, rank int64) *Record {
+	if m.index == nil || len(m.index) != len(m.Records) {
+		m.index = make(map[recordKey]*Record, len(m.Records))
+		for _, r := range m.Records {
+			k := recordKey{r.FileID, r.Rank}
+			if _, ok := m.index[k]; !ok {
+				m.index[k] = r
+			}
+		}
+	}
+	return m.index[recordKey{fileID, rank}]
 }
 
 // Record returns the record for (fileID, rank), creating it on demand.
 func (m *Module) Record(fileID uint64, rank int64) *Record {
-	for _, r := range m.Records {
-		if r.FileID == fileID && r.Rank == rank {
-			return r
-		}
+	if r := m.lookup(fileID, rank); r != nil {
+		return r
 	}
 	r := NewRecord(fileID, rank)
 	m.Records = append(m.Records, r)
+	m.index[recordKey{fileID, rank}] = r
 	return r
 }
 
 // Find returns the record for (fileID, rank) or nil when absent.
 func (m *Module) Find(fileID uint64, rank int64) *Record {
-	for _, r := range m.Records {
-		if r.FileID == fileID && r.Rank == rank {
-			return r
-		}
-	}
-	return nil
+	return m.lookup(fileID, rank)
 }
 
 // Log is a complete Darshan log: header, per-module counter records,

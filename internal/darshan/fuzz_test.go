@@ -1,0 +1,60 @@
+package darshan
+
+import (
+	"bytes"
+	"math/rand"
+	"os"
+	"testing"
+)
+
+// render serializes a log the way the text pipeline does: counter
+// section followed by the DXT section.
+func render(tb testing.TB, l *Log) []byte {
+	tb.Helper()
+	var buf bytes.Buffer
+	if err := l.WriteText(&buf); err != nil {
+		tb.Fatalf("WriteText: %v", err)
+	}
+	if err := l.WriteDXTText(&buf); err != nil {
+		tb.Fatalf("WriteDXTText: %v", err)
+	}
+	return buf.Bytes()
+}
+
+// FuzzParseText asserts two properties over arbitrary input: ParseText
+// never panics, and any log it accepts round-trips through the text
+// writer — parse(render(log)) renders back byte-identically once the
+// first render has normalized formatting (rounded timestamps,
+// truncated comma-bearing names in DXT comments).
+func FuzzParseText(f *testing.F) {
+	if data, err := os.ReadFile("testdata/real_sample.txt"); err == nil {
+		f.Add(data)
+	}
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 4; i++ {
+		f.Add(render(f, randomLog(rng)))
+	}
+	f.Add([]byte("# darshan log version: 3.41\n# nprocs: 2\nPOSIX\t0\t42\tPOSIX_OPENS\t3\t/f\t/\ttmpfs\n"))
+	f.Add([]byte("# DXT, file_id: 9, file_name: /d\n# DXT, rank: 0, hostname: n1\nX_POSIX 0 write 0 0 8 0.1 0.2 [0,1]\n"))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		log, err := ParseText(bytes.NewReader(data))
+		if err != nil {
+			return // rejected input is fine; panicking is not
+		}
+		r1 := render(t, log)
+		log2, err := ParseText(bytes.NewReader(r1))
+		if err != nil {
+			t.Fatalf("reparsing rendered log failed: %v\nrendered:\n%s", err, r1)
+		}
+		r2 := render(t, log2)
+		log3, err := ParseText(bytes.NewReader(r2))
+		if err != nil {
+			t.Fatalf("reparsing second render failed: %v", err)
+		}
+		r3 := render(t, log3)
+		if !bytes.Equal(r2, r3) {
+			t.Fatalf("render/parse did not reach a fixed point:\n--- second render ---\n%s\n--- third render ---\n%s", r2, r3)
+		}
+	})
+}

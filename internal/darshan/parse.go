@@ -2,11 +2,41 @@ package darshan
 
 import (
 	"bufio"
+	"bytes"
 	"fmt"
 	"io"
 	"strconv"
-	"strings"
+	"unsafe"
 )
+
+// maxDXTPrealloc bounds how many events a single DXT header's
+// write_count/read_count may preallocate, so a hostile header cannot
+// request gigabytes from a few bytes of input. Larger traces simply
+// fall back to append growth past this point.
+const maxDXTPrealloc = 1 << 15
+
+// parser carries the per-parse state that lets ParseText run without
+// allocating per line: an intern table for repeated names, a mount-point
+// set replacing the old O(mounts) scan, an index over DXT file traces,
+// field-cut scratch buffers, and an arena for OST lists.
+type parser struct {
+	log      *Log
+	interns  map[string]string
+	mounts   map[string]struct{}
+	dxtIdx   map[uint64]*DXTFileTrace
+	dxtTrace *DXTFileTrace
+	dxtRank  int64
+
+	// Memo of the last counter line's (module, file, rank) so runs of
+	// lines for the same record skip the map lookups entirely.
+	lastMod *Module
+	lastRec *Record
+
+	fields   [][]byte // tab/space field-cut scratch
+	kvKeys   [][]byte // DXT comment attribute scratch
+	kvVals   [][]byte
+	ostArena []int // backing storage for DXTEvent.OSTs slices
+}
 
 // ParseText reads a log in the darshan-parser text format produced by
 // WriteText, optionally followed by a darshan-dxt-parser section as
@@ -14,263 +44,453 @@ import (
 // are preserved verbatim; unknown comment lines are ignored, matching
 // the tolerance of the reference tooling.
 func ParseText(r io.Reader) (*Log, error) {
-	log := NewLog()
+	p := &parser{
+		log:     NewLog(),
+		interns: make(map[string]string, 128),
+		mounts:  make(map[string]struct{}, 8),
+		dxtIdx:  make(map[uint64]*DXTFileTrace, 8),
+	}
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
 
-	var (
-		dxtTrace *DXTFileTrace
-		dxtRank  int64
-		lineno   int
-	)
+	var lineno int
 	for sc.Scan() {
 		lineno++
-		line := sc.Text()
-		trimmed := strings.TrimSpace(line)
-		if trimmed == "" {
+		line := bytes.TrimSpace(sc.Bytes())
+		if len(line) == 0 {
 			continue
 		}
-		if strings.HasPrefix(trimmed, "#") {
-			if err := log.parseComment(trimmed, &dxtTrace, &dxtRank); err != nil {
+		if line[0] == '#' {
+			if err := p.parseComment(line); err != nil {
 				return nil, fmt.Errorf("darshan: line %d: %w", lineno, err)
 			}
 			continue
 		}
 		// Data row: either a counter record line (tab separated) or a
 		// DXT event line (space aligned, module starts with "X_").
-		if strings.HasPrefix(trimmed, "X_") {
-			if dxtTrace == nil {
+		if len(line) >= 2 && line[0] == 'X' && line[1] == '_' {
+			if p.dxtTrace == nil {
 				return nil, fmt.Errorf("darshan: line %d: DXT event before DXT file header", lineno)
 			}
-			ev, err := parseDXTEventLine(trimmed)
-			if err != nil {
+			if err := p.parseDXTEventLine(line); err != nil {
 				return nil, fmt.Errorf("darshan: line %d: %w", lineno, err)
 			}
-			dxtTrace.Events = append(dxtTrace.Events, ev)
 			continue
 		}
-		if err := log.parseCounterLine(trimmed); err != nil {
+		if err := p.parseCounterLine(line); err != nil {
 			return nil, fmt.Errorf("darshan: line %d: %w", lineno, err)
 		}
 	}
 	if err := sc.Err(); err != nil {
 		return nil, fmt.Errorf("darshan: scanning log: %w", err)
 	}
-	for _, t := range log.DXT {
+	for _, t := range p.log.DXT {
 		t.SortByStart()
 	}
-	return log, nil
+	return p.log, nil
 }
 
-func (l *Log) parseComment(line string, dxtTrace **DXTFileTrace, dxtRank *int64) error {
-	body := strings.TrimSpace(strings.TrimPrefix(line, "#"))
-	switch {
-	case strings.HasPrefix(body, "darshan log version:"):
-		l.Header.Version = strings.TrimSpace(strings.TrimPrefix(body, "darshan log version:"))
-	case strings.HasPrefix(body, "exe:"):
-		l.Header.Exe = strings.TrimSpace(strings.TrimPrefix(body, "exe:"))
-	case strings.HasPrefix(body, "uid:"):
-		v, err := strconv.Atoi(strings.TrimSpace(strings.TrimPrefix(body, "uid:")))
+// bstr views b as a string without copying. The result aliases the
+// scanner's buffer and must not be retained across Scan calls; it is
+// only handed to strconv parse functions, which do not keep it.
+func bstr(b []byte) string {
+	if len(b) == 0 {
+		return ""
+	}
+	return unsafe.String(unsafe.SliceData(b), len(b))
+}
+
+// cutPrefix returns b without the leading prefix and whether it was
+// present. The string(...) conversion in the comparison does not
+// allocate.
+func cutPrefix(b []byte, prefix string) ([]byte, bool) {
+	if len(b) >= len(prefix) && string(b[:len(prefix)]) == prefix {
+		return b[len(prefix):], true
+	}
+	return nil, false
+}
+
+// intern returns the canonical string for b, copying it at most once
+// per distinct value per parse. Module and counter names repeat for
+// every record, so the N-records x M-counters map keys share storage.
+func (p *parser) intern(b []byte) string {
+	if s, ok := p.interns[string(b)]; ok {
+		return s
+	}
+	s := string(b)
+	p.interns[s] = s
+	return s
+}
+
+// setName records the path for a file id, skipping the common case
+// where the id already maps to the identical name.
+func (p *parser) setName(id uint64, name []byte) {
+	if cur, ok := p.log.Names[id]; ok && cur == string(name) {
+		return
+	}
+	p.log.Names[id] = string(name)
+}
+
+// addMount appends a mount entry unless its mount point was already
+// captured, using the set instead of scanning the slice per line.
+func (p *parser) addMount(point, fsType []byte) {
+	if _, dup := p.mounts[string(point)]; dup {
+		return
+	}
+	pt := string(point)
+	p.log.Mounts = append(p.log.Mounts, Mount{Point: pt, FSType: string(fsType)})
+	p.mounts[pt] = struct{}{}
+}
+
+// dxtFor returns the trace for a file id via the parse-local index,
+// falling back to (and populating) the log's lookup on first sight.
+func (p *parser) dxtFor(id uint64) *DXTFileTrace {
+	if t, ok := p.dxtIdx[id]; ok {
+		return t
+	}
+	t := p.log.DXTForFile(id)
+	p.dxtIdx[id] = t
+	return t
+}
+
+func (p *parser) parseComment(line []byte) error {
+	l := p.log
+	body := bytes.TrimSpace(line[1:])
+	if rest, ok := cutPrefix(body, "darshan log version:"); ok {
+		l.Header.Version = string(bytes.TrimSpace(rest))
+		return nil
+	}
+	if rest, ok := cutPrefix(body, "exe:"); ok {
+		l.Header.Exe = string(bytes.TrimSpace(rest))
+		return nil
+	}
+	if rest, ok := cutPrefix(body, "uid:"); ok {
+		v, err := strconv.Atoi(bstr(bytes.TrimSpace(rest)))
 		if err != nil {
 			return fmt.Errorf("bad uid: %w", err)
 		}
 		l.Header.UID = v
-	case strings.HasPrefix(body, "jobid:"):
-		v, err := strconv.ParseInt(strings.TrimSpace(strings.TrimPrefix(body, "jobid:")), 10, 64)
+		return nil
+	}
+	if rest, ok := cutPrefix(body, "jobid:"); ok {
+		v, err := strconv.ParseInt(bstr(bytes.TrimSpace(rest)), 10, 64)
 		if err != nil {
 			return fmt.Errorf("bad jobid: %w", err)
 		}
 		l.Header.JobID = v
-	case strings.HasPrefix(body, "start_time:"):
-		v, err := strconv.ParseInt(strings.TrimSpace(strings.TrimPrefix(body, "start_time:")), 10, 64)
+		return nil
+	}
+	if rest, ok := cutPrefix(body, "start_time:"); ok {
+		v, err := strconv.ParseInt(bstr(bytes.TrimSpace(rest)), 10, 64)
 		if err != nil {
 			return fmt.Errorf("bad start_time: %w", err)
 		}
 		l.Header.StartTime = v
-	case strings.HasPrefix(body, "end_time:"):
-		v, err := strconv.ParseInt(strings.TrimSpace(strings.TrimPrefix(body, "end_time:")), 10, 64)
+		return nil
+	}
+	if rest, ok := cutPrefix(body, "end_time:"); ok {
+		v, err := strconv.ParseInt(bstr(bytes.TrimSpace(rest)), 10, 64)
 		if err != nil {
 			return fmt.Errorf("bad end_time: %w", err)
 		}
 		l.Header.EndTime = v
-	case strings.HasPrefix(body, "nprocs:"):
-		v, err := strconv.Atoi(strings.TrimSpace(strings.TrimPrefix(body, "nprocs:")))
+		return nil
+	}
+	if rest, ok := cutPrefix(body, "nprocs:"); ok {
+		v, err := strconv.Atoi(bstr(bytes.TrimSpace(rest)))
 		if err != nil {
 			return fmt.Errorf("bad nprocs: %w", err)
 		}
 		l.Header.NProcs = v
-	case strings.HasPrefix(body, "run time:"):
-		v, err := strconv.ParseFloat(strings.TrimSpace(strings.TrimPrefix(body, "run time:")), 64)
+		return nil
+	}
+	if rest, ok := cutPrefix(body, "run time:"); ok {
+		v, err := strconv.ParseFloat(bstr(bytes.TrimSpace(rest)), 64)
 		if err != nil {
 			return fmt.Errorf("bad run time: %w", err)
 		}
 		l.Header.RunTime = v
-	case strings.HasPrefix(body, "metadata:"):
-		kv := strings.SplitN(strings.TrimPrefix(body, "metadata:"), "=", 2)
-		if len(kv) == 2 {
-			l.Header.Metadata[strings.TrimSpace(kv[0])] = strings.TrimSpace(kv[1])
+		return nil
+	}
+	if rest, ok := cutPrefix(body, "metadata:"); ok {
+		if i := bytes.IndexByte(rest, '='); i >= 0 {
+			k := string(bytes.TrimSpace(rest[:i]))
+			l.Header.Metadata[k] = string(bytes.TrimSpace(rest[i+1:]))
 		}
-	case strings.HasPrefix(body, "mount entry:"):
-		fields := strings.Fields(strings.TrimPrefix(body, "mount entry:"))
-		if len(fields) == 2 {
-			l.Mounts = append(l.Mounts, Mount{Point: fields[0], FSType: fields[1]})
+		return nil
+	}
+	if rest, ok := cutPrefix(body, "mount entry:"); ok {
+		p.fields = splitWS(p.fields[:0], rest)
+		if len(p.fields) == 2 {
+			// Mirror the historical behavior: explicit mount-table
+			// entries append unconditionally, but still seed the dedup
+			// set consulted by counter and DXT lines.
+			pt := string(p.fields[0])
+			l.Mounts = append(l.Mounts, Mount{Point: pt, FSType: string(p.fields[1])})
+			p.mounts[pt] = struct{}{}
 		}
-	case strings.HasPrefix(body, "DXT,"):
-		return l.parseDXTComment(body, dxtTrace, dxtRank)
+		return nil
+	}
+	if rest, ok := cutPrefix(body, "DXT,"); ok {
+		return p.parseDXTComment(rest)
 	}
 	return nil
 }
 
-func (l *Log) parseDXTComment(body string, dxtTrace **DXTFileTrace, dxtRank *int64) error {
-	attrs := map[string]string{}
-	for _, part := range strings.Split(strings.TrimPrefix(body, "DXT,"), ",") {
-		kv := strings.SplitN(part, ":", 2)
-		if len(kv) == 2 {
-			attrs[strings.TrimSpace(kv[0])] = strings.TrimSpace(kv[1])
+// parseDXTComment handles one "# DXT, k: v, k: v" header line. The
+// attribute pairs are collected into scratch slices and looked up by
+// key, preserving the last-value-wins semantics of the old map build.
+func (p *parser) parseDXTComment(rest []byte) error {
+	p.kvKeys = p.kvKeys[:0]
+	p.kvVals = p.kvVals[:0]
+	for {
+		i := bytes.IndexByte(rest, ',')
+		part := rest
+		if i >= 0 {
+			part = rest[:i]
 		}
+		if j := bytes.IndexByte(part, ':'); j >= 0 {
+			p.kvKeys = append(p.kvKeys, bytes.TrimSpace(part[:j]))
+			p.kvVals = append(p.kvVals, bytes.TrimSpace(part[j+1:]))
+		}
+		if i < 0 {
+			break
+		}
+		rest = rest[i+1:]
 	}
-	if idStr, ok := attrs["file_id"]; ok {
-		id, err := strconv.ParseUint(idStr, 10, 64)
+	if idb, ok := p.attr("file_id"); ok {
+		id, err := strconv.ParseUint(bstr(idb), 10, 64)
 		if err != nil {
 			return fmt.Errorf("bad DXT file_id: %w", err)
 		}
-		*dxtTrace = l.DXTForFile(id)
-		if name, ok := attrs["file_name"]; ok {
-			l.Names[id] = name
+		p.dxtTrace = p.dxtFor(id)
+		if nameb, ok := p.attr("file_name"); ok {
+			p.setName(id, nameb)
 		}
 	}
-	if rankStr, ok := attrs["rank"]; ok {
-		r, err := strconv.ParseInt(rankStr, 10, 64)
+	if rb, ok := p.attr("rank"); ok {
+		r, err := strconv.ParseInt(bstr(rb), 10, 64)
 		if err != nil {
 			return fmt.Errorf("bad DXT rank: %w", err)
 		}
-		*dxtRank = r
-		if host, ok := attrs["hostname"]; ok && *dxtTrace != nil {
-			(*dxtTrace).Hostname = host
-		}
-	}
-	if mnt, ok := attrs["mnt_pt"]; ok {
-		fs := attrs["fs_type"]
-		found := false
-		for _, m := range l.Mounts {
-			if m.Point == mnt {
-				found = true
-				break
+		p.dxtRank = r
+		if hb, ok := p.attr("hostname"); ok && p.dxtTrace != nil {
+			if p.dxtTrace.Hostname != string(hb) {
+				p.dxtTrace.Hostname = string(hb)
 			}
 		}
-		if !found {
-			l.Mounts = append(l.Mounts, Mount{Point: mnt, FSType: fs})
+	}
+	if mb, ok := p.attr("mnt_pt"); ok {
+		fsb, _ := p.attr("fs_type")
+		p.addMount(mb, fsb)
+	}
+	if t := p.dxtTrace; t != nil {
+		// Preallocate the event slice from the header's announced
+		// segment counts so appends don't repeatedly regrow it.
+		want := 0
+		if wb, ok := p.attr("write_count"); ok {
+			if n, err := strconv.ParseInt(bstr(wb), 10, 64); err == nil && n > 0 {
+				want += int(n)
+			}
+		}
+		if rb, ok := p.attr("read_count"); ok {
+			if n, err := strconv.ParseInt(bstr(rb), 10, 64); err == nil && n > 0 {
+				want += int(n)
+			}
+		}
+		if want > maxDXTPrealloc {
+			want = maxDXTPrealloc
+		}
+		if want > 0 && cap(t.Events)-len(t.Events) < want {
+			// Grow by at least 2x so a long run of per-rank block
+			// headers costs amortized-linear copying, not quadratic.
+			newCap := len(t.Events) + want
+			if c := 2 * cap(t.Events); c > newCap {
+				newCap = c
+			}
+			grown := make([]DXTEvent, len(t.Events), newCap)
+			copy(grown, t.Events)
+			t.Events = grown
 		}
 	}
 	return nil
+}
+
+// attr returns the value for key among the scratch attribute pairs,
+// scanning backwards so duplicate keys resolve like map overwrites.
+func (p *parser) attr(key string) ([]byte, bool) {
+	for i := len(p.kvKeys) - 1; i >= 0; i-- {
+		if string(p.kvKeys[i]) == key {
+			return p.kvVals[i], true
+		}
+	}
+	return nil, false
 }
 
 // parseCounterLine parses one tab-separated record line:
 // module, rank, record id, counter, value, file name, mount pt, fs type.
-func (l *Log) parseCounterLine(line string) error {
-	fields := strings.Split(line, "\t")
+func (p *parser) parseCounterLine(line []byte) error {
+	fields := splitByte(p.fields[:0], line, '\t')
+	p.fields = fields
 	if len(fields) < 5 {
 		return fmt.Errorf("malformed counter line %q", line)
 	}
-	module := fields[0]
-	rank, err := strconv.ParseInt(fields[1], 10, 64)
+	rank, err := strconv.ParseInt(bstr(fields[1]), 10, 64)
 	if err != nil {
 		return fmt.Errorf("bad rank %q: %w", fields[1], err)
 	}
-	fileID, err := strconv.ParseUint(fields[2], 10, 64)
+	fileID, err := strconv.ParseUint(bstr(fields[2]), 10, 64)
 	if err != nil {
 		return fmt.Errorf("bad record id %q: %w", fields[2], err)
 	}
-	counter := fields[3]
-	value := fields[4]
-	if len(fields) >= 6 && fields[5] != "" {
-		l.Names[fileID] = fields[5]
+	if len(fields) >= 6 && len(fields[5]) > 0 {
+		p.setName(fileID, fields[5])
 	}
-	if len(fields) >= 8 {
-		mnt, fs := fields[6], fields[7]
-		exists := false
-		for _, m := range l.Mounts {
-			if m.Point == mnt {
-				exists = true
-				break
-			}
-		}
-		if !exists && mnt != "" {
-			l.Mounts = append(l.Mounts, Mount{Point: mnt, FSType: fs})
-		}
+	if len(fields) >= 8 && len(fields[6]) > 0 {
+		p.addMount(fields[6], fields[7])
 	}
-	rec := l.Module(module).Record(fileID, rank)
-	if isFloatCounter(counter) {
-		v, err := strconv.ParseFloat(value, 64)
+	mod := p.lastMod
+	if mod == nil || string(fields[0]) != mod.Name {
+		mod = p.log.Module(p.intern(fields[0]))
+		p.lastMod = mod
+		p.lastRec = nil
+	}
+	rec := p.lastRec
+	if rec == nil || rec.FileID != fileID || rec.Rank != rank {
+		rec = mod.Record(fileID, rank)
+		p.lastRec = rec
+	}
+	counter, value := fields[3], fields[4]
+	if isFloatCounter(bstr(counter)) {
+		v, err := strconv.ParseFloat(bstr(value), 64)
 		if err != nil {
 			return fmt.Errorf("bad float counter %s=%q: %w", counter, value, err)
 		}
-		rec.FCounters[counter] = v
+		rec.FCounters[p.intern(counter)] = v
 		return nil
 	}
-	v, err := strconv.ParseInt(value, 10, 64)
+	v, err := strconv.ParseInt(bstr(value), 10, 64)
 	if err != nil {
 		return fmt.Errorf("bad counter %s=%q: %w", counter, value, err)
 	}
-	rec.Counters[counter] = v
+	rec.Counters[p.intern(counter)] = v
 	return nil
 }
 
 // isFloatCounter reports whether a counter name denotes a Darshan float
 // counter. Darshan uses the "<MODULE>_F_" prefix convention.
 func isFloatCounter(name string) bool {
-	return strings.Contains(name, "_F_")
+	for i := 0; i+3 <= len(name); i++ {
+		if name[i] == '_' && name[i+1] == 'F' && name[i+2] == '_' {
+			return true
+		}
+	}
+	return false
 }
 
 // parseDXTEventLine parses one fixed-width DXT event row, e.g.:
 //
 //	X_POSIX       0  write        0            0        2048      0.0001      0.0002  [0,1]
-func parseDXTEventLine(line string) (DXTEvent, error) {
-	fields := strings.Fields(line)
+func (p *parser) parseDXTEventLine(line []byte) error {
+	fields := splitWS(p.fields[:0], line)
+	p.fields = fields
 	if len(fields) < 8 {
-		return DXTEvent{}, fmt.Errorf("malformed DXT event %q", line)
+		return fmt.Errorf("malformed DXT event %q", line)
 	}
 	var ev DXTEvent
-	ev.Module = fields[0]
+	ev.Module = p.intern(fields[0])
 	var err error
-	if ev.Rank, err = strconv.ParseInt(fields[1], 10, 64); err != nil {
-		return ev, fmt.Errorf("bad DXT rank: %w", err)
+	if ev.Rank, err = strconv.ParseInt(bstr(fields[1]), 10, 64); err != nil {
+		return fmt.Errorf("bad DXT rank: %w", err)
 	}
-	switch fields[2] {
-	case "read":
+	switch {
+	case string(fields[2]) == "read":
 		ev.Op = OpRead
-	case "write":
+	case string(fields[2]) == "write":
 		ev.Op = OpWrite
 	default:
-		return ev, fmt.Errorf("bad DXT op %q", fields[2])
+		return fmt.Errorf("bad DXT op %q", fields[2])
 	}
-	if ev.Segment, err = strconv.ParseInt(fields[3], 10, 64); err != nil {
-		return ev, fmt.Errorf("bad DXT segment: %w", err)
+	if ev.Segment, err = strconv.ParseInt(bstr(fields[3]), 10, 64); err != nil {
+		return fmt.Errorf("bad DXT segment: %w", err)
 	}
-	if ev.Offset, err = strconv.ParseInt(fields[4], 10, 64); err != nil {
-		return ev, fmt.Errorf("bad DXT offset: %w", err)
+	if ev.Offset, err = strconv.ParseInt(bstr(fields[4]), 10, 64); err != nil {
+		return fmt.Errorf("bad DXT offset: %w", err)
 	}
-	if ev.Length, err = strconv.ParseInt(fields[5], 10, 64); err != nil {
-		return ev, fmt.Errorf("bad DXT length: %w", err)
+	if ev.Length, err = strconv.ParseInt(bstr(fields[5]), 10, 64); err != nil {
+		return fmt.Errorf("bad DXT length: %w", err)
 	}
-	if ev.Start, err = strconv.ParseFloat(fields[6], 64); err != nil {
-		return ev, fmt.Errorf("bad DXT start: %w", err)
+	if ev.Start, err = strconv.ParseFloat(bstr(fields[6]), 64); err != nil {
+		return fmt.Errorf("bad DXT start: %w", err)
 	}
-	if ev.End, err = strconv.ParseFloat(fields[7], 64); err != nil {
-		return ev, fmt.Errorf("bad DXT end: %w", err)
+	if ev.End, err = strconv.ParseFloat(bstr(fields[7]), 64); err != nil {
+		return fmt.Errorf("bad DXT end: %w", err)
 	}
 	if len(fields) >= 9 {
-		ost := strings.Trim(fields[8], "[]")
-		for _, s := range strings.Split(ost, ",") {
-			if s == "" {
+		ost := bytes.Trim(fields[8], "[]")
+		start := len(p.ostArena)
+		for len(ost) > 0 {
+			var s []byte
+			if i := bytes.IndexByte(ost, ','); i >= 0 {
+				s, ost = ost[:i], ost[i+1:]
+			} else {
+				s, ost = ost, nil
+			}
+			if len(s) == 0 {
 				continue
 			}
-			o, err := strconv.Atoi(s)
+			o, err := strconv.Atoi(bstr(s))
 			if err != nil {
-				return ev, fmt.Errorf("bad DXT OST list %q: %w", fields[8], err)
+				return fmt.Errorf("bad DXT OST list %q: %w", fields[8], err)
 			}
-			ev.OSTs = append(ev.OSTs, o)
+			p.ostArena = append(p.ostArena, o)
+		}
+		if end := len(p.ostArena); end > start {
+			ev.OSTs = p.ostArena[start:end:end]
 		}
 	}
-	return ev, nil
+	p.dxtTrace.Events = append(p.dxtTrace.Events, ev)
+	return nil
+}
+
+// splitByte appends the sep-separated subslices of line to dst,
+// including empty fields, matching strings.Split.
+func splitByte(dst [][]byte, line []byte, sep byte) [][]byte {
+	for {
+		i := bytes.IndexByte(line, sep)
+		if i < 0 {
+			return append(dst, line)
+		}
+		dst = append(dst, line[:i])
+		line = line[i+1:]
+	}
+}
+
+// splitWS appends the whitespace-separated fields of line to dst,
+// matching strings.Fields for ASCII input.
+func splitWS(dst [][]byte, line []byte) [][]byte {
+	i := 0
+	for i < len(line) {
+		for i < len(line) && asciiSpace(line[i]) {
+			i++
+		}
+		if i == len(line) {
+			break
+		}
+		j := i + 1
+		for j < len(line) && !asciiSpace(line[j]) {
+			j++
+		}
+		dst = append(dst, line[i:j])
+		i = j
+	}
+	return dst
+}
+
+func asciiSpace(c byte) bool {
+	switch c {
+	case ' ', '\t', '\n', '\v', '\f', '\r':
+		return true
+	}
+	return false
 }

@@ -11,9 +11,11 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime"
 	"sort"
 	"strconv"
 	"strings"
+	"sync"
 
 	"ion/internal/darshan"
 	"ion/internal/obs"
@@ -78,13 +80,15 @@ func Extract(log *darshan.Log) (*Output, error) {
 
 // ExtractContext is Extract with span instrumentation: when ctx carries
 // an obs.Tracer, each module's table build is recorded as an
-// extract_module span.
+// extract_module span. The per-module tables build concurrently on a
+// worker pool bounded by GOMAXPROCS; the log is only read, never
+// mutated, so the builders share it without synchronization.
 func ExtractContext(ctx context.Context, log *darshan.Log) (*Output, error) {
-	out := &Output{
-		Tables: map[string]*table.Table{},
-		Paths:  map[string]string{},
-		Header: log.Header,
+	type build struct {
+		name string
+		fn   func() (*table.Table, error)
 	}
+	var builds []build
 	for _, spec := range []struct {
 		module string
 		name   string
@@ -97,27 +101,60 @@ func ExtractContext(ctx context.Context, log *darshan.Log) (*Output, error) {
 		if !log.HasModule(spec.module) {
 			continue
 		}
-		_, span := obs.StartSpan(ctx, "extract_module", obs.L("module", spec.name))
-		t, err := moduleTable(log, spec.module, spec.name)
-		span.SetError(err)
-		span.End()
-		if err != nil {
-			return nil, err
-		}
-		out.Tables[spec.name] = t
+		spec := spec
+		builds = append(builds, build{spec.name, func() (*table.Table, error) {
+			return moduleTable(log, spec.module, spec.name)
+		}})
 	}
 	if len(log.DXT) > 0 {
-		_, span := obs.StartSpan(ctx, "extract_module", obs.L("module", TableDXT))
-		t, err := dxtTable(log)
-		span.SetError(err)
-		span.End()
-		if err != nil {
-			return nil, err
-		}
-		out.Tables[TableDXT] = t
+		builds = append(builds, build{TableDXT, func() (*table.Table, error) {
+			return dxtTable(log)
+		}})
 	}
+	builds = append(builds, build{TableJob, func() (*table.Table, error) {
+		return jobTable(log.Header)
+	}})
+
+	workers := runtime.GOMAXPROCS(0)
+	if workers > len(builds) {
+		workers = len(builds)
+	}
+	tables := make([]*table.Table, len(builds))
+	errs := make([]error, len(builds))
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, workers)
+	for i, b := range builds {
+		i, b := i, b
+		wg.Add(1)
+		sem <- struct{}{}
+		go func() {
+			defer wg.Done()
+			defer func() { <-sem }()
+			_, span := obs.StartSpan(ctx, "extract_module", obs.L("module", b.name))
+			tables[i], errs[i] = b.fn()
+			span.SetError(errs[i])
+			span.End()
+		}()
+	}
+	wg.Wait()
+
+	out := &Output{
+		Tables: make(map[string]*table.Table, len(builds)),
+		Paths:  map[string]string{},
+		Header: log.Header,
+	}
+	for i, b := range builds {
+		if errs[i] != nil {
+			return nil, errs[i]
+		}
+		out.Tables[b.name] = tables[i]
+	}
+	return out, nil
+}
+
+// jobTable renders the single-row job-facts table from the header.
+func jobTable(h darshan.Header) (*table.Table, error) {
 	job := table.New(TableJob, jobCols)
-	h := log.Header
 	if err := job.Append([]string{
 		h.Exe,
 		strconv.Itoa(h.NProcs),
@@ -129,8 +166,7 @@ func ExtractContext(ctx context.Context, log *darshan.Log) (*Output, error) {
 	}); err != nil {
 		return nil, fmt.Errorf("extractor: job table: %w", err)
 	}
-	out.Tables[TableJob] = job
-	return out, nil
+	return job, nil
 }
 
 // ExtractToDir extracts the log and writes each table as <dir>/<name>.csv.
@@ -233,28 +269,32 @@ func moduleTable(log *darshan.Log, module, name string) (*table.Table, error) {
 		}
 		return recs[i].Rank < recs[j].Rank
 	})
+	t.Grow(len(recs))
+	w := table.NewRowWriter(t)
+	var ostKey []byte // scratch for LUSTRE_OST_ID_<k> map keys
 	for _, r := range recs {
-		row := make([]string, 0, len(cols))
-		row = append(row,
-			strconv.FormatUint(r.FileID, 10),
-			log.Name(r.FileID),
-			strconv.FormatInt(r.Rank, 10),
-		)
+		w.Uint(r.FileID)
+		w.String(log.Name(r.FileID))
+		w.Int(r.Rank)
 		for _, c := range counters {
-			row = append(row, strconv.FormatInt(r.Counters[c], 10))
+			w.Int(r.Counters[c])
 		}
 		if module == darshan.ModLustre {
 			width := r.Counters[darshan.CLustreStripeWidth]
-			ids := make([]string, 0, width)
 			for k := int64(0); k < width; k++ {
-				ids = append(ids, strconv.FormatInt(r.Counters[fmt.Sprintf("LUSTRE_OST_ID_%d", k)], 10))
+				if k > 0 {
+					w.PartSep(';')
+				}
+				ostKey = append(ostKey[:0], "LUSTRE_OST_ID_"...)
+				ostKey = strconv.AppendInt(ostKey, k, 10)
+				w.PartInt(r.Counters[string(ostKey)])
 			}
-			row = append(row, strings.Join(ids, ";"))
+			w.EndCell()
 		}
 		for _, c := range fcounters {
-			row = append(row, formatFloat(r.FCounters[c]))
+			w.Float(r.FCounters[c])
 		}
-		if err := t.Append(row); err != nil {
+		if err := w.EndRow(); err != nil {
 			return nil, fmt.Errorf("extractor: %w", err)
 		}
 	}
@@ -263,27 +303,33 @@ func moduleTable(log *darshan.Log, module, name string) (*table.Table, error) {
 
 func dxtTable(log *darshan.Log) (*table.Table, error) {
 	t := table.New(TableDXT, dxtCols)
+	total := 0
+	for _, tr := range log.DXT {
+		total += len(tr.Events)
+	}
+	t.Grow(total)
+	w := table.NewRowWriter(t)
 	for _, tr := range log.DXT {
 		name := log.Name(tr.FileID)
 		for _, ev := range tr.Events {
-			osts := make([]string, 0, len(ev.OSTs))
-			for _, o := range ev.OSTs {
-				osts = append(osts, strconv.Itoa(o))
+			w.Uint(tr.FileID)
+			w.String(name)
+			w.String(ev.Module)
+			w.Int(ev.Rank)
+			w.String(string(ev.Op))
+			w.Int(ev.Segment)
+			w.Int(ev.Offset)
+			w.Int(ev.Length)
+			w.Float(ev.Start)
+			w.Float(ev.End)
+			for i, o := range ev.OSTs {
+				if i > 0 {
+					w.PartSep(';')
+				}
+				w.PartInt(int64(o))
 			}
-			row := []string{
-				strconv.FormatUint(tr.FileID, 10),
-				name,
-				ev.Module,
-				strconv.FormatInt(ev.Rank, 10),
-				string(ev.Op),
-				strconv.FormatInt(ev.Segment, 10),
-				strconv.FormatInt(ev.Offset, 10),
-				strconv.FormatInt(ev.Length, 10),
-				formatFloat(ev.Start),
-				formatFloat(ev.End),
-				strings.Join(osts, ";"),
-			}
-			if err := t.Append(row); err != nil {
+			w.EndCell()
+			if err := w.EndRow(); err != nil {
 				return nil, fmt.Errorf("extractor: %w", err)
 			}
 		}

@@ -1,0 +1,229 @@
+package jobs
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"strconv"
+	"sync"
+	"testing"
+
+	"ion/internal/expertsim"
+	"ion/internal/extractor"
+	"ion/internal/obs"
+	"ion/internal/table"
+)
+
+// fakeOutput builds a synthetic extraction output of roughly n cells,
+// big enough that outputBytes scales with n.
+func fakeOutput(t *testing.T, n int) *extractor.Output {
+	t.Helper()
+	tb := table.New("POSIX", []string{"file_id", "v"})
+	for i := 0; i < n; i++ {
+		if err := tb.Append([]string{strconv.Itoa(i), "0123456789abcdef"}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return &extractor.Output{Tables: map[string]*table.Table{"POSIX": tb}, Paths: map[string]string{}}
+}
+
+func TestExtractCacheLRUEviction(t *testing.T) {
+	out := fakeOutput(t, 100)
+	size := outputBytes(out)
+	c := newExtractCache(2*size + size/2) // room for two entries, not three
+
+	c.put("a", out)
+	c.put("b", fakeOutput(t, 100))
+	if _, ok := c.get("a"); !ok {
+		t.Fatal("a evicted while under budget")
+	}
+	// a was just refreshed, so inserting c evicts b.
+	c.put("c", fakeOutput(t, 100))
+	if _, ok := c.get("b"); ok {
+		t.Error("b survived eviction; LRU order not honored")
+	}
+	if _, ok := c.get("a"); !ok {
+		t.Error("a evicted instead of least-recently-used b")
+	}
+	if _, ok := c.get("c"); !ok {
+		t.Error("c missing right after insert")
+	}
+	if got := c.len(); got != 2 {
+		t.Errorf("entries = %d, want 2", got)
+	}
+	if c.bytes() > 2*size+size/2 {
+		t.Errorf("bytes = %d exceeds budget", c.bytes())
+	}
+
+	// An output larger than the whole budget is not cached.
+	huge := fakeOutput(t, 100000)
+	c.put("huge", huge)
+	if _, ok := c.get("huge"); ok {
+		t.Error("over-budget output was cached")
+	}
+}
+
+func TestExtractCacheDisabledAndNilSafe(t *testing.T) {
+	var c *extractCache // disabled
+	c.put("k", fakeOutput(t, 1))
+	if _, ok := c.get("k"); ok {
+		t.Error("nil cache returned a hit")
+	}
+	if c.hitCount() != 0 || c.missCount() != 0 || c.bytes() != 0 || c.len() != 0 {
+		t.Error("nil cache reported nonzero stats")
+	}
+	if newExtractCache(-1) != nil {
+		t.Error("negative budget should disable the cache")
+	}
+}
+
+func TestExtractCacheConcurrentAccess(t *testing.T) {
+	c := newExtractCache(1 << 20)
+	outs := make([]*extractor.Output, 8)
+	for i := range outs {
+		outs[i] = fakeOutput(t, 50)
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		g := g
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				key := strconv.Itoa((g + i) % len(outs))
+				if out, ok := c.get(key); ok {
+					// Shared read of a cached output, as concurrent jobs do.
+					if out.Tables["POSIX"].NumRows() == 0 {
+						t.Error("cached output lost its rows")
+						return
+					}
+				} else {
+					c.put(key, outs[(g+i)%len(outs)])
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if c.hitCount()+c.missCount() == 0 {
+		t.Error("no cache traffic recorded")
+	}
+}
+
+// spanNames collects the distinct span names of a job's persisted
+// timeline.
+func spanNames(t *testing.T, svc *Service, id string) map[string]bool {
+	t.Helper()
+	raw, err := svc.Store().Timeline(id)
+	if err != nil {
+		t.Fatalf("timeline for %s: %v", id, err)
+	}
+	var tl obs.Timeline
+	if err := json.Unmarshal(raw, &tl); err != nil {
+		t.Fatalf("decoding timeline: %v", err)
+	}
+	names := map[string]bool{}
+	for _, sp := range tl.Spans {
+		names[sp.Name] = true
+	}
+	return names
+}
+
+// TestExtractCacheHitSkipsParseExtract drives the acceptance scenario:
+// a job fails analysis (so its hash leaves the dedup map), and the
+// resubmission of the identical trace runs again — this time answered
+// by the extract cache, with no parse or extract spans in its trace
+// and a hit recorded in /metrics.
+func TestExtractCacheHitSkipsParseExtract(t *testing.T) {
+	flaky := &flakyClient{Client: expertsim.New()}
+	flaky.remaining.Store(1) // exactly the first completion fails
+	reg := obs.NewRegistry()
+	svc := openService(t, Config{
+		Workers:     1,
+		Client:      flaky,
+		MaxAttempts: 1,
+		Obs:         reg,
+	})
+	data := traceBytes(t, "ior-hard")
+
+	j1, _, err := svc.Submit("first", data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if final := waitDone(t, svc, j1.ID); final.State != StateFailed {
+		t.Fatalf("first job state = %s, want failed", final.State)
+	}
+	names1 := spanNames(t, svc, j1.ID)
+	if !names1["parse"] || !names1["extract"] || !names1["extract_module"] {
+		t.Fatalf("first run spans = %v, want parse+extract present", names1)
+	}
+
+	j2, dedup, err := svc.Submit("second", data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dedup || j2.ID == j1.ID {
+		t.Fatalf("resubmission did not create a fresh job: dedup=%v", dedup)
+	}
+	if final := waitDone(t, svc, j2.ID); final.State != StateDone {
+		t.Fatalf("second job state = %s (error %q), want done", final.State, final.Error)
+	}
+	names2 := spanNames(t, svc, j2.ID)
+	if names2["parse"] || names2["extract"] || names2["extract_module"] {
+		t.Errorf("cache-hit run spans = %v, want no parse/extract", names2)
+	}
+	if !names2["attempt"] {
+		t.Errorf("cache-hit run spans = %v, want analysis attempt present", names2)
+	}
+
+	var buf bytes.Buffer
+	if _, err := reg.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	metrics := buf.String()
+	if !bytes.Contains(buf.Bytes(), []byte("ion_extract_cache_hits_total 1")) {
+		t.Errorf("metrics missing extract-cache hit:\n%s", metrics)
+	}
+	if !bytes.Contains(buf.Bytes(), []byte("ion_extract_cache_misses_total 1")) {
+		t.Errorf("metrics missing extract-cache miss:\n%s", metrics)
+	}
+}
+
+// TestExtractCacheConcurrentServiceHits runs repeated concurrent
+// cache-hit jobs through the service (exercised under -race in CI):
+// two distinct traces fail analysis over and over, and every rerun
+// reads the shared cached extraction concurrently with the other.
+func TestExtractCacheConcurrentServiceHits(t *testing.T) {
+	flaky := &flakyClient{Client: expertsim.New()}
+	flaky.remaining.Store(1 << 30) // analysis always fails; runs stay cheap
+	svc := openService(t, Config{
+		Workers:     4,
+		Client:      flaky,
+		MaxAttempts: 1,
+		QueueDepth:  32,
+	})
+	traces := [][]byte{
+		textTrace(t, "ior-hard", 1),
+		textTrace(t, "ior-hard", 2),
+	}
+	for round := 0; round < 5; round++ {
+		var ids []string
+		for i, data := range traces {
+			j, dedup, err := svc.Submit(fmt.Sprintf("t%d-r%d", i, round), data)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if dedup {
+				t.Fatalf("round %d trace %d deduped; failed jobs must not dedup", round, i)
+			}
+			ids = append(ids, j.ID)
+		}
+		for _, id := range ids {
+			if final := waitDone(t, svc, id); final.State != StateFailed {
+				t.Fatalf("job %s state = %s, want failed", id, final.State)
+			}
+		}
+	}
+	if hits := svc.cache.hitCount(); hits < 8 {
+		t.Errorf("cache hits = %d, want ≥ 8 (2 traces × 4 rerun rounds)", hits)
+	}
+}

@@ -16,6 +16,7 @@ import (
 	"time"
 
 	"ion/internal/darshan"
+	"ion/internal/extractor"
 	"ion/internal/ion"
 	"ion/internal/llm"
 	"ion/internal/obs"
@@ -50,6 +51,11 @@ type Config struct {
 	RetryDelay time.Duration
 	// MaxRetryDelay caps the backoff; 0 means the default (10s).
 	MaxRetryDelay time.Duration
+	// ExtractCacheBytes bounds the LRU cache of extraction outputs
+	// keyed by trace content hash; a re-submitted or re-queued trace
+	// whose extraction is cached skips parse+extract entirely. 0 means
+	// the default (64 MiB); negative disables the cache.
+	ExtractCacheBytes int64
 	// Obs receives the service's metrics: queue/worker gauges, outcome
 	// counters, and per-stage pipeline latency histograms. nil uses a
 	// private registry (instrumentation always runs, nothing is
@@ -83,6 +89,9 @@ func (c *Config) applyDefaults() {
 	if c.MaxRetryDelay <= 0 {
 		c.MaxRetryDelay = 10 * time.Second
 	}
+	if c.ExtractCacheBytes == 0 {
+		c.ExtractCacheBytes = defaultExtractCacheBytes
+	}
 	if c.Obs == nil {
 		c.Obs = obs.NewRegistry()
 	}
@@ -99,6 +108,7 @@ type Service struct {
 	fw    *ion.Framework
 	obs   *obs.Registry
 	log   *slog.Logger
+	cache *extractCache // nil when disabled
 
 	baseCtx context.Context // canceled to abort in-flight analyses
 	abort   context.CancelFunc
@@ -157,6 +167,7 @@ func Open(cfg Config) (*Service, error) {
 		fw:      fw,
 		obs:     cfg.Obs,
 		log:     cfg.Logger,
+		cache:   newExtractCache(cfg.ExtractCacheBytes),
 		baseCtx: ctx,
 		abort:   cancel,
 		stop:    make(chan struct{}),
@@ -233,6 +244,14 @@ func (s *Service) registerMetrics() {
 		stat(func(st Stats) float64 { return float64(st.CacheHits) }))
 	s.obs.CounterFunc("ion_jobs_recovered_total", "Jobs re-queued from disk at startup.",
 		stat(func(st Stats) float64 { return float64(st.Recovered) }))
+	s.obs.CounterFunc("ion_extract_cache_hits_total", "Job runs that skipped parse+extract via the extract cache.",
+		func() float64 { return float64(s.cache.hitCount()) })
+	s.obs.CounterFunc("ion_extract_cache_misses_total", "Job runs that had to parse and extract their trace.",
+		func() float64 { return float64(s.cache.missCount()) })
+	s.obs.GaugeFunc("ion_extract_cache_bytes", "Estimated bytes retained by the extract cache.",
+		func() float64 { return float64(s.cache.bytes()) })
+	s.obs.GaugeFunc("ion_extract_cache_entries", "Extraction outputs currently cached.",
+		func() float64 { return float64(s.cache.len()) })
 }
 
 // Store exposes the underlying store (read-only use by the web layer).
@@ -433,10 +452,12 @@ func (s *Service) worker() {
 	}
 }
 
-// run executes one job: parse the stored trace, run the analysis with a
-// per-attempt timeout, retry transient failures with backoff + jitter.
-// The whole execution is traced; the span timeline is persisted next to
-// the report (win or lose) and folded into the stage-latency histogram.
+// run executes one job: parse the stored trace, extract its tables
+// (or reuse the extract cache keyed by trace hash, skipping both
+// stages), then run the analysis with a per-attempt timeout, retrying
+// transient failures with backoff + jitter. The whole execution is
+// traced; the span timeline is persisted next to the report (win or
+// lose) and folded into the stage-latency histogram.
 func (s *Service) run(id string) {
 	s.mu.Lock()
 	j, ok := s.jobs[id]
@@ -444,6 +465,7 @@ func (s *Service) run(id string) {
 		s.mu.Unlock()
 		return
 	}
+	hash := j.Hash
 	s.busy++
 	s.mu.Unlock()
 	defer func() {
@@ -457,6 +479,14 @@ func (s *Service) run(id string) {
 	ctx := obs.WithLogger(obs.WithTracer(s.baseCtx, tracer), logger)
 	ctx, root := obs.StartSpan(ctx, "job", obs.L("job", id))
 
+	if out, ok := s.cache.get(hash); ok {
+		root.Annotate("extract_cache", "hit")
+		logger.Info("extract cache hit, skipping parse+extract", "hash", hash[:12])
+		state, cause := s.attempts(ctx, id, out)
+		s.settle(id, state, cause, tracer, root)
+		return
+	}
+
 	trace, err := s.store.Trace(id)
 	if err == nil {
 		var log *darshan.Log
@@ -465,14 +495,33 @@ func (s *Service) run(id string) {
 		span.SetError(err)
 		span.End()
 		if err == nil {
-			s.attempts(ctx, id, log)
-			s.saveTimeline(id, tracer, root)
-			return
+			ectx, espan := obs.StartSpan(ctx, "extract")
+			out, eerr := extractor.ExtractToDirContext(ectx, log, s.store.WorkDir(id))
+			espan.SetError(eerr)
+			espan.End()
+			if eerr == nil {
+				s.cache.put(hash, out)
+				state, cause := s.attempts(ctx, id, out)
+				s.settle(id, state, cause, tracer, root)
+				return
+			}
+			err = eerr
 		}
 	}
 	logger.Error("job unrunnable", "err", err)
-	s.finish(id, StateFailed, err)
+	s.settle(id, StateFailed, err, tracer, root)
+}
+
+// settle persists the span timeline and then applies the terminal
+// state, in that order: the moment a watcher observes a terminal job,
+// its trace is already readable. An empty state means the job was
+// parked (e.g. re-queued during shutdown) and there is nothing to
+// finish.
+func (s *Service) settle(id string, state State, cause error, tracer *obs.Tracer, root *obs.Span) {
 	s.saveTimeline(id, tracer, root)
+	if state != "" {
+		s.finish(id, state, cause)
+	}
 }
 
 // saveTimeline closes the root span, persists the job's span timeline,
@@ -487,7 +536,11 @@ func (s *Service) saveTimeline(id string, tracer *obs.Tracer, root *obs.Span) {
 	obs.ObserveStages(s.obs, tl)
 }
 
-func (s *Service) attempts(ctx context.Context, id string, log *darshan.Log) {
+// attempts runs the analysis over already-extracted tables. Extraction
+// happens once in run (or not at all on a cache hit); retries repeat
+// only the analysis stage. It returns the terminal state to apply, or
+// an empty state when the job was parked as queued for recovery.
+func (s *Service) attempts(ctx context.Context, id string, out *extractor.Output) (State, error) {
 	logger := obs.LoggerFrom(ctx)
 	for attempt := 1; ; attempt++ {
 		s.transition(id, StateRunning, attempt, "")
@@ -496,7 +549,7 @@ func (s *Service) attempts(ctx context.Context, id string, log *darshan.Log) {
 		tctx, cancel := context.WithTimeout(actx, s.cfg.JobTimeout)
 		name := s.snapshotName(id)
 		start := time.Now()
-		rep, err := s.fw.AnalyzeLog(tctx, log, name, s.store.WorkDir(id))
+		rep, err := s.fw.AnalyzeExtracted(tctx, out, name)
 		cancel()
 		if err == nil {
 			err = s.store.PutReport(id, rep)
@@ -506,13 +559,11 @@ func (s *Service) attempts(ctx context.Context, id string, log *darshan.Log) {
 		if err == nil {
 			logger.Info("job done", "attempt", attempt,
 				"elapsed", time.Since(start).Round(time.Millisecond).String())
-			s.finish(id, StateDone, nil)
-			return
+			return StateDone, nil
 		}
 		if !s.retryable(err, attempt) {
 			logger.Error("job failed", "attempt", attempt, "err", err)
-			s.finish(id, StateFailed, err)
-			return
+			return StateFailed, err
 		}
 		s.mu.Lock()
 		s.retried++
@@ -524,7 +575,7 @@ func (s *Service) attempts(ctx context.Context, id string, log *darshan.Log) {
 			// the next Open recovers it.
 			logger.Info("shutdown during backoff, parking job as queued", "attempt", attempt)
 			s.transition(id, StateQueued, attempt, err.Error())
-			return
+			return "", nil
 		}
 	}
 }

@@ -1,0 +1,201 @@
+package table
+
+import (
+	"bytes"
+	"io"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+func TestRowWriterBuildsRows(t *testing.T) {
+	tb := New("T", []string{"id", "name", "score", "list"})
+	w := NewRowWriter(tb)
+	for i := 0; i < 3; i++ {
+		w.Int(int64(i))
+		w.String("file-" + strconv.Itoa(i))
+		w.Float(float64(i) + 0.5)
+		for k := 0; k <= i; k++ {
+			if k > 0 {
+				w.PartSep(';')
+			}
+			w.PartInt(int64(k * 10))
+		}
+		w.EndCell()
+		if err := w.EndRow(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if tb.NumRows() != 3 {
+		t.Fatalf("rows = %d, want 3", tb.NumRows())
+	}
+	want := [][]string{
+		{"0", "file-0", "0.5", "0"},
+		{"1", "file-1", "1.5", "0;10"},
+		{"2", "file-2", "2.5", "0;10;20"},
+	}
+	for i, row := range want {
+		for j, cell := range row {
+			if tb.Rows[i][j] != cell {
+				t.Errorf("cell (%d,%d) = %q, want %q", i, j, tb.Rows[i][j], cell)
+			}
+		}
+	}
+	// Typed accessors see RowWriter rows like any others.
+	if v, err := tb.Int(2, "id"); err != nil || v != 2 {
+		t.Errorf("Int = %d, %v", v, err)
+	}
+	if v, err := tb.Float(1, "score"); err != nil || v != 1.5 {
+		t.Errorf("Float = %v, %v", v, err)
+	}
+}
+
+func TestRowWriterCellCountMismatch(t *testing.T) {
+	tb := New("T", []string{"a", "b"})
+	w := NewRowWriter(tb)
+	w.Int(1)
+	if err := w.EndRow(); err == nil {
+		t.Fatal("EndRow with missing cells succeeded")
+	}
+	// The writer stays usable after a rejected row.
+	w.Int(1)
+	w.Int(2)
+	if err := w.EndRow(); err != nil {
+		t.Fatal(err)
+	}
+	if tb.NumRows() != 1 || tb.Rows[0][1] != "2" {
+		t.Fatalf("rows = %v", tb.Rows)
+	}
+}
+
+// TestRowWriterArenaIsolation crosses an arena chunk boundary and
+// verifies earlier rows keep their cells.
+func TestRowWriterArenaIsolation(t *testing.T) {
+	tb := New("T", []string{"v"})
+	w := NewRowWriter(tb)
+	n := arenaChunk + 10
+	for i := 0; i < n; i++ {
+		w.Int(int64(i))
+		if err := w.EndRow(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < n; i += n / 7 {
+		if tb.Rows[i][0] != strconv.Itoa(i) {
+			t.Fatalf("row %d = %q after arena growth", i, tb.Rows[i][0])
+		}
+	}
+}
+
+// TestRowWriterAllocBound pins the row-building win: appending rows
+// through the RowWriter must cost ~1 allocation per row amortized,
+// not one per cell.
+func TestRowWriterAllocBound(t *testing.T) {
+	if testing.Short() {
+		t.Skip("allocation measurement")
+	}
+	const rows = 1000
+	avg := testing.AllocsPerRun(10, func() {
+		tb := New("T", []string{"a", "b", "c", "d", "e"})
+		tb.Grow(rows)
+		w := NewRowWriter(tb)
+		for i := 0; i < rows; i++ {
+			w.Int(int64(i))
+			w.Uint(uint64(i) * 7)
+			w.Float(float64(i) * 0.125)
+			w.String("cell")
+			w.PartInt(int64(i))
+			w.PartSep(';')
+			w.PartInt(int64(i + 1))
+			w.EndCell()
+			if err := w.EndRow(); err != nil {
+				t.Fatal(err)
+			}
+		}
+	})
+	perRow := avg / rows
+	t.Logf("RowWriter: %.0f allocs for %d rows (%.3f allocs/row)", avg, rows, perRow)
+	if perRow > 2 {
+		t.Errorf("RowWriter allocates %.3f per row, want ≤ 2", perRow)
+	}
+}
+
+// TestWritePooledRender checks the pooled render path byte-for-byte
+// against encoding/csv, including quoting, and pins its allocation
+// cost once the pool is warm.
+func TestWritePooledRender(t *testing.T) {
+	tb := New("T", []string{"a", "b"})
+	rows := [][]string{
+		{"plain", "with,comma"},
+		{`with"quote`, "with\nnewline"},
+		{" leading space", ""},
+	}
+	for _, r := range rows {
+		if err := tb.Append(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var got bytes.Buffer
+	if err := tb.Write(&got); err != nil {
+		t.Fatal(err)
+	}
+	want := "a,b\n" +
+		"plain,\"with,comma\"\n" +
+		"\"with\"\"quote\",\"with\nnewline\"\n" +
+		"\" leading space\",\n"
+	if got.String() != want {
+		t.Fatalf("rendered CSV:\n%q\nwant:\n%q", got.String(), want)
+	}
+	// Repeated renders are identical (pooled buffers reset cleanly).
+	var again bytes.Buffer
+	if err := tb.Write(&again); err != nil {
+		t.Fatal(err)
+	}
+	if again.String() != want {
+		t.Fatal("second render differs from first")
+	}
+}
+
+func TestWriteRenderAllocBound(t *testing.T) {
+	if testing.Short() {
+		t.Skip("allocation measurement")
+	}
+	tb := New("T", []string{"a", "b", "c"})
+	for i := 0; i < 2000; i++ {
+		s := strconv.Itoa(i)
+		if err := tb.Append([]string{s, s, s}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Warm the pool so the measurement sees the steady state.
+	if err := tb.Write(io.Discard); err != nil {
+		t.Fatal(err)
+	}
+	avg := testing.AllocsPerRun(20, func() {
+		if err := tb.Write(io.Discard); err != nil {
+			t.Fatal(err)
+		}
+	})
+	t.Logf("render: %.1f allocs for a 2000-row table", avg)
+	if avg > 24 {
+		t.Errorf("pooled render allocates %.1f per call, want ≤ 24 (buffer pooling regressed)", avg)
+	}
+}
+
+func TestGrow(t *testing.T) {
+	tb := New("T", []string{"a"})
+	tb.Grow(100)
+	if cap(tb.Rows) < 100 {
+		t.Fatalf("cap = %d after Grow(100)", cap(tb.Rows))
+	}
+	if err := tb.Append([]string{"x"}); err != nil {
+		t.Fatal(err)
+	}
+	tb.Grow(5) // no-op: capacity already there
+	if tb.NumRows() != 1 || tb.Rows[0][0] != "x" {
+		t.Fatal("Grow corrupted existing rows")
+	}
+	if !strings.Contains(tb.Name, "T") {
+		t.Fatal("name lost")
+	}
+}

@@ -5,12 +5,14 @@
 package table
 
 import (
+	"bytes"
 	"encoding/csv"
 	"fmt"
 	"io"
 	"os"
 	"sort"
 	"strconv"
+	"sync"
 )
 
 // Table is an in-memory CSV table: a header row plus string cells with
@@ -21,6 +23,10 @@ type Table struct {
 	Rows [][]string
 
 	colIdx map[string]int
+	// cellBytes tracks the bytes appended through Append, used to
+	// size-estimate render buffers. Rows added by bypassing Append
+	// (Filter, GroupBy) are not counted; the estimate is advisory.
+	cellBytes int
 }
 
 // New returns an empty table with the given column header.
@@ -42,8 +48,20 @@ func (t *Table) Append(row []string) error {
 	if len(row) != len(t.Cols) {
 		return fmt.Errorf("table %s: row has %d cells, header has %d", t.Name, len(row), len(t.Cols))
 	}
+	for _, c := range row {
+		t.cellBytes += len(c) + 1
+	}
 	t.Rows = append(t.Rows, row)
 	return nil
+}
+
+// Grow preallocates capacity for at least n additional rows.
+func (t *Table) Grow(n int) {
+	if free := cap(t.Rows) - len(t.Rows); free < n {
+		rows := make([][]string, len(t.Rows), len(t.Rows)+n)
+		copy(rows, t.Rows)
+		t.Rows = rows
+	}
 }
 
 // NumRows returns the number of data rows.
@@ -216,9 +234,44 @@ func (t *Table) SortByFloat(col string, desc bool) error {
 	return parseErr
 }
 
-// Write serializes the table as CSV (header first).
+// maxPooledRenderBytes caps the capacity of buffers returned to the
+// render pool, so one huge table doesn't pin its buffer forever.
+const maxPooledRenderBytes = 1 << 22
+
+// renderBufs pools CSV render buffers across Write calls.
+var renderBufs = sync.Pool{New: func() any { return new(bytes.Buffer) }}
+
+// renderEstimate predicts the rendered CSV size from the bytes that
+// flowed through Append, so the pooled buffer grows once up front.
+func (t *Table) renderEstimate() int {
+	n := 1
+	for _, c := range t.Cols {
+		n += len(c) + 1
+	}
+	return n + t.cellBytes
+}
+
+// Write serializes the table as CSV (header first). Rendering goes
+// through a pooled, size-estimated buffer so the caller's writer sees
+// a single Write call and repeated renders reuse their scratch space.
 func (t *Table) Write(w io.Writer) error {
-	cw := csv.NewWriter(w)
+	buf := renderBufs.Get().(*bytes.Buffer)
+	buf.Reset()
+	buf.Grow(t.renderEstimate())
+	err := t.render(buf)
+	if err == nil {
+		if _, werr := w.Write(buf.Bytes()); werr != nil {
+			err = fmt.Errorf("table %s: writing: %w", t.Name, werr)
+		}
+	}
+	if buf.Cap() <= maxPooledRenderBytes {
+		renderBufs.Put(buf)
+	}
+	return err
+}
+
+func (t *Table) render(buf *bytes.Buffer) error {
+	cw := csv.NewWriter(buf)
 	if err := cw.Write(t.Cols); err != nil {
 		return fmt.Errorf("table %s: writing header: %w", t.Name, err)
 	}
