@@ -75,6 +75,7 @@ func main() {
 	}
 	logger := obs.NewLogger(os.Stderr, level)
 	reg := obs.NewRegistry()
+	obs.RegisterRuntimeMetrics(reg)
 
 	client, err := buildClient(*backend, *baseURL, *apiKey, *model, *record, *replay)
 	if err != nil {

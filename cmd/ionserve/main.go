@@ -32,6 +32,7 @@ import (
 	"ion/internal/jobs"
 	"ion/internal/llm"
 	"ion/internal/obs"
+	"ion/internal/obs/series"
 	"ion/internal/webui"
 )
 
@@ -49,6 +50,9 @@ func main() {
 		retries    = flag.Int("retries", 3, "max analysis attempts per job (first run included)")
 		logLevel   = flag.String("log-level", "info", "structured log level: debug, info, warn, or error")
 		debugAddr  = flag.String("debug-addr", "", "serve net/http/pprof on this address (separate listener, never the public one)")
+		scrapeInt  = flag.Duration("scrape-interval", 5*time.Second, "self-observation scrape cadence (0 disables the series store, dashboard, and alerting)")
+		retention  = flag.Duration("retention", 15*time.Minute, "how much series history the in-process store keeps")
+		rulesPath  = flag.String("rules", "", "JSON alert-rules file (default: built-in SLO rules)")
 	)
 	flag.Parse()
 
@@ -58,6 +62,9 @@ func main() {
 	}
 	logger := obs.NewLogger(os.Stderr, level)
 	reg := obs.NewRegistry()
+	// Process health lands in the same registry (and therefore the same
+	// series store) as the application metrics.
+	obs.RegisterRuntimeMetrics(reg)
 	// Instrument the client once, at the edge, so both the analysis
 	// workers and the chat sessions report into the same registry.
 	client := llm.Instrument(expertsim.New(), reg)
@@ -157,6 +164,30 @@ func main() {
 		fatal(err)
 	}
 	js.WithObs(reg, logger)
+
+	if *scrapeInt > 0 {
+		rules := series.DefaultRules()
+		if *rulesPath != "" {
+			data, err := os.ReadFile(*rulesPath)
+			if err != nil {
+				fatal(err)
+			}
+			if rules, err = series.ParseRules(data); err != nil {
+				fatal(err)
+			}
+		}
+		store := series.New(reg, series.Options{
+			Interval:  *scrapeInt,
+			Retention: *retention,
+			Rules:     rules,
+			Logger:    logger,
+		})
+		store.Start()
+		defer store.Stop()
+		js.WithSeries(store)
+		fmt.Printf("ionserve: dashboard at http://%s/dashboard (scrape %s, retention %s, %d rules)\n",
+			*addr, *scrapeInt, *retention, len(rules))
+	}
 	serve(*addr, js.Handler(), svc)
 }
 

@@ -126,6 +126,26 @@ func (st Stats) Utilization() float64 {
 	return float64(st.Busy) / float64(st.Workers)
 }
 
+// FailureRatio is Failed / (Completed + Failed): the fraction of
+// finished jobs that ended in failure, 0 before anything finishes.
+// It is the primary SLO signal the alert rules watch.
+func (st Stats) FailureRatio() float64 {
+	done := st.Completed + st.Failed
+	if done == 0 {
+		return 0
+	}
+	return float64(st.Failed) / float64(done)
+}
+
+// QueueUtilization is QueueDepth / QueueCapacity (0 with no capacity):
+// 1.0 means the next submission sheds load with a 429.
+func (st Stats) QueueUtilization() float64 {
+	if st.QueueCapacity == 0 {
+		return 0
+	}
+	return float64(st.QueueDepth) / float64(st.QueueCapacity)
+}
+
 // MarshalJSON keeps the derived rates on the wire for /api/stats
 // clients while the struct itself stores only raw counters.
 func (st Stats) MarshalJSON() ([]byte, error) {
@@ -134,5 +154,6 @@ func (st Stats) MarshalJSON() ([]byte, error) {
 		raw
 		CacheHitRate float64 `json:"cache_hit_rate"`
 		Utilization  float64 `json:"utilization"`
-	}{raw(st), st.CacheHitRate(), st.Utilization()})
+		FailureRatio float64 `json:"failure_ratio"`
+	}{raw(st), st.CacheHitRate(), st.Utilization(), st.FailureRatio()})
 }

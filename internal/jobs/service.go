@@ -244,6 +244,23 @@ func (s *Service) registerMetrics() {
 		stat(func(st Stats) float64 { return float64(st.CacheHits) }))
 	s.obs.CounterFunc("ion_jobs_recovered_total", "Jobs re-queued from disk at startup.",
 		stat(func(st Stats) float64 { return float64(st.Recovered) }))
+	// Derived SLO gauges: exported as ready-made ratios so the alert
+	// rules and the dashboard need no division of their own, and every
+	// consumer computes them from the same Stats methods.
+	s.obs.GaugeFunc("ion_jobs_failure_ratio", "Failed / (Completed+Failed): fraction of finished jobs that failed.",
+		stat(func(st Stats) float64 { return st.FailureRatio() }))
+	s.obs.GaugeFunc("ion_jobs_utilization", "Busy / Workers: fraction of the worker pool in use.",
+		stat(func(st Stats) float64 { return st.Utilization() }))
+	s.obs.GaugeFunc("ion_jobs_queue_utilization", "QueueDepth / QueueCapacity: how close submissions are to shedding load.",
+		stat(func(st Stats) float64 { return st.QueueUtilization() }))
+	s.obs.GaugeFunc("ion_extract_cache_hit_ratio", "Extract-cache hits / (hits+misses) since start.",
+		func() float64 {
+			h, m := float64(s.cache.hitCount()), float64(s.cache.missCount())
+			if h+m == 0 {
+				return 0
+			}
+			return h / (h + m)
+		})
 	s.obs.CounterFunc("ion_extract_cache_hits_total", "Job runs that skipped parse+extract via the extract cache.",
 		func() float64 { return float64(s.cache.hitCount()) })
 	s.obs.CounterFunc("ion_extract_cache_misses_total", "Job runs that had to parse and extract their trace.",
@@ -256,6 +273,15 @@ func (s *Service) registerMetrics() {
 
 // Store exposes the underlying store (read-only use by the web layer).
 func (s *Service) Store() *Store { return s.store }
+
+// Draining reports whether Close has begun: the service no longer
+// accepts submissions and is waiting for in-flight work. The readiness
+// endpoint turns this into a 503 so load balancers stop routing here.
+func (s *Service) Draining() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.closed
+}
 
 // Submit accepts a Darshan trace (binary container or darshan-parser
 // text) for analysis. name is a display label. The returned bool is

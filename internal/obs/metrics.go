@@ -149,6 +149,127 @@ func (r *Registry) WriteTo(w io.Writer) (int64, error) {
 	return int64(n), err
 }
 
+// Sample is one scraped series value: a point-in-time snapshot of a
+// counter or gauge. Histogram families are flattened into derived
+// samples (see Gather), so consumers such as the time-series store in
+// obs/series never need to understand bucket layouts.
+type Sample struct {
+	// Name is the family name, possibly suffixed (_count, _sum) for
+	// histogram-derived samples.
+	Name string
+	// Labels are the series labels, sorted by key. Histogram quantile
+	// samples carry an extra quantile label ("0.5", "0.95", "0.99").
+	Labels []Label
+	// Kind is "counter" or "gauge"; scrapers convert counters to rates.
+	Kind string
+	// Value is the current value.
+	Value float64
+}
+
+// SeriesKey renders the sample identity as name plus its sorted label
+// set (`name{k="v",...}`), the canonical key scrapers index by.
+func (s Sample) SeriesKey() string { return s.Name + renderLabels(s.Labels) }
+
+// gatherQuantiles are the quantile samples derived from each histogram
+// family at Gather time.
+var gatherQuantiles = []float64{0.5, 0.95, 0.99}
+
+// Gather snapshots every series in the registry as flat samples, in
+// deterministic order (families and series lexicographic, matching
+// WriteTo). Counters and gauges yield one sample each; callback
+// families are read through their callback; histogram series yield a
+// _count counter, a _sum counter, and one gauge per quantile in
+// {0.5, 0.95, 0.99} (estimated over all observations since process
+// start, the same interpolation Quantile uses).
+func (r *Registry) Gather() []Sample {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	names := make([]string, 0, len(r.families))
+	for name := range r.families {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+
+	var out []Sample
+	for _, name := range names {
+		f := r.families[name]
+		if f.fn != nil {
+			out = append(out, Sample{Name: f.name, Kind: f.typ, Value: f.fn()})
+			continue
+		}
+		keys := make([]string, 0, len(f.series))
+		for k := range f.series {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			labels := parseLabelKey(k)
+			switch m := f.series[k].(type) {
+			case *Counter:
+				out = append(out, Sample{Name: f.name, Labels: labels, Kind: "counter", Value: m.Value()})
+			case *Gauge:
+				out = append(out, Sample{Name: f.name, Labels: labels, Kind: "gauge", Value: m.Value()})
+			case *Histogram:
+				out = append(out,
+					Sample{Name: f.name + "_count", Labels: labels, Kind: "counter", Value: float64(m.Count())},
+					Sample{Name: f.name + "_sum", Labels: labels, Kind: "counter", Value: m.Sum()})
+				for _, q := range gatherQuantiles {
+					ql := append(append([]Label(nil), labels...), L("quantile", formatValue(q)))
+					sort.Slice(ql, func(i, j int) bool { return ql[i].Key < ql[j].Key })
+					out = append(out, Sample{Name: f.name, Labels: ql, Kind: "gauge", Value: m.Quantile(q)})
+				}
+			}
+		}
+	}
+	return out
+}
+
+// parseLabelKey decodes a rendered label string (`{k="v",...}` or "")
+// back into sorted label pairs, reversing renderLabels including its
+// escaping.
+func parseLabelKey(key string) []Label {
+	if key == "" {
+		return nil
+	}
+	var out []Label
+	s := key[1 : len(key)-1] // strip { }
+	for len(s) > 0 {
+		eq := strings.Index(s, `="`)
+		if eq < 0 {
+			break
+		}
+		k := s[:eq]
+		s = s[eq+2:]
+		var b strings.Builder
+		closed := false
+		for i := 0; i < len(s); i++ {
+			c := s[i]
+			if c == '\\' && i+1 < len(s) {
+				i++
+				switch s[i] {
+				case 'n':
+					b.WriteByte('\n')
+				default:
+					b.WriteByte(s[i])
+				}
+				continue
+			}
+			if c == '"' {
+				s = s[i+1:]
+				closed = true
+				break
+			}
+			b.WriteByte(c)
+		}
+		if !closed {
+			s = ""
+		}
+		out = append(out, L(k, b.String()))
+		s = strings.TrimPrefix(s, ",")
+	}
+	return out
+}
+
 // Handler returns the GET /metrics endpoint over this registry.
 func (r *Registry) Handler() http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {

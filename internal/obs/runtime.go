@@ -1,0 +1,135 @@
+package obs
+
+import (
+	"runtime"
+	"runtime/metrics"
+	"sync"
+	"time"
+)
+
+// runtimeSampler reads the runtime/metrics samples the process-health
+// gauges export, refreshing at most once per second so a burst of
+// exposition or scrape requests costs one metrics.Read, not many.
+type runtimeSampler struct {
+	mu      sync.Mutex
+	last    time.Time
+	samples []metrics.Sample
+
+	heapBytes float64
+	gcCycles  float64
+	gcPause   float64
+	gorout    float64
+	maxprocs  float64
+}
+
+const (
+	rmHeapBytes = "/memory/classes/heap/objects:bytes"
+	rmGCCycles  = "/gc/cycles/total:gc-cycles"
+	rmGCPauses  = "/gc/pauses:seconds"
+	rmGorout    = "/sched/goroutines:goroutines"
+	rmMaxprocs  = "/sched/gomaxprocs:threads"
+)
+
+func newRuntimeSampler() *runtimeSampler {
+	s := &runtimeSampler{samples: []metrics.Sample{
+		{Name: rmHeapBytes}, {Name: rmGCCycles}, {Name: rmGCPauses},
+		{Name: rmGorout}, {Name: rmMaxprocs},
+	}}
+	return s
+}
+
+// refresh re-reads the runtime metrics if the cached values are older
+// than a second, then returns the sampler locked values via get.
+func (s *runtimeSampler) get(f func(*runtimeSampler) float64) float64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if now := time.Now(); now.Sub(s.last) >= time.Second || s.last.IsZero() {
+		s.last = now
+		metrics.Read(s.samples)
+		for _, sm := range s.samples {
+			switch sm.Name {
+			case rmHeapBytes:
+				s.heapBytes = uint64Value(sm)
+			case rmGCCycles:
+				s.gcCycles = uint64Value(sm)
+			case rmGCPauses:
+				s.gcPause = histTotal(sm)
+			case rmGorout:
+				s.gorout = uint64Value(sm)
+			case rmMaxprocs:
+				s.maxprocs = uint64Value(sm)
+			}
+		}
+	}
+	return f(s)
+}
+
+func uint64Value(sm metrics.Sample) float64 {
+	switch sm.Value.Kind() {
+	case metrics.KindUint64:
+		return float64(sm.Value.Uint64())
+	case metrics.KindFloat64:
+		return sm.Value.Float64()
+	}
+	return 0
+}
+
+// histTotal estimates the cumulative total of a runtime Float64Histogram
+// (e.g. total GC pause seconds) by summing count × bucket midpoint,
+// clamping the open-ended edge buckets to their finite bound.
+func histTotal(sm metrics.Sample) float64 {
+	if sm.Value.Kind() != metrics.KindFloat64Histogram {
+		return 0
+	}
+	h := sm.Value.Float64Histogram()
+	if h == nil {
+		return 0
+	}
+	var total float64
+	for i, count := range h.Counts {
+		if count == 0 {
+			continue
+		}
+		lo, hi := h.Buckets[i], h.Buckets[i+1]
+		mid := (lo + hi) / 2
+		switch {
+		case lo < 0 || lo != lo: // -Inf or NaN edge
+			mid = hi
+		case hi > 1e18: // +Inf edge
+			mid = lo
+		}
+		total += float64(count) * mid
+	}
+	return total
+}
+
+// RegisterRuntimeMetrics installs Go process-health collectors into the
+// registry so runtime state lands in the same exposition and scrape
+// stream as application metrics:
+//
+//	ion_go_goroutines             gauge    live goroutines
+//	ion_go_gomaxprocs             gauge    scheduler parallelism
+//	ion_go_heap_bytes             gauge    live heap object bytes
+//	ion_go_gc_cycles_total        counter  completed GC cycles
+//	ion_go_gc_pause_seconds_total counter  estimated total stop-the-world pause
+//
+// Values come from runtime/metrics, sampled at most once per second.
+// Call it once per registry; registering twice panics like any other
+// duplicate callback family.
+func RegisterRuntimeMetrics(reg *Registry) {
+	s := newRuntimeSampler()
+	reg.GaugeFunc("ion_go_goroutines", "Live goroutines in the process.",
+		func() float64 { return s.get(func(s *runtimeSampler) float64 { return s.gorout }) })
+	reg.GaugeFunc("ion_go_gomaxprocs", "GOMAXPROCS scheduler parallelism.",
+		func() float64 { return s.get(func(s *runtimeSampler) float64 { return s.maxprocs }) })
+	reg.GaugeFunc("ion_go_heap_bytes", "Bytes of live heap objects.",
+		func() float64 { return s.get(func(s *runtimeSampler) float64 { return s.heapBytes }) })
+	reg.CounterFunc("ion_go_gc_cycles_total", "Completed garbage-collection cycles.",
+		func() float64 { return s.get(func(s *runtimeSampler) float64 { return s.gcCycles }) })
+	reg.CounterFunc("ion_go_gc_pause_seconds_total", "Estimated cumulative stop-the-world GC pause time.",
+		func() float64 { return s.get(func(s *runtimeSampler) float64 { return s.gcPause }) })
+	// Touch the runtime counters once so the first exposition after
+	// registration is already populated.
+	runtime.Gosched()
+	s.get(func(s *runtimeSampler) float64 { return 0 })
+}

@@ -1,0 +1,59 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestRegisterRuntimeMetrics checks the process-health collectors land
+// in the exposition with plausible values.
+func TestRegisterRuntimeMetrics(t *testing.T) {
+	reg := NewRegistry()
+	RegisterRuntimeMetrics(reg)
+
+	byName := map[string]Sample{}
+	for _, s := range reg.Gather() {
+		byName[s.Name] = s
+	}
+	for name, kind := range map[string]string{
+		"ion_go_goroutines":             "gauge",
+		"ion_go_gomaxprocs":             "gauge",
+		"ion_go_heap_bytes":             "gauge",
+		"ion_go_gc_cycles_total":        "counter",
+		"ion_go_gc_pause_seconds_total": "counter",
+	} {
+		s, ok := byName[name]
+		if !ok {
+			t.Errorf("missing %s", name)
+			continue
+		}
+		if s.Kind != kind {
+			t.Errorf("%s kind = %s, want %s", name, s.Kind, kind)
+		}
+		if s.Value < 0 {
+			t.Errorf("%s = %v, want >= 0", name, s.Value)
+		}
+	}
+	if byName["ion_go_goroutines"].Value < 1 {
+		t.Errorf("goroutines = %v, want >= 1", byName["ion_go_goroutines"].Value)
+	}
+	if byName["ion_go_gomaxprocs"].Value < 1 {
+		t.Errorf("gomaxprocs = %v, want >= 1", byName["ion_go_gomaxprocs"].Value)
+	}
+	if byName["ion_go_heap_bytes"].Value <= 0 {
+		t.Errorf("heap bytes = %v, want > 0", byName["ion_go_heap_bytes"].Value)
+	}
+
+	var b strings.Builder
+	if _, err := reg.WriteTo(&b); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"# TYPE ion_go_goroutines gauge",
+		"# TYPE ion_go_gc_cycles_total counter",
+	} {
+		if !strings.Contains(b.String(), want) {
+			t.Errorf("exposition missing %q", want)
+		}
+	}
+}

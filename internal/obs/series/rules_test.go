@@ -1,0 +1,234 @@
+package series
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"ion/internal/obs"
+)
+
+func TestParseExpr(t *testing.T) {
+	cases := []struct {
+		in        string
+		fn        string
+		metric    string
+		labels    map[string]string
+		op        string
+		threshold float64
+	}{
+		{"ion_jobs_failure_ratio > 0.1", "", "ion_jobs_failure_ratio", nil, ">", 0.1},
+		{"ion_go_heap_bytes >= 4e+09", "", "ion_go_heap_bytes", nil, ">=", 4e9},
+		{"ion_jobs_queue_depth<2", "", "ion_jobs_queue_depth", nil, "<", 2},
+		{`p95(ion_pipeline_stage_seconds{stage="analyze"}) > 30`,
+			"p95", "ion_pipeline_stage_seconds", map[string]string{"stage": "analyze"}, ">", 30},
+		{`sum(ion_llm_requests_total{outcome="error"}) > 0.5`,
+			"sum", "ion_llm_requests_total", map[string]string{"outcome": "error"}, ">", 0.5},
+		{`avg(ion_go_goroutines) <= 100`, "avg", "ion_go_goroutines", nil, "<=", 100},
+		{`ion_http_requests_total{route="GET /metrics",code="200"} > 5`,
+			"", "ion_http_requests_total", map[string]string{"route": "GET /metrics", "code": "200"}, ">", 5},
+	}
+	for _, c := range cases {
+		e, err := parseExpr(c.in)
+		if err != nil {
+			t.Errorf("parseExpr(%q): %v", c.in, err)
+			continue
+		}
+		if e.fn != c.fn || e.metric != c.metric || e.op != c.op || e.threshold != c.threshold {
+			t.Errorf("parseExpr(%q) = %+v", c.in, e)
+		}
+		for k, v := range c.labels {
+			if e.labels[k] != v {
+				t.Errorf("parseExpr(%q): label %s=%q, want %q", c.in, k, e.labels[k], v)
+			}
+		}
+	}
+
+	for _, bad := range []string{
+		"", "ion_x", "> 3", "ion_x > abc", "p95(ion_x > 3", `ion_x{stage=} >`,
+		"ion_x{unterminated > 3",
+	} {
+		if _, err := parseExpr(bad); err == nil {
+			t.Errorf("parseExpr(%q) did not fail", bad)
+		}
+	}
+}
+
+func TestQuantileSelector(t *testing.T) {
+	for _, c := range []struct{ fn, want string }{
+		{"p50", "0.5"}, {"p95", "0.95"}, {"p99", "0.99"},
+	} {
+		e, err := parseExpr(c.fn + "(ion_x) > 1")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := e.selector()["quantile"]; got != c.want {
+			t.Errorf("%s selector quantile = %q, want %q", c.fn, got, c.want)
+		}
+	}
+}
+
+func TestParseRulesFormats(t *testing.T) {
+	array := `[{"name":"A","expr":"ion_x > 1","for":"90s"}]`
+	rules, err := ParseRules([]byte(array))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rules) != 1 || rules[0].Name != "A" || time.Duration(rules[0].For) != 90*time.Second {
+		t.Fatalf("rules = %+v", rules)
+	}
+	if rules[0].Severity != "warn" {
+		t.Errorf("default severity = %q, want warn", rules[0].Severity)
+	}
+
+	wrapped := `{"rules":[{"name":"B","expr":"ion_x > 1","for":30,"severity":"page"}]}`
+	rules, err = ParseRules([]byte(wrapped))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rules) != 1 || time.Duration(rules[0].For) != 30*time.Second || rules[0].Severity != "page" {
+		t.Fatalf("wrapped rules = %+v", rules)
+	}
+
+	for _, bad := range []string{
+		`[{"expr":"ion_x > 1"}]`,                                            // missing name
+		`[{"name":"A","expr":"nope"}]`,                                      // bad expr
+		`[{"name":"A","expr":"ion_x > 1"},{"name":"A","expr":"ion_x > 2"}]`, // dup
+		`not json`,
+		`[{"name":"A","expr":"ion_x > 1","for":"eternity"}]`, // bad duration
+	} {
+		if _, err := ParseRules([]byte(bad)); err == nil {
+			t.Errorf("ParseRules(%s) did not fail", bad)
+		}
+	}
+}
+
+func TestDefaultRulesParse(t *testing.T) {
+	rules := DefaultRules()
+	if len(rules) == 0 {
+		t.Fatal("no default rules")
+	}
+	for _, r := range rules {
+		if r.parsed.metric == "" {
+			t.Errorf("rule %q did not parse", r.Name)
+		}
+	}
+}
+
+// TestAlertLifecycle drives a rule through every state: ok while the
+// value is low, pending on the first breach, firing once the breach has
+// been sustained for the rule's For, resolved when it clears, and
+// pending again on a re-breach.
+func TestAlertLifecycle(t *testing.T) {
+	reg := obs.NewRegistry()
+	g := reg.Gauge("ion_test_ratio", "r")
+	st := New(reg, Options{
+		Interval:  time.Second,
+		Retention: time.Minute,
+		Rules:     []Rule{{Name: "RatioHigh", Expr: "ion_test_ratio > 0.5", For: Duration(2 * time.Second), Severity: "page"}},
+	})
+
+	state := func() AlertStatus { return st.Alerts()[0] }
+
+	g.Set(0.1)
+	st.Scrape(at(0))
+	if s := state(); s.State != StateOK {
+		t.Fatalf("below threshold: state = %s, want ok", s.State)
+	}
+
+	g.Set(0.9)
+	st.Scrape(at(1 * time.Second))
+	if s := state(); s.State != StatePending || s.Value != 0.9 {
+		t.Fatalf("first breach: state = %s value = %v, want pending 0.9", s.State, s.Value)
+	}
+
+	// Sustained past For → firing; the ion_alerts_firing gauge follows.
+	st.Scrape(at(4 * time.Second))
+	if s := state(); s.State != StateFiring {
+		t.Fatalf("sustained breach: state = %s, want firing", s.State)
+	}
+	found := false
+	for _, sm := range reg.Gather() {
+		if sm.Name == "ion_alerts_firing" {
+			found = true
+			if sm.Value != 1 {
+				t.Errorf("ion_alerts_firing = %v, want 1", sm.Value)
+			}
+		}
+	}
+	if !found {
+		t.Error("ion_alerts_firing not in registry")
+	}
+
+	g.Set(0.2)
+	st.Scrape(at(5 * time.Second))
+	if s := state(); s.State != StateResolved {
+		t.Fatalf("cleared breach: state = %s, want resolved", s.State)
+	}
+
+	g.Set(0.8)
+	st.Scrape(at(6 * time.Second))
+	if s := state(); s.State != StatePending {
+		t.Fatalf("re-breach after resolve: state = %s, want pending", s.State)
+	}
+
+	// The history records the full journey in order.
+	hist := state().History
+	var seq []string
+	for _, tr := range hist {
+		seq = append(seq, string(tr.From)+"->"+string(tr.To))
+	}
+	want := "ok->pending pending->firing firing->resolved resolved->pending"
+	if strings.Join(seq, " ") != want {
+		t.Errorf("transition history = %v, want %q", seq, want)
+	}
+}
+
+func TestAlertPendingClearsToOK(t *testing.T) {
+	reg := obs.NewRegistry()
+	g := reg.Gauge("ion_test_v", "v")
+	st := New(reg, Options{Interval: time.Second, Retention: time.Minute,
+		Rules: []Rule{{Name: "V", Expr: "ion_test_v > 1", For: Duration(time.Minute)}}})
+	g.Set(5)
+	st.Scrape(at(0))
+	if s := st.Alerts()[0]; s.State != StatePending {
+		t.Fatalf("state = %s, want pending", s.State)
+	}
+	g.Set(0)
+	st.Scrape(at(time.Second))
+	if s := st.Alerts()[0]; s.State != StateOK {
+		t.Fatalf("blip cleared: state = %s, want ok (never fired)", s.State)
+	}
+}
+
+func TestAlertZeroForFiresImmediately(t *testing.T) {
+	reg := obs.NewRegistry()
+	reg.Gauge("ion_test_v", "v").Set(5)
+	st := New(reg, Options{Interval: time.Second, Retention: time.Minute,
+		Rules: []Rule{{Name: "V", Expr: "ion_test_v > 1"}}})
+	st.Scrape(at(0))
+	if s := st.Alerts()[0]; s.State != StateFiring {
+		t.Fatalf("For=0 breach: state = %s, want firing", s.State)
+	}
+}
+
+func TestAlertNoData(t *testing.T) {
+	reg := obs.NewRegistry()
+	st := New(reg, Options{Interval: time.Second, Retention: time.Minute,
+		Rules: []Rule{{Name: "Missing", Expr: "ion_never_exported > 1", For: Duration(time.Second)}}})
+	st.Scrape(at(0))
+	s := st.Alerts()[0]
+	if s.State != StateOK || !s.NoData {
+		t.Fatalf("missing series: state = %s nodata = %v, want ok/true", s.State, s.NoData)
+	}
+}
+
+func TestInvalidLiteralRuleDropped(t *testing.T) {
+	reg := obs.NewRegistry()
+	st := New(reg, Options{Interval: time.Second, Retention: time.Minute,
+		Rules: []Rule{{Name: "Bad", Expr: "not an expression"}, {Name: "Good", Expr: "ion_x > 1"}}})
+	alerts := st.Alerts()
+	if len(alerts) != 1 || alerts[0].Rule.Name != "Good" {
+		t.Fatalf("alerts = %+v, want only the valid rule", alerts)
+	}
+}

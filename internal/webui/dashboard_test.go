@@ -1,0 +1,293 @@
+package webui
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"regexp"
+	"strings"
+	"testing"
+	"time"
+
+	"ion/internal/expertsim"
+	"ion/internal/jobs"
+	"ion/internal/llm"
+	"ion/internal/obs"
+	"ion/internal/obs/series"
+)
+
+// observedServer builds the full self-observing stack over one shared
+// registry: instrumented LLM client, jobs service, series store with
+// the given rules, and a JobServer exposing all of it. The store is not
+// started; tests drive Scrape explicitly to control time.
+func observedServer(t *testing.T, client llm.Client, cfg jobs.Config, rules []series.Rule) (*httptest.Server, *jobs.Service, *series.Store) {
+	t.Helper()
+	reg := obs.NewRegistry()
+	obs.RegisterRuntimeMetrics(reg)
+	if client == nil {
+		client = expertsim.New()
+	}
+	client = llm.Instrument(client, reg)
+	cfg.Dir = t.TempDir()
+	cfg.Client = client
+	cfg.Obs = reg
+	svc, err := jobs.Open(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	store := series.New(reg, series.Options{
+		Interval:  time.Second,
+		Retention: 10 * time.Minute,
+		Rules:     rules,
+	})
+	js, err := NewJobServer(client, svc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(js.WithObs(reg, obs.NopLogger()).WithSeries(store).Handler())
+	t.Cleanup(func() {
+		srv.Close()
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		svc.Close(ctx)
+	})
+	return srv, svc, store
+}
+
+// failingClient always errors, driving jobs to the failed state.
+type failingClient struct{}
+
+func (failingClient) Name() string { return "failing" }
+func (failingClient) Complete(ctx context.Context, req llm.Request) (llm.Completion, error) {
+	return llm.Completion{}, fmt.Errorf("backend unavailable")
+}
+
+// TestDashboardAndQueryAfterJob is the end-to-end acceptance path: one
+// job through the real pipeline, two scrapes, then windowed series for
+// queue depth and stage latency over /api/metrics/query and sparkline
+// polylines with >= 2 points on /dashboard — no external processes.
+func TestDashboardAndQueryAfterJob(t *testing.T) {
+	srv, svc, store := observedServer(t, nil, jobs.Config{Workers: 1}, series.DefaultRules())
+
+	sr, status := postTrace(t, srv.URL+"/api/jobs?name=ior-hard", workloadTrace(t))
+	if status != http.StatusAccepted {
+		t.Fatalf("submit status = %d", status)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	job, err := svc.Wait(ctx, sr.Job.ID)
+	if err != nil || job.State != jobs.StateDone {
+		t.Fatalf("job did not complete: %v (state %s, error %q)", err, job.State, job.Error)
+	}
+
+	now := time.Now()
+	store.Scrape(now.Add(-6 * time.Second))
+	store.Scrape(now.Add(-3 * time.Second))
+	store.Scrape(now)
+
+	// Queue depth: a gauge, present from the first scrape.
+	var qr queryResponse
+	if code := getJSON(t, srv.URL+"/api/metrics/query?name=ion_jobs_queue_depth&window=5m", &qr); code != http.StatusOK {
+		t.Fatalf("query status = %d", code)
+	}
+	if len(qr.Series) != 1 || len(qr.Series[0].Points) < 2 {
+		t.Fatalf("queue depth series = %+v, want one series with >= 2 points", qr.Series)
+	}
+
+	// Stage latency: the analyze-stage p95 derived from the pipeline
+	// histogram, label-filtered through the API.
+	if code := getJSON(t, srv.URL+"/api/metrics/query?name=ion_pipeline_stage_seconds&l.stage=analyze&l.quantile=0.95", &qr); code != http.StatusOK {
+		t.Fatalf("stage query status = %d", code)
+	}
+	if len(qr.Series) != 1 || len(qr.Series[0].Points) < 2 {
+		t.Fatalf("analyze p95 series = %+v, want one series with >= 2 points", qr.Series)
+	}
+	if v := qr.Series[0].Points[0].V; v <= 0 {
+		t.Errorf("analyze p95 = %v, want > 0", v)
+	}
+	if lbl := qr.Series[0].Labels; lbl["stage"] != "analyze" || lbl["quantile"] != "0.95" {
+		t.Errorf("series labels = %v", lbl)
+	}
+
+	// Step aggregation downsamples.
+	if code := getJSON(t, srv.URL+"/api/metrics/query?name=ion_jobs_queue_depth&window=5m&step=1m&agg=max", &qr); code != http.StatusOK {
+		t.Fatalf("stepped query status = %d", code)
+	}
+	if len(qr.Series) != 1 || len(qr.Series[0].Points) == 0 {
+		t.Fatalf("stepped series = %+v", qr.Series)
+	}
+
+	// The dashboard renders sparkline polylines with >= 2 points.
+	resp, err := http.Get(srv.URL + "/dashboard")
+	if err != nil {
+		t.Fatal(err)
+	}
+	page, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/dashboard status = %d", resp.StatusCode)
+	}
+	html := string(page)
+	for _, want := range []string{"ION self-observation", "Queue depth", "Analyze latency p50/p95", "Alerts", "<svg"} {
+		if !strings.Contains(html, want) {
+			t.Errorf("dashboard missing %q", want)
+		}
+	}
+	polylines := regexp.MustCompile(`<polyline [^>]*points="([^"]+)"`).FindAllStringSubmatch(html, -1)
+	if len(polylines) == 0 {
+		t.Fatal("dashboard rendered no sparkline polylines")
+	}
+	for _, m := range polylines {
+		if pairs := strings.Fields(m[1]); len(pairs) < 2 {
+			t.Errorf("polyline with %d points, want >= 2: %q", len(pairs), m[1])
+		}
+	}
+
+	// /metrics exposes the store's own bookkeeping.
+	mresp, err := http.Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	mbody, _ := io.ReadAll(mresp.Body)
+	mresp.Body.Close()
+	for _, want := range []string{"ion_series_count", "ion_alerts_firing 0", "ion_go_goroutines"} {
+		if !strings.Contains(string(mbody), want) {
+			t.Errorf("/metrics missing %q", want)
+		}
+	}
+}
+
+// TestFailureRatioRuleFires injects a persistently failing LLM backend,
+// fails a job through the real retry path, and watches the SLO rule
+// walk ok → pending → firing in /api/alerts.
+func TestFailureRatioRuleFires(t *testing.T) {
+	rules := series.MustRules([]byte(
+		`[{"name":"JobFailureRatioHigh","expr":"ion_jobs_failure_ratio > 0.1","for":"2s","severity":"page"}]`))
+	srv, svc, store := observedServer(t, failingClient{}, jobs.Config{
+		Workers:     1,
+		MaxAttempts: 1,
+	}, rules)
+
+	sr, status := postTrace(t, srv.URL+"/api/jobs?name=doomed", workloadTrace(t))
+	if status != http.StatusAccepted {
+		t.Fatalf("submit status = %d", status)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	job, err := svc.Wait(ctx, sr.Job.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if job.State != jobs.StateFailed {
+		t.Fatalf("job state = %s, want failed", job.State)
+	}
+
+	alertsAt := func(now time.Time) alertsResponse {
+		t.Helper()
+		store.Scrape(now)
+		var ar alertsResponse
+		if code := getJSON(t, srv.URL+"/api/alerts", &ar); code != http.StatusOK {
+			t.Fatalf("/api/alerts status = %d", code)
+		}
+		if len(ar.Alerts) != 1 {
+			t.Fatalf("alerts = %+v, want exactly the failure-ratio rule", ar.Alerts)
+		}
+		return ar
+	}
+
+	now := time.Now()
+	// First breach: pending (For has not elapsed).
+	ar := alertsAt(now.Add(-5 * time.Second))
+	if a := ar.Alerts[0]; a.State != series.StatePending || a.Value != 1 {
+		t.Fatalf("after first breach: state = %s value = %v, want pending 1", a.State, a.Value)
+	}
+	if ar.Firing != 0 {
+		t.Errorf("firing count = %d, want 0 while pending", ar.Firing)
+	}
+
+	// Sustained past For: firing, with the journey in the history.
+	ar = alertsAt(now)
+	a := ar.Alerts[0]
+	if a.State != series.StateFiring {
+		t.Fatalf("sustained breach: state = %s, want firing", a.State)
+	}
+	if ar.Firing != 1 {
+		t.Errorf("firing count = %d, want 1", ar.Firing)
+	}
+	var seq []string
+	for _, tr := range a.History {
+		seq = append(seq, string(tr.To))
+	}
+	if strings.Join(seq, " ") != "pending firing" {
+		t.Errorf("history = %v, want pending then firing", seq)
+	}
+	if a.Rule.Severity != "page" || a.Rule.Expr != "ion_jobs_failure_ratio > 0.1" {
+		t.Errorf("rule view = %+v", a.Rule)
+	}
+
+	// The firing alert is visible on the dashboard and in /metrics.
+	resp, err := http.Get(srv.URL + "/dashboard")
+	if err != nil {
+		t.Fatal(err)
+	}
+	page, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if !strings.Contains(string(page), "1 alert(s) firing") {
+		t.Error("dashboard does not show the firing alert")
+	}
+	mresp, _ := http.Get(srv.URL + "/metrics")
+	mbody, _ := io.ReadAll(mresp.Body)
+	mresp.Body.Close()
+	if !strings.Contains(string(mbody), "ion_alerts_firing 1") {
+		t.Error("/metrics does not show ion_alerts_firing 1")
+	}
+}
+
+// TestQueryValidation exercises the query API's error paths and the
+// 404 behavior when no series store is wired in.
+func TestQueryValidation(t *testing.T) {
+	srv, _, store := observedServer(t, nil, jobs.Config{Paused: true}, nil)
+	store.Scrape(time.Now())
+
+	for _, c := range []struct {
+		url  string
+		want int
+	}{
+		{"/api/metrics/query", http.StatusBadRequest},                     // no name
+		{"/api/metrics/query?name=x&window=bogus", http.StatusBadRequest}, // bad window
+		{"/api/metrics/query?name=x&step=-5s", http.StatusBadRequest},     // bad step
+		{"/api/metrics/query?name=x&agg=median", http.StatusBadRequest},   // bad agg
+		{"/api/metrics/query?name=ion_never_seen", http.StatusOK},         // empty result, not an error
+	} {
+		resp, err := http.Get(srv.URL + c.url)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != c.want {
+			t.Errorf("GET %s = %d, want %d", c.url, resp.StatusCode, c.want)
+		}
+	}
+
+	// An unknown-but-valid query returns an empty series array, so
+	// clients can distinguish "no data" from "bad request".
+	var qr queryResponse
+	if code := getJSON(t, srv.URL+"/api/metrics/query?name=ion_never_seen", &qr); code != http.StatusOK || qr.Series == nil || len(qr.Series) != 0 {
+		t.Errorf("empty query = %d %+v, want 200 with empty array", code, qr.Series)
+	}
+
+	// Without a series store the observability routes are 404.
+	bare, _ := jobServer(t, jobs.Config{Paused: true})
+	for _, path := range []string{"/api/metrics/query?name=x", "/api/alerts", "/dashboard"} {
+		resp, err := http.Get(bare.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusNotFound {
+			t.Errorf("GET %s without store = %d, want 404", path, resp.StatusCode)
+		}
+	}
+}

@@ -1,0 +1,64 @@
+package webui
+
+import (
+	"net/http"
+	"os"
+)
+
+// healthResponse is the /healthz and /readyz wire type: an overall
+// status plus the per-check detail that produced it.
+type healthResponse struct {
+	Status string            `json:"status"` // "ok" or "unavailable"
+	Checks map[string]string `json:"checks"` // check name → "ok" or failure reason
+}
+
+// handleHealthz is the liveness probe: if the process can run this
+// handler, it is alive. Always 200.
+func (s *JobServer) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	s.writeJSON(w, http.StatusOK, healthResponse{
+		Status: "ok",
+		Checks: map[string]string{"process": "ok"},
+	})
+}
+
+// handleReadyz is the readiness probe: 200 only while the service can
+// usefully accept work — the job store directory is reachable, the
+// worker pool is running, and graceful drain has not begun. Any failed
+// check flips the response to 503 so load balancers route elsewhere,
+// with the reason in the check detail.
+func (s *JobServer) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	checks := map[string]string{}
+	ready := true
+	fail := func(name, reason string) {
+		checks[name] = reason
+		ready = false
+	}
+
+	if dir := s.svc.Store().Dir(); dir == "" {
+		fail("store", "no data directory")
+	} else if _, err := os.Stat(dir); err != nil {
+		fail("store", "data directory unreachable: "+err.Error())
+	} else {
+		checks["store"] = "ok"
+	}
+
+	if st := s.svc.Stats(); st.Workers <= 0 {
+		fail("workers", "worker pool is paused (0 workers)")
+	} else {
+		checks["workers"] = "ok"
+	}
+
+	if s.svc.Draining() {
+		fail("draining", "graceful drain in progress")
+	} else {
+		checks["draining"] = "ok"
+	}
+
+	resp := healthResponse{Status: "ok", Checks: checks}
+	code := http.StatusOK
+	if !ready {
+		resp.Status = "unavailable"
+		code = http.StatusServiceUnavailable
+	}
+	s.writeJSON(w, code, resp)
+}

@@ -1,0 +1,78 @@
+package webui
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"testing"
+	"time"
+
+	"ion/internal/jobs"
+)
+
+func getHealth(t *testing.T, url string) (healthResponse, int) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var hr healthResponse
+	if err := json.NewDecoder(resp.Body).Decode(&hr); err != nil {
+		t.Fatalf("%s: body did not decode: %v", url, err)
+	}
+	return hr, resp.StatusCode
+}
+
+// TestHealthAndReadiness exercises the probe endpoints across the
+// service lifecycle: both green while serving, readiness (and only
+// readiness) red once graceful drain begins.
+func TestHealthAndReadiness(t *testing.T) {
+	srv, svc := jobServer(t, jobs.Config{Workers: 1})
+
+	hr, code := getHealth(t, srv.URL+"/healthz")
+	if code != http.StatusOK || hr.Status != "ok" {
+		t.Fatalf("/healthz = %d %+v, want 200 ok", code, hr)
+	}
+
+	hr, code = getHealth(t, srv.URL+"/readyz")
+	if code != http.StatusOK || hr.Status != "ok" {
+		t.Fatalf("/readyz = %d %+v, want 200 ok", code, hr)
+	}
+	for _, check := range []string{"store", "workers", "draining"} {
+		if hr.Checks[check] != "ok" {
+			t.Errorf("readiness check %s = %q, want ok", check, hr.Checks[check])
+		}
+	}
+
+	// Begin graceful drain: liveness stays green, readiness flips 503
+	// with the reason in the check detail.
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := svc.Close(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if _, code := getHealth(t, srv.URL+"/healthz"); code != http.StatusOK {
+		t.Errorf("/healthz during drain = %d, want 200", code)
+	}
+	hr, code = getHealth(t, srv.URL+"/readyz")
+	if code != http.StatusServiceUnavailable || hr.Status != "unavailable" {
+		t.Fatalf("/readyz during drain = %d %+v, want 503 unavailable", code, hr)
+	}
+	if hr.Checks["draining"] == "ok" {
+		t.Errorf("draining check = %q, want a failure reason", hr.Checks["draining"])
+	}
+}
+
+// TestReadinessPausedPool: a pool with zero workers can accept but
+// never run jobs, so it must not be routed traffic.
+func TestReadinessPausedPool(t *testing.T) {
+	srv, _ := jobServer(t, jobs.Config{Paused: true})
+	hr, code := getHealth(t, srv.URL+"/readyz")
+	if code != http.StatusServiceUnavailable {
+		t.Fatalf("/readyz with paused pool = %d, want 503", code)
+	}
+	if hr.Checks["workers"] == "ok" {
+		t.Errorf("workers check = %q, want a failure reason", hr.Checks["workers"])
+	}
+}

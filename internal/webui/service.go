@@ -16,6 +16,7 @@ import (
 	"ion/internal/jobs"
 	"ion/internal/llm"
 	"ion/internal/obs"
+	"ion/internal/obs/series"
 	"ion/internal/report"
 )
 
@@ -30,6 +31,7 @@ type JobServer struct {
 	client llm.Client
 	obs    *obs.Registry
 	log    *slog.Logger
+	series *series.Store // nil disables /dashboard and the query/alerts APIs
 
 	mu       sync.Mutex
 	sessions map[string]*ion.Session // job id → chat session
@@ -65,6 +67,15 @@ func (s *JobServer) WithObs(reg *obs.Registry, logger *slog.Logger) *JobServer {
 	return s
 }
 
+// WithSeries wires the in-process time-series store behind /dashboard,
+// /api/metrics/query, and /api/alerts, and returns the server for
+// chaining. Without it those routes answer 404. The caller owns the
+// store's scrape loop (Start/Stop).
+func (s *JobServer) WithSeries(store *series.Store) *JobServer {
+	s.series = store
+	return s
+}
+
 // Handler returns the HTTP routes of the analysis service:
 //
 //	GET  /                     the job list page (HTML)
@@ -76,6 +87,11 @@ func (s *JobServer) WithObs(reg *obs.Registry, logger *slog.Logger) *JobServer {
 //	POST /api/jobs/{id}/ask    {"question": ...} against that job's report
 //	GET  /api/jobs/{id}/trace  the analysis span timeline (JSON)
 //	GET  /api/stats            queue/worker/cache counters (JSON)
+//	GET  /api/metrics/query    windowed series from the in-process store (JSON)
+//	GET  /api/alerts           alert rule states and transition history (JSON)
+//	GET  /dashboard            live self-observation page (HTML, inline SVG)
+//	GET  /healthz              liveness probe (always 200 while serving)
+//	GET  /readyz               readiness probe (503 while paused or draining)
 //	GET  /metrics              Prometheus text exposition
 //
 // Every route is wrapped in telemetry middleware recording request
@@ -94,7 +110,14 @@ func (s *JobServer) Handler() http.Handler {
 	handle("GET /api/jobs/{id}/trace", s.handleJobTrace)
 	handle("POST /api/jobs/{id}/ask", s.handleJobAsk)
 	handle("GET /api/stats", s.handleStats)
+	handle("GET /api/metrics/query", s.handleMetricsQuery)
+	handle("GET /api/alerts", s.handleAlerts)
+	handle("GET /dashboard", s.handleDashboard)
 	handle("GET /metrics", s.obs.Handler().ServeHTTP)
+	// Probes bypass the instrument middleware: they are hit every few
+	// seconds by orchestrators and would dominate the request metrics.
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /readyz", s.handleReadyz)
 	return mux
 }
 
