@@ -23,6 +23,7 @@ import (
 	"net/http/pprof"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"strings"
 	"syscall"
 	"time"
@@ -32,6 +33,7 @@ import (
 	"ion/internal/jobs"
 	"ion/internal/llm"
 	"ion/internal/obs"
+	"ion/internal/obs/flight"
 	"ion/internal/obs/series"
 	"ion/internal/webui"
 )
@@ -53,6 +55,9 @@ func main() {
 		scrapeInt  = flag.Duration("scrape-interval", 5*time.Second, "self-observation scrape cadence (0 disables the series store, dashboard, and alerting)")
 		retention  = flag.Duration("retention", 15*time.Minute, "how much series history the in-process store keeps")
 		rulesPath  = flag.String("rules", "", "JSON alert-rules file (default: built-in SLO rules)")
+		incDir     = flag.String("incident-dir", "", "directory for flight-recorder incident bundles (default: <data>/incidents; \"none\" disables the recorder)")
+		incKeep    = flag.Int("incident-retention", 16, "incident bundles kept on disk (oldest deleted first)")
+		captureCPU = flag.Int("capture-cpu-seconds", 5, "CPU-profile length inside an incident capture (0 skips the CPU profile)")
 	)
 	flag.Parse()
 
@@ -103,7 +108,35 @@ func main() {
 			dir = "ionserve-data"
 		}
 	}
-	svc, err := jobs.Open(jobs.Config{
+
+	// Flight recorder: always-on rings (logs, slow spans, metric
+	// snapshots), snapshotted into a tar.gz incident bundle when an
+	// alert fires or /api/debug/capture is hit. The recorder's log tee
+	// becomes the root logger, so every component below records into the
+	// incident ring — including debug-level lines stderr drops.
+	var rec *flight.Recorder
+	if *incDir != "none" {
+		bundleDir := *incDir
+		if bundleDir == "" {
+			bundleDir = filepath.Join(dir, "incidents")
+		}
+		rec, err = flight.New(flight.Options{
+			Dir:        bundleDir,
+			CPUProfile: time.Duration(*captureCPU) * time.Second,
+			MaxBundles: *incKeep,
+			Registry:   reg,
+			Config:     flagConfig(),
+			Logger:     logger,
+		})
+		if err != nil {
+			fatal(err)
+		}
+		logger = slog.New(rec.LogHandler(logger.Handler()))
+		rec.Start()
+		defer rec.Stop()
+	}
+
+	jobsCfg := jobs.Config{
 		Dir:         dir,
 		Client:      client,
 		Workers:     *workers,
@@ -112,7 +145,13 @@ func main() {
 		MaxAttempts: *retries,
 		Obs:         reg,
 		Logger:      logger,
-	})
+	}
+	if rec != nil {
+		// Completed job timelines feed the recorder's tail-sampler, so
+		// the slowest runs per stage are in memory when a capture fires.
+		jobsCfg.OnTimeline = rec.OfferTimeline
+	}
+	svc, err := jobs.Open(jobsCfg)
 	if err != nil {
 		fatal(err)
 	}
@@ -164,6 +203,9 @@ func main() {
 		fatal(err)
 	}
 	js.WithObs(reg, logger)
+	if rec != nil {
+		js.WithFlight(rec)
+	}
 
 	if *scrapeInt > 0 {
 		rules := series.DefaultRules()
@@ -176,12 +218,32 @@ func main() {
 				fatal(err)
 			}
 		}
-		store := series.New(reg, series.Options{
+		opts := series.Options{
 			Interval:  *scrapeInt,
 			Retention: *retention,
 			Rules:     rules,
 			Logger:    logger,
-		})
+		}
+		if rec != nil {
+			// A rule entering firing is the moment evidence still exists:
+			// capture in a goroutine so the (up to 5s) CPU profile never
+			// stalls the scrape loop. The recorder singleflights and
+			// rate-limits, so alert storms cost one bundle, not a pile.
+			opts.OnTransition = func(tr series.RuleTransition) {
+				if tr.To != series.StateFiring {
+					return
+				}
+				go func() {
+					if _, err := rec.Capture("alert:" + tr.Rule); err != nil {
+						logger.Debug("incident capture skipped", "rule", tr.Rule, "err", err)
+					}
+				}()
+			}
+		}
+		store := series.New(reg, opts)
+		if rec != nil {
+			rec.SetAlertsFunc(func() any { return store.Alerts() })
+		}
 		store.Start()
 		defer store.Stop()
 		js.WithSeries(store)
@@ -189,6 +251,14 @@ func main() {
 			*addr, *scrapeInt, *retention, len(rules))
 	}
 	serve(*addr, js.Handler(), svc)
+}
+
+// flagConfig snapshots every flag's effective value for the incident
+// bundle's config.json (the recorder redacts secret-looking keys).
+func flagConfig() map[string]string {
+	cfg := map[string]string{}
+	flag.VisitAll(func(f *flag.Flag) { cfg[f.Name] = f.Value.String() })
+	return cfg
 }
 
 // serveDebug exposes net/http/pprof on its own listener and mux so

@@ -62,6 +62,11 @@ type Config struct {
 	// exported). The gauges read the same fields Stats reports, so
 	// /metrics and /api/stats cannot disagree.
 	Obs *obs.Registry
+	// OnTimeline, when set, receives every completed job's span timeline
+	// (after it is persisted), with Timeline.Trace set to the job id.
+	// The flight recorder's tail-sampler hangs off this hook. Called
+	// from worker goroutines; must be cheap and concurrency-safe.
+	OnTimeline func(obs.Timeline)
 	// Logger receives structured job-lifecycle logs with job id, trace
 	// hash, and attempt attributes. nil discards.
 	Logger *slog.Logger
@@ -551,7 +556,8 @@ func (s *Service) settle(id string, state State, cause error, tracer *obs.Tracer
 }
 
 // saveTimeline closes the root span, persists the job's span timeline,
-// and feeds the stage-latency histogram.
+// feeds the stage-latency histogram (each observation carrying the job
+// id as its exemplar), and offers the timeline to any OnTimeline hook.
 func (s *Service) saveTimeline(id string, tracer *obs.Tracer, root *obs.Span) {
 	root.End()
 	tl := tracer.Timeline()
@@ -560,6 +566,9 @@ func (s *Service) saveTimeline(id string, tracer *obs.Tracer, root *obs.Span) {
 		s.log.Warn("persisting span timeline", "job", id, "err", err)
 	}
 	obs.ObserveStages(s.obs, tl)
+	if s.cfg.OnTimeline != nil {
+		s.cfg.OnTimeline(tl)
+	}
 }
 
 // attempts runs the analysis over already-extracted tables. Extraction

@@ -1,0 +1,90 @@
+package obs
+
+import (
+	"sort"
+	"time"
+)
+
+// Exemplar pins one concrete observation to a histogram bucket: the
+// observed value plus the trace (job id, request id) that produced it.
+// Dashboards aggregate latency into quantiles and immediately lose the
+// answer to "which job was the p99?"; exemplars keep it. One exemplar
+// is retained per bucket — newest wins — so storage is bounded by the
+// bucket layout, not by traffic.
+type Exemplar struct {
+	Value   float64   `json:"value"`
+	TraceID string    `json:"trace_id"`
+	Time    time.Time `json:"time"`
+}
+
+// ObserveExemplar records one value like Observe and, when traceID is
+// non-empty, remembers it as the exemplar of the bucket the value lands
+// in, replacing the bucket's previous exemplar.
+func (h *Histogram) ObserveExemplar(v float64, traceID string) {
+	h.mu.Lock()
+	i := sort.SearchFloat64s(h.bounds, v)
+	h.counts[i]++
+	h.sum += v
+	h.observe++
+	if traceID != "" {
+		if h.exemplars == nil {
+			h.exemplars = make([]Exemplar, len(h.counts))
+		}
+		h.exemplars[i] = Exemplar{Value: v, TraceID: traceID, Time: time.Now()}
+	}
+	h.mu.Unlock()
+}
+
+// Exemplars returns this series' retained exemplars, largest value
+// first — so the first entry answers "what was the slowest?".
+func (h *Histogram) Exemplars() []Exemplar {
+	h.mu.Lock()
+	var out []Exemplar
+	for _, e := range h.exemplars {
+		if e.TraceID != "" {
+			out = append(out, e)
+		}
+	}
+	h.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].Value > out[j].Value })
+	return out
+}
+
+// SeriesExemplars is the exemplar set of one labeled histogram series.
+type SeriesExemplars struct {
+	Labels    []Label    `json:"labels,omitempty"`
+	Exemplars []Exemplar `json:"exemplars"`
+}
+
+// Exemplars returns every exemplar recorded under the named histogram
+// family, one entry per labeled series (series in lexicographic order,
+// exemplars largest-value first). Nil when the family does not exist,
+// is not a histogram, or has recorded no exemplars.
+func (r *Registry) Exemplars(name string) []SeriesExemplars {
+	r.mu.Lock()
+	f, ok := r.families[name]
+	if !ok || f.typ != "histogram" || f.fn != nil {
+		r.mu.Unlock()
+		return nil
+	}
+	keys := make([]string, 0, len(f.series))
+	hists := make(map[string]*Histogram, len(f.series))
+	for k, m := range f.series {
+		if h, ok := m.(*Histogram); ok {
+			keys = append(keys, k)
+			hists[k] = h
+		}
+	}
+	r.mu.Unlock()
+
+	sort.Strings(keys)
+	var out []SeriesExemplars
+	for _, k := range keys {
+		ex := hists[k].Exemplars()
+		if len(ex) == 0 {
+			continue
+		}
+		out = append(out, SeriesExemplars{Labels: parseLabelKey(k), Exemplars: ex})
+	}
+	return out
+}

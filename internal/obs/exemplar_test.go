@@ -1,0 +1,74 @@
+package obs
+
+import (
+	"testing"
+	"time"
+)
+
+func TestHistogramExemplars(t *testing.T) {
+	reg := NewRegistry()
+	h := reg.Histogram("ion_pipeline_stage_seconds", "stage latency", nil, L("stage", "analyze"))
+	h.ObserveExemplar(0.004, "job-fast")
+	h.ObserveExemplar(7.5, "job-slow")
+	h.ObserveExemplar(0.0045, "job-faster") // same bucket as job-fast: newest wins
+	h.Observe(100)                          // no trace id: counted, no exemplar
+
+	if got := h.Count(); got != 4 {
+		t.Fatalf("Count = %d, want 4 (ObserveExemplar must count like Observe)", got)
+	}
+	ex := h.Exemplars()
+	if len(ex) != 2 {
+		t.Fatalf("exemplars = %+v, want 2", ex)
+	}
+	if ex[0].TraceID != "job-slow" || ex[0].Value != 7.5 {
+		t.Errorf("slowest exemplar = %+v, want job-slow@7.5", ex[0])
+	}
+	if ex[1].TraceID != "job-faster" {
+		t.Errorf("bucket exemplar = %+v, want job-faster (newest replaces)", ex[1])
+	}
+	if ex[0].Time.IsZero() || time.Since(ex[0].Time) > time.Minute {
+		t.Errorf("exemplar time not stamped: %v", ex[0].Time)
+	}
+}
+
+func TestRegistryExemplars(t *testing.T) {
+	reg := NewRegistry()
+	reg.Histogram("lat", "latency", nil, L("stage", "b")).ObserveExemplar(2, "t2")
+	reg.Histogram("lat", "latency", nil, L("stage", "a")).ObserveExemplar(1, "t1")
+	reg.Histogram("lat", "latency", nil, L("stage", "c")) // no exemplars: omitted
+	reg.Counter("hits", "hits").Inc()
+
+	got := reg.Exemplars("lat")
+	if len(got) != 2 {
+		t.Fatalf("series = %+v, want 2", got)
+	}
+	if got[0].Labels[0].Value != "a" || got[1].Labels[0].Value != "b" {
+		t.Errorf("series order wrong: %+v", got)
+	}
+	if got[0].Exemplars[0].TraceID != "t1" {
+		t.Errorf("exemplar = %+v, want t1", got[0].Exemplars[0])
+	}
+	if reg.Exemplars("hits") != nil {
+		t.Error("Exemplars on a counter family should be nil")
+	}
+	if reg.Exemplars("missing") != nil {
+		t.Error("Exemplars on a missing family should be nil")
+	}
+}
+
+func TestObserveStagesRecordsTraceExemplar(t *testing.T) {
+	reg := NewRegistry()
+	tl := Timeline{Trace: "job-42", Spans: []SpanRecord{
+		{ID: 1, Name: "analyze", Seconds: 3.2},
+	}}
+	ObserveStages(reg, tl)
+	ObserveStages(reg, Timeline{Spans: []SpanRecord{{ID: 1, Name: "analyze", Seconds: 9}}})
+
+	series := reg.Exemplars("ion_pipeline_stage_seconds")
+	if len(series) != 1 || len(series[0].Exemplars) != 1 {
+		t.Fatalf("exemplars = %+v, want exactly the traced observation", series)
+	}
+	if series[0].Exemplars[0].TraceID != "job-42" {
+		t.Errorf("trace id = %q, want job-42", series[0].Exemplars[0].TraceID)
+	}
+}

@@ -1,0 +1,165 @@
+package flight
+
+import (
+	"context"
+	"fmt"
+	"log/slog"
+	"strconv"
+	"sync"
+	"time"
+)
+
+// logRecord is one captured log line: the ring stores fully rendered
+// lines so a later Capture needs no access to the original attrs.
+type logRecord struct {
+	t     time.Time
+	level slog.Level
+	line  string // "message key=value key=value"
+}
+
+// logRing is a fixed-capacity ring of recent log records. Memory is
+// capped by construction: the backing slice is allocated once and
+// records are overwritten in place.
+type logRing struct {
+	mu   sync.Mutex
+	recs []logRecord
+	head int // index of the oldest record
+	n    int // live records
+}
+
+func newLogRing(capacity int) *logRing {
+	return &logRing{recs: make([]logRecord, capacity)}
+}
+
+// add appends a record, evicting the oldest when full.
+func (r *logRing) add(rec logRecord) {
+	r.mu.Lock()
+	if r.n < len(r.recs) {
+		r.recs[(r.head+r.n)%len(r.recs)] = rec
+		r.n++
+	} else {
+		r.recs[r.head] = rec
+		r.head = (r.head + 1) % len(r.recs)
+	}
+	r.mu.Unlock()
+}
+
+// snapshot copies the live records, oldest first.
+func (r *logRing) snapshot() []logRecord {
+	r.mu.Lock()
+	out := make([]logRecord, r.n)
+	for i := 0; i < r.n; i++ {
+		out[i] = r.recs[(r.head+i)%len(r.recs)]
+	}
+	r.mu.Unlock()
+	return out
+}
+
+func (r *logRing) len() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.n
+}
+
+// linePool recycles the byte buffers log lines are rendered into, so
+// the hot path's only allocation is the final string.
+var linePool = sync.Pool{New: func() any { b := make([]byte, 0, 256); return &b }}
+
+// teeHandler is a slog.Handler that records every log line into the
+// recorder's ring and forwards to the wrapped handler. It is always
+// enabled at debug and above: the ring keeps records the sink's level
+// would drop, so an incident bundle carries more context than stderr
+// ever showed.
+type teeHandler struct {
+	ring   *logRing
+	next   slog.Handler
+	prefix string // rendered WithAttrs attrs, " key=value" each
+	group  string // dotted group prefix for subsequent attr keys
+}
+
+// LogHandler wraps next so every record is also retained in the
+// recorder's in-memory ring. Pass the result to slog.New for the
+// process root logger.
+func (r *Recorder) LogHandler(next slog.Handler) slog.Handler {
+	return &teeHandler{ring: r.logs, next: next}
+}
+
+func (h *teeHandler) Enabled(context.Context, slog.Level) bool { return true }
+
+func (h *teeHandler) Handle(ctx context.Context, rec slog.Record) error {
+	bp := linePool.Get().(*[]byte)
+	b := (*bp)[:0]
+	b = append(b, rec.Message...)
+	b = append(b, h.prefix...)
+	rec.Attrs(func(a slog.Attr) bool {
+		b = appendAttr(b, h.group, a)
+		return true
+	})
+	h.ring.add(logRecord{t: rec.Time, level: rec.Level, line: string(b)})
+	*bp = b
+	linePool.Put(bp)
+	if h.next != nil && h.next.Enabled(ctx, rec.Level) {
+		return h.next.Handle(ctx, rec)
+	}
+	return nil
+}
+
+func (h *teeHandler) WithAttrs(attrs []slog.Attr) slog.Handler {
+	b := []byte(h.prefix)
+	for _, a := range attrs {
+		b = appendAttr(b, h.group, a)
+	}
+	next := h.next
+	if next != nil {
+		next = next.WithAttrs(attrs)
+	}
+	return &teeHandler{ring: h.ring, next: next, prefix: string(b), group: h.group}
+}
+
+func (h *teeHandler) WithGroup(name string) slog.Handler {
+	if name == "" {
+		return h
+	}
+	next := h.next
+	if next != nil {
+		next = next.WithGroup(name)
+	}
+	return &teeHandler{ring: h.ring, next: next, prefix: h.prefix, group: h.group + name + "."}
+}
+
+// appendAttr renders " key=value" without allocating for the common
+// attribute kinds (string, int, uint, float, bool, time). Rare kinds
+// fall back to the Value's formatter.
+func appendAttr(b []byte, group string, a slog.Attr) []byte {
+	if a.Value.Kind() == slog.KindGroup {
+		sub := group + a.Key + "."
+		for _, ga := range a.Value.Group() {
+			b = appendAttr(b, sub, ga)
+		}
+		return b
+	}
+	b = append(b, ' ')
+	b = append(b, group...)
+	b = append(b, a.Key...)
+	b = append(b, '=')
+	v := a.Value.Resolve()
+	switch v.Kind() {
+	case slog.KindString:
+		b = append(b, v.String()...)
+	case slog.KindInt64:
+		b = strconv.AppendInt(b, v.Int64(), 10)
+	case slog.KindUint64:
+		b = strconv.AppendUint(b, v.Uint64(), 10)
+	case slog.KindFloat64:
+		b = strconv.AppendFloat(b, v.Float64(), 'g', -1, 64)
+	case slog.KindBool:
+		b = strconv.AppendBool(b, v.Bool())
+	case slog.KindTime:
+		b = v.Time().AppendFormat(b, time.RFC3339Nano)
+	case slog.KindDuration:
+		b = append(b, v.Duration().String()...)
+	default:
+		b = fmt.Appendf(b, "%v", v.Any())
+	}
+	return b
+}

@@ -1,0 +1,136 @@
+package flight
+
+import (
+	"sort"
+	"sync"
+
+	"ion/internal/obs"
+)
+
+// sampledTrace is one retained span timeline: the root duration it was
+// ranked by plus the full tree.
+type sampledTrace struct {
+	Seconds  float64      `json:"seconds"`
+	Timeline obs.Timeline `json:"timeline"`
+}
+
+// opSamples is the per-operation retention set: a min-heap on Seconds
+// in a fixed-capacity slice, so the slowest K timelines survive and
+// the common case — a completed trace faster than everything retained —
+// is a single float comparison with no allocation.
+type opSamples struct {
+	items []sampledTrace // min-heap by Seconds, cap == K
+}
+
+// spanSampler tail-samples completed span timelines: for every root
+// operation name it keeps the K slowest trees. A p99 job is by
+// definition among the slowest, so the trace that trips a latency alert
+// is still in memory when Capture runs.
+type spanSampler struct {
+	perOp  int
+	maxOps int
+
+	mu      sync.Mutex
+	ops     map[string]*opSamples
+	dropped int64 // timelines rejected by the maxOps bound
+}
+
+func newSpanSampler(perOp, maxOps int) *spanSampler {
+	return &spanSampler{perOp: perOp, maxOps: maxOps, ops: make(map[string]*opSamples)}
+}
+
+// Offer considers one completed timeline for retention. The operation
+// is the root span's name; the ranking key its duration. Timelines
+// whose operation set is full and whose root is faster than everything
+// retained are rejected without allocating.
+func (s *spanSampler) Offer(tl obs.Timeline) {
+	root, ok := rootSpan(tl)
+	if !ok {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	op, ok := s.ops[root.Name]
+	if !ok {
+		if len(s.ops) >= s.maxOps {
+			s.dropped++
+			return
+		}
+		op = &opSamples{items: make([]sampledTrace, 0, s.perOp)}
+		s.ops[root.Name] = op
+	}
+	if len(op.items) < s.perOp {
+		op.items = append(op.items, sampledTrace{Seconds: root.Seconds, Timeline: tl})
+		op.up(len(op.items) - 1)
+		return
+	}
+	if root.Seconds <= op.items[0].Seconds {
+		return // faster than the slowest-K floor: the no-alloc hot path
+	}
+	op.items[0] = sampledTrace{Seconds: root.Seconds, Timeline: tl}
+	op.down(0)
+}
+
+// rootSpan finds the first parentless span of the timeline.
+func rootSpan(tl obs.Timeline) (obs.SpanRecord, bool) {
+	for _, r := range tl.Spans {
+		if r.Parent == 0 {
+			return r, true
+		}
+	}
+	return obs.SpanRecord{}, false
+}
+
+func (o *opSamples) up(i int) {
+	for i > 0 {
+		p := (i - 1) / 2
+		if o.items[p].Seconds <= o.items[i].Seconds {
+			return
+		}
+		o.items[p], o.items[i] = o.items[i], o.items[p]
+		i = p
+	}
+}
+
+func (o *opSamples) down(i int) {
+	for {
+		l, r := 2*i+1, 2*i+2
+		min := i
+		if l < len(o.items) && o.items[l].Seconds < o.items[min].Seconds {
+			min = l
+		}
+		if r < len(o.items) && o.items[r].Seconds < o.items[min].Seconds {
+			min = r
+		}
+		if min == i {
+			return
+		}
+		o.items[i], o.items[min] = o.items[min], o.items[i]
+		i = min
+	}
+}
+
+// snapshot copies the retained timelines, slowest first per operation,
+// operations sorted by name.
+func (s *spanSampler) snapshot() map[string][]sampledTrace {
+	s.mu.Lock()
+	out := make(map[string][]sampledTrace, len(s.ops))
+	for name, op := range s.ops {
+		items := append([]sampledTrace(nil), op.items...)
+		sort.Slice(items, func(i, j int) bool { return items[i].Seconds > items[j].Seconds })
+		out[name] = items
+	}
+	s.mu.Unlock()
+	return out
+}
+
+// count returns the total retained timelines.
+func (s *spanSampler) count() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	n := 0
+	for _, op := range s.ops {
+		n += len(op.items)
+	}
+	return n
+}

@@ -333,6 +333,9 @@ type Histogram struct {
 	counts  []uint64  // len(bounds)+1; last is +Inf
 	sum     float64
 	observe uint64
+	// exemplars holds the latest exemplar per bucket (parallel to
+	// counts), allocated on the first ObserveExemplar.
+	exemplars []Exemplar
 }
 
 func newHistogram(bounds []float64) *Histogram {

@@ -360,12 +360,29 @@ type alert struct {
 	history     []Transition
 }
 
+// RuleTransition is the payload delivered to an Options.OnTransition
+// callback: one alert state change, with enough context to act on it
+// without querying the engine back (which would deadlock).
+type RuleTransition struct {
+	Rule     string     `json:"rule"`
+	Severity string     `json:"severity"`
+	From     AlertState `json:"from"`
+	To       AlertState `json:"to"`
+	At       time.Time  `json:"at"`
+	Value    float64    `json:"value"`
+}
+
 // engine evaluates rules against a Store after every scrape.
 type engine struct {
 	log *slog.Logger
+	// onTransition, when set, receives every state change. It is invoked
+	// AFTER the engine lock is released (see eval), so callbacks may call
+	// back into the store or engine (Alerts, Query) safely.
+	onTransition func(RuleTransition)
 
-	mu     sync.Mutex
-	alerts []*alert
+	mu      sync.Mutex
+	alerts  []*alert
+	pending []RuleTransition // transitions awaiting callback delivery
 }
 
 func newEngine(rules []Rule, log *slog.Logger) *engine {
@@ -391,9 +408,11 @@ func newEngine(rules []Rule, log *slog.Logger) *engine {
 }
 
 // eval runs every rule against the store's current series at time now.
+// Transition callbacks collected during the locked pass are delivered
+// after the lock is released, so a callback that re-enters the engine
+// (Store.Alerts inside an incident capture) cannot deadlock.
 func (e *engine) eval(s *Store, now time.Time) {
 	e.mu.Lock()
-	defer e.mu.Unlock()
 	for _, a := range e.alerts {
 		value, ok := evalExpr(s, a.rule.parsed)
 		a.lastEval = now
@@ -403,6 +422,12 @@ func (e *engine) eval(s *Store, now time.Time) {
 		}
 		active := ok && a.rule.parsed.compare(value)
 		e.step(a, active, now)
+	}
+	pending := e.pending
+	e.pending = nil
+	e.mu.Unlock()
+	for _, t := range pending {
+		e.onTransition(t)
 	}
 }
 
@@ -445,6 +470,12 @@ func (e *engine) transition(a *alert, to AlertState, now time.Time) {
 	}
 	logAt("alert transition", "rule", a.rule.Name, "from", string(from), "to", string(to),
 		"value", a.value, "expr", a.rule.Expr, "severity", a.rule.Severity)
+	if e.onTransition != nil {
+		e.pending = append(e.pending, RuleTransition{
+			Rule: a.rule.Name, Severity: a.rule.Severity,
+			From: from, To: to, At: now, Value: a.value,
+		})
+	}
 }
 
 // evalExpr computes the expression's current value: the latest point of

@@ -232,3 +232,42 @@ func TestInvalidLiteralRuleDropped(t *testing.T) {
 		t.Fatalf("alerts = %+v, want only the valid rule", alerts)
 	}
 }
+
+func TestOnTransitionCallback(t *testing.T) {
+	reg := obs.NewRegistry()
+	g := reg.Gauge("ion_test_ratio", "r")
+	var got []RuleTransition
+	var st *Store
+	st = New(reg, Options{
+		Interval:  time.Second,
+		Retention: time.Minute,
+		Rules:     []Rule{{Name: "RatioHigh", Expr: "ion_test_ratio > 0.5", For: Duration(2 * time.Second), Severity: "page"}},
+		OnTransition: func(tr RuleTransition) {
+			// Re-entering the engine from the callback must not deadlock:
+			// the incident capture path reads Alerts() mid-callback.
+			_ = st.Alerts()
+			got = append(got, tr)
+		},
+	})
+
+	g.Set(0.9)
+	st.Scrape(at(0))
+	st.Scrape(at(3 * time.Second))
+	g.Set(0.1)
+	st.Scrape(at(4 * time.Second))
+
+	var seq []string
+	for _, tr := range got {
+		seq = append(seq, string(tr.From)+"->"+string(tr.To))
+	}
+	want := "ok->pending pending->firing firing->resolved"
+	if strings.Join(seq, " ") != want {
+		t.Fatalf("callback transitions = %v, want %q", seq, want)
+	}
+	if got[1].Rule != "RatioHigh" || got[1].Severity != "page" || got[1].Value != 0.9 {
+		t.Errorf("firing transition payload = %+v", got[1])
+	}
+	if !got[1].At.Equal(at(3 * time.Second)) {
+		t.Errorf("firing At = %v, want scrape time", got[1].At)
+	}
+}

@@ -73,6 +73,11 @@ type Options struct {
 	// Rules are the alert rules the engine evaluates after every
 	// scrape; nil means no alerting.
 	Rules []Rule
+	// OnTransition, when set, receives every alert state change. It is
+	// invoked synchronously from Scrape after the engine lock is
+	// released, so it may safely call Alerts or Query; anything slow
+	// (profiling, disk writes) should be handed to a goroutine.
+	OnTransition func(RuleTransition)
 	// Logger receives alert transitions and store lifecycle logs; nil
 	// discards.
 	Logger *slog.Logger
@@ -175,6 +180,7 @@ func New(reg *obs.Registry, opts Options) *Store {
 		done:   make(chan struct{}),
 	}
 	s.engine = newEngine(opts.Rules, opts.Logger)
+	s.engine.onTransition = opts.OnTransition
 	reg.GaugeFunc("ion_alerts_firing", "Alert rules currently in the firing state.",
 		func() float64 { return float64(s.engine.firingCount()) })
 	reg.GaugeFunc("ion_series_count", "Distinct series retained by the in-process time-series store.",

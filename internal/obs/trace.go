@@ -188,12 +188,19 @@ func (tl Timeline) Children(id int) []SpanRecord {
 // ion_pipeline_stage_seconds histogram, one series per span name. Span
 // names are the bounded stage vocabulary (parse, extract, diagnose,
 // llm_complete, summarize, …); high-cardinality detail lives in span
-// attributes, which are not exported as labels.
+// attributes, which are not exported as labels. When the timeline
+// carries a trace id, each observation records it as the bucket's
+// exemplar, so quantile queries can name the job behind the number.
 func ObserveStages(reg *Registry, tl Timeline) {
 	for _, r := range tl.Spans {
-		reg.Histogram("ion_pipeline_stage_seconds",
+		h := reg.Histogram("ion_pipeline_stage_seconds",
 			"Latency of each ION pipeline stage, labeled by span name.",
-			nil, L("stage", r.Name)).Observe(r.Seconds)
+			nil, L("stage", r.Name))
+		if tl.Trace != "" {
+			h.ObserveExemplar(r.Seconds, tl.Trace)
+		} else {
+			h.Observe(r.Seconds)
+		}
 	}
 }
 

@@ -10,6 +10,7 @@ import (
 	"strings"
 	"time"
 
+	"ion/internal/obs"
 	"ion/internal/obs/series"
 )
 
@@ -19,7 +20,7 @@ func (s *JobServer) seriesDisabled(w http.ResponseWriter) bool {
 	if s.series != nil {
 		return false
 	}
-	http.Error(w, "time-series store disabled: start ionserve with scraping enabled", http.StatusNotFound)
+	s.errorJSON(w, http.StatusNotFound, "time-series store disabled: start ionserve with scraping enabled")
 	return true
 }
 
@@ -34,6 +35,10 @@ type queryResponse struct {
 	// Series holds one entry per matching labeled series; points are
 	// [unix_ms, value] pairs, oldest first.
 	Series []series.Result `json:"series"`
+	// Exemplars, present when the queried metric is backed by a
+	// histogram, pins concrete trace/job/request ids to observed values
+	// (largest first) — the answer to "which job was the p99?".
+	Exemplars []obs.SeriesExemplars `json:"exemplars,omitempty"`
 }
 
 // handleMetricsQuery serves windowed series from the in-process store:
@@ -53,14 +58,14 @@ func (s *JobServer) handleMetricsQuery(w http.ResponseWriter, r *http.Request) {
 	q := r.URL.Query()
 	name := q.Get("name")
 	if name == "" {
-		http.Error(w, "bad request: name parameter is required (see /api/metrics/query docs)", http.StatusBadRequest)
+		s.errorJSON(w, http.StatusBadRequest, "name parameter is required (see /api/metrics/query docs)")
 		return
 	}
 	window := 10 * time.Minute
 	if v := q.Get("window"); v != "" {
 		d, err := time.ParseDuration(v)
 		if err != nil || d <= 0 {
-			http.Error(w, "bad request: window must be a positive duration like 10m", http.StatusBadRequest)
+			s.errorJSON(w, http.StatusBadRequest, "window must be a positive duration like 10m, got "+strconv.Quote(v))
 			return
 		}
 		window = d
@@ -69,7 +74,7 @@ func (s *JobServer) handleMetricsQuery(w http.ResponseWriter, r *http.Request) {
 	if v := q.Get("step"); v != "" {
 		d, err := time.ParseDuration(v)
 		if err != nil || d <= 0 {
-			http.Error(w, "bad request: step must be a positive duration like 30s", http.StatusBadRequest)
+			s.errorJSON(w, http.StatusBadRequest, "step must be a positive duration like 30s, got "+strconv.Quote(v))
 			return
 		}
 		step = d
@@ -78,13 +83,19 @@ func (s *JobServer) handleMetricsQuery(w http.ResponseWriter, r *http.Request) {
 	switch agg {
 	case "", "avg", "max", "min", "sum", "last":
 	default:
-		http.Error(w, "bad request: agg must be avg, max, min, sum, or last", http.StatusBadRequest)
+		s.errorJSON(w, http.StatusBadRequest, "agg must be avg, max, min, sum, or last, got "+strconv.Quote(agg))
 		return
 	}
 	labels := map[string]string{}
 	for key, vals := range q {
-		if k, ok := strings.CutPrefix(key, "l."); ok && len(vals) > 0 {
-			labels[k] = vals[0]
+		if k, ok := strings.CutPrefix(key, "l."); ok {
+			if k == "" {
+				s.errorJSON(w, http.StatusBadRequest, "label selector needs a key: use l.<key>=<value>")
+				return
+			}
+			if len(vals) > 0 {
+				labels[k] = vals[0]
+			}
 		}
 	}
 
@@ -99,7 +110,46 @@ func (s *JobServer) handleMetricsQuery(w http.ResponseWriter, r *http.Request) {
 	s.writeJSON(w, http.StatusOK, queryResponse{
 		Name: name, From: from.UnixMilli(), To: now.UnixMilli(),
 		Step: step.Milliseconds(), Series: results,
+		Exemplars: s.queryExemplars(name, labels),
 	})
+}
+
+// queryExemplars resolves the exemplars relevant to a query: the
+// queried name is mapped back to its histogram family (quantile series
+// carry the family name; _count/_sum are suffixed), the family's
+// exemplars fetched from the registry, and series filtered by the
+// query's label selector (the synthetic quantile label aside, which
+// exemplar series do not carry).
+func (s *JobServer) queryExemplars(name string, labels map[string]string) []obs.SeriesExemplars {
+	family := strings.TrimSuffix(strings.TrimSuffix(name, "_count"), "_sum")
+	all := s.obs.Exemplars(family)
+	if len(all) == 0 {
+		return nil
+	}
+	var out []obs.SeriesExemplars
+	for _, se := range all {
+		match := true
+		for k, v := range labels {
+			if k == "quantile" {
+				continue
+			}
+			found := false
+			for _, l := range se.Labels {
+				if l.Key == k {
+					found = l.Value == v
+					break
+				}
+			}
+			if !found {
+				match = false
+				break
+			}
+		}
+		if match {
+			out = append(out, se)
+		}
+	}
+	return out
 }
 
 // alertsResponse is the GET /api/alerts wire type.
@@ -204,7 +254,11 @@ func (s *JobServer) handleDashboard(w http.ResponseWriter, r *http.Request) {
 	} else {
 		b.WriteString(`<span class="ok">no alerts firing</span>`)
 	}
-	b.WriteString(` &middot; <a href="/api/alerts">alerts JSON</a> &middot; <a href="/metrics">metrics</a> &middot; <a href="/">jobs</a></p>`)
+	b.WriteString(` &middot; <a href="/api/alerts">alerts JSON</a>`)
+	if s.flight != nil {
+		fmt.Fprintf(&b, ` &middot; <a href="/api/incidents">%d incident(s)</a>`, len(s.flight.List()))
+	}
+	b.WriteString(` &middot; <a href="/metrics">metrics</a> &middot; <a href="/">jobs</a></p>`)
 
 	b.WriteString(`<div class="grid">`)
 	for _, p := range dashboardPanels() {
@@ -212,7 +266,7 @@ func (s *JobServer) handleDashboard(w http.ResponseWriter, r *http.Request) {
 	}
 	b.WriteString(`</div>`)
 
-	renderAlertTable(&b, alerts)
+	renderAlertTable(&b, alerts, s.incidentsByRule())
 	b.WriteString("</body></html>\n")
 
 	w.Header().Set("Content-Type", "text/html; charset=utf-8")
@@ -335,14 +389,33 @@ func formatUnit(v float64, unit string) string {
 	}
 }
 
-// renderAlertTable writes the alert rules and their lifecycle states.
-func renderAlertTable(b *strings.Builder, alerts []series.AlertStatus) {
+// incidentsByRule maps each alert rule to its most recent incident
+// bundle id (captures triggered by rule transitions carry the reason
+// "alert:<rule>"). Nil when no recorder is wired in.
+func (s *JobServer) incidentsByRule() map[string]string {
+	if s.flight == nil {
+		return nil
+	}
+	out := map[string]string{}
+	for _, m := range s.flight.List() { // newest first: first match wins
+		if rule, ok := strings.CutPrefix(m.Reason, "alert:"); ok {
+			if _, seen := out[rule]; !seen {
+				out[rule] = m.ID
+			}
+		}
+	}
+	return out
+}
+
+// renderAlertTable writes the alert rules and their lifecycle states,
+// linking each rule that has captured an incident to its bundle.
+func renderAlertTable(b *strings.Builder, alerts []series.AlertStatus, incidents map[string]string) {
 	b.WriteString(`<h2>Alerts</h2>`)
 	if len(alerts) == 0 {
 		b.WriteString(`<p class="nodata">no alert rules configured</p>`)
 		return
 	}
-	b.WriteString(`<table><tr><th>rule</th><th>state</th><th>severity</th><th>expr</th><th>for</th><th>value</th><th>since</th></tr>`)
+	b.WriteString(`<table><tr><th>rule</th><th>state</th><th>severity</th><th>expr</th><th>for</th><th>value</th><th>since</th><th>incident</th></tr>`)
 	for _, a := range alerts {
 		cls := "state-" + string(a.State)
 		since := ""
@@ -353,10 +426,14 @@ func renderAlertTable(b *strings.Builder, alerts []series.AlertStatus) {
 		if a.NoData {
 			value = "no data"
 		}
-		fmt.Fprintf(b, `<tr><td>%s</td><td class="%s">%s</td><td>%s</td><td><code>%s</code></td><td>%s</td><td>%s</td><td>%s</td></tr>`,
+		incident := ""
+		if id, ok := incidents[a.Rule.Name]; ok {
+			incident = fmt.Sprintf(`<a href="/api/incidents/%s/download">bundle</a>`, html.EscapeString(id))
+		}
+		fmt.Fprintf(b, `<tr><td>%s</td><td class="%s">%s</td><td>%s</td><td><code>%s</code></td><td>%s</td><td>%s</td><td>%s</td><td>%s</td></tr>`,
 			html.EscapeString(a.Rule.Name), cls, html.EscapeString(string(a.State)),
 			html.EscapeString(a.Rule.Severity), html.EscapeString(a.Rule.Expr),
-			html.EscapeString(a.Rule.For), value, since)
+			html.EscapeString(a.Rule.For), value, since, incident)
 	}
 	b.WriteString(`</table>`)
 }

@@ -2,6 +2,7 @@ package webui
 
 import (
 	"context"
+	"encoding/json"
 	"fmt"
 	"io"
 	"net/http"
@@ -252,22 +253,42 @@ func TestQueryValidation(t *testing.T) {
 	store.Scrape(time.Now())
 
 	for _, c := range []struct {
-		url  string
-		want int
+		url     string
+		want    int
+		errHint string // substring the JSON error body must carry
 	}{
-		{"/api/metrics/query", http.StatusBadRequest},                     // no name
-		{"/api/metrics/query?name=x&window=bogus", http.StatusBadRequest}, // bad window
-		{"/api/metrics/query?name=x&step=-5s", http.StatusBadRequest},     // bad step
-		{"/api/metrics/query?name=x&agg=median", http.StatusBadRequest},   // bad agg
-		{"/api/metrics/query?name=ion_never_seen", http.StatusOK},         // empty result, not an error
+		{"/api/metrics/query", http.StatusBadRequest, "name"},                       // no name
+		{"/api/metrics/query?name=x&window=bogus", http.StatusBadRequest, "window"}, // bad window
+		{"/api/metrics/query?name=x&window=-1m", http.StatusBadRequest, "window"},   // negative window
+		{"/api/metrics/query?name=x&step=-5s", http.StatusBadRequest, "step"},       // bad step
+		{"/api/metrics/query?name=x&step=zzz", http.StatusBadRequest, "step"},       // unparsable step
+		{"/api/metrics/query?name=x&agg=median", http.StatusBadRequest, "agg"},      // bad agg
+		{"/api/metrics/query?name=x&l.=prod", http.StatusBadRequest, "label"},       // label selector with no key
+		{"/api/metrics/query?name=ion_never_seen", http.StatusOK, ""},               // empty result, not an error
 	} {
 		resp, err := http.Get(srv.URL + c.url)
 		if err != nil {
 			t.Fatal(err)
 		}
+		body, _ := io.ReadAll(resp.Body)
 		resp.Body.Close()
 		if resp.StatusCode != c.want {
 			t.Errorf("GET %s = %d, want %d", c.url, resp.StatusCode, c.want)
+		}
+		if c.want != http.StatusBadRequest {
+			continue
+		}
+		// Every 400 carries a machine-readable JSON body naming the
+		// offending parameter.
+		var apiErr struct {
+			Error string `json:"error"`
+		}
+		if err := json.Unmarshal(body, &apiErr); err != nil || apiErr.Error == "" {
+			t.Errorf("GET %s body = %q, want JSON {\"error\": ...}", c.url, body)
+			continue
+		}
+		if !strings.Contains(apiErr.Error, c.errHint) {
+			t.Errorf("GET %s error = %q, want mention of %q", c.url, apiErr.Error, c.errHint)
 		}
 	}
 

@@ -10,12 +10,14 @@ import (
 	"net/http"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"ion/internal/ion"
 	"ion/internal/jobs"
 	"ion/internal/llm"
 	"ion/internal/obs"
+	"ion/internal/obs/flight"
 	"ion/internal/obs/series"
 	"ion/internal/report"
 )
@@ -31,7 +33,9 @@ type JobServer struct {
 	client llm.Client
 	obs    *obs.Registry
 	log    *slog.Logger
-	series *series.Store // nil disables /dashboard and the query/alerts APIs
+	series *series.Store    // nil disables /dashboard and the query/alerts APIs
+	flight *flight.Recorder // nil disables the incident APIs
+	reqSeq atomic.Int64     // request-id source for latency exemplars
 
 	mu       sync.Mutex
 	sessions map[string]*ion.Session // job id → chat session
@@ -76,6 +80,16 @@ func (s *JobServer) WithSeries(store *series.Store) *JobServer {
 	return s
 }
 
+// WithFlight wires the flight recorder behind /api/incidents,
+// /api/incidents/{id}/download, and /api/debug/capture, and returns
+// the server for chaining. Without it those routes answer 404. The
+// caller owns the recorder's lifecycle (Start/Stop) and its alert
+// trigger wiring.
+func (s *JobServer) WithFlight(rec *flight.Recorder) *JobServer {
+	s.flight = rec
+	return s
+}
+
 // Handler returns the HTTP routes of the analysis service:
 //
 //	GET  /                     the job list page (HTML)
@@ -89,10 +103,13 @@ func (s *JobServer) WithSeries(store *series.Store) *JobServer {
 //	GET  /api/stats            queue/worker/cache counters (JSON)
 //	GET  /api/metrics/query    windowed series from the in-process store (JSON)
 //	GET  /api/alerts           alert rule states and transition history (JSON)
+//	GET  /api/incidents        flight-recorder bundle manifests (JSON)
+//	GET  /api/incidents/{id}/download  one incident bundle (tar.gz)
+//	POST /api/debug/capture    capture an on-demand incident bundle
 //	GET  /dashboard            live self-observation page (HTML, inline SVG)
 //	GET  /healthz              liveness probe (always 200 while serving)
 //	GET  /readyz               readiness probe (503 while paused or draining)
-//	GET  /metrics              Prometheus text exposition
+//	GET  /metrics              Prometheus text exposition (gzip-aware)
 //
 // Every route is wrapped in telemetry middleware recording request
 // count, latency, and status by route into the server's registry.
@@ -112,8 +129,11 @@ func (s *JobServer) Handler() http.Handler {
 	handle("GET /api/stats", s.handleStats)
 	handle("GET /api/metrics/query", s.handleMetricsQuery)
 	handle("GET /api/alerts", s.handleAlerts)
+	handle("GET /api/incidents", s.handleIncidents)
+	handle("GET /api/incidents/{id}/download", s.handleIncidentDownload)
+	handle("POST /api/debug/capture", s.handleDebugCapture)
 	handle("GET /dashboard", s.handleDashboard)
-	handle("GET /metrics", s.obs.Handler().ServeHTTP)
+	handle("GET /metrics", withGzip(s.obs.Handler()).ServeHTTP)
 	// Probes bypass the instrument middleware: they are hit every few
 	// seconds by orchestrators and would dominate the request metrics.
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
@@ -134,9 +154,13 @@ func (w *statusWriter) WriteHeader(code int) {
 
 // instrument wraps a handler with per-route request metrics and
 // structured request logging. The route label is the mux pattern, not
-// the raw URL, so cardinality stays bounded.
+// the raw URL, so cardinality stays bounded. Each request gets a
+// sequential id that is logged and attached to the latency histogram
+// as its bucket exemplar, so a spike on the dashboard names the
+// request behind it (grep the id in the logs or an incident bundle).
 func (s *JobServer) instrument(route string, h http.Handler) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		reqID := fmt.Sprintf("req-%d", s.reqSeq.Add(1))
 		sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
 		start := time.Now()
 		h.ServeHTTP(sw, r.WithContext(obs.WithLogger(r.Context(), s.log)))
@@ -146,12 +170,12 @@ func (s *JobServer) instrument(route string, h http.Handler) http.Handler {
 			obs.L("route", route), obs.L("code", fmt.Sprint(sw.status))).Inc()
 		s.obs.Histogram("ion_http_request_seconds",
 			"HTTP request latency by route.", nil,
-			obs.L("route", route)).Observe(elapsed.Seconds())
+			obs.L("route", route)).ObserveExemplar(elapsed.Seconds(), reqID)
 		logAt := s.log.Debug
 		if sw.status >= 500 {
 			logAt = s.log.Warn
 		}
-		logAt("http request", "route", route, "status", sw.status,
+		logAt("http request", "id", reqID, "route", route, "status", sw.status,
 			"elapsed", elapsed.Round(time.Microsecond).String(), "remote", r.RemoteAddr)
 	})
 }
