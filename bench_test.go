@@ -32,6 +32,7 @@ import (
 	"ion/internal/llm"
 	"ion/internal/prompt"
 	"ion/internal/rag"
+	"ion/internal/semcache"
 	"ion/internal/testutil"
 	"ion/internal/workloads"
 )
@@ -639,6 +640,70 @@ func BenchmarkLargeTrace(b *testing.B) {
 		}
 	}
 	b.ReportMetric(float64(log.TotalOps()), "trace-ops")
+}
+
+// BenchmarkSemcacheLookup measures one semantic-cache nearest-neighbor
+// lookup against a 10k-entry store: the linear cosine scan over
+// quantized signatures that every job submission pays before deciding
+// whether to reuse, condition, or run cold.
+func BenchmarkSemcacheLookup(b *testing.B) {
+	const entries = 10_000
+	store, err := semcache.Open(semcache.Options{
+		Path:       filepath.Join(b.TempDir(), "semcache.jsonl"),
+		MaxEntries: -1,
+		MaxBytes:   -1,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer store.Close()
+	dims := len(semcache.Dimensions())
+	for i := 0; i < entries; i++ {
+		sig := make(semcache.Signature, dims)
+		for d := range sig {
+			// Deterministic spread across the unit cube so neighbors are
+			// realistic: no near-duplicates, no degenerate zero vectors.
+			sig[d] = float64((i*31+d*17)%97) / 96
+		}
+		err := store.Put(semcache.Entry{
+			JobID:     fmt.Sprintf("j-%012d", i),
+			TraceHash: fmt.Sprintf("h-%d", i),
+			Trace:     "bench",
+			Signature: sig,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	out, _, err := testutil.Extracted("openpmd-baseline")
+	if err != nil {
+		b.Fatal(err)
+	}
+	query := semcache.Extract(out)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, ok := store.Lookup(query); !ok {
+			b.Fatal("lookup found no neighbor in a populated store")
+		}
+	}
+	b.ReportMetric(entries, "entries")
+}
+
+// BenchmarkSignatureExtract measures projecting an extracted trace into
+// its feature vector — the per-submission cost of semantic indexing.
+func BenchmarkSignatureExtract(b *testing.B) {
+	out, _, err := testutil.Extracted("openpmd-baseline")
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if sig := semcache.Extract(out); len(sig) == 0 {
+			b.Fatal("empty signature")
+		}
+	}
 }
 
 // BenchmarkParseTextLarge parses a synthetic trace of over a million

@@ -35,6 +35,7 @@ import (
 	"ion/internal/obs"
 	"ion/internal/obs/flight"
 	"ion/internal/obs/series"
+	"ion/internal/semcache"
 	"ion/internal/webui"
 )
 
@@ -58,6 +59,12 @@ func main() {
 		incDir     = flag.String("incident-dir", "", "directory for flight-recorder incident bundles (default: <data>/incidents; \"none\" disables the recorder)")
 		incKeep    = flag.Int("incident-retention", 16, "incident bundles kept on disk (oldest deleted first)")
 		captureCPU = flag.Int("capture-cpu-seconds", 5, "CPU-profile length inside an incident capture (0 skips the CPU profile)")
+
+		semCache      = flag.Bool("sem-cache", true, "semantic diagnosis cache: reuse prior diagnoses of similar traces")
+		semReuse      = flag.Float64("sem-reuse-threshold", 0.995, "signature similarity at or above which a prior diagnosis is served verbatim (>1 disables the verbatim tier)")
+		semCondition  = flag.Float64("sem-condition-threshold", 0.90, "signature similarity at or above which the analysis is conditioned on a prior diagnosis (>1 disables conditioning)")
+		semMaxEntries = flag.Int("sem-max-entries", semcache.DefaultMaxEntries, "semantic-cache entry bound (LRU eviction beyond it; negative disables)")
+		semMaxBytes   = flag.Int64("sem-max-bytes", semcache.DefaultMaxBytes, "semantic-cache journal byte bound (LRU eviction beyond it; negative disables)")
 	)
 	flag.Parse()
 
@@ -136,15 +143,34 @@ func main() {
 		defer rec.Stop()
 	}
 
+	// Semantic diagnosis cache: one journaled signature entry per
+	// completed diagnosis, consulted before every fresh analysis. Opened
+	// under the data dir so it survives restarts with the job store.
+	var sem *semcache.Store
+	if *semCache {
+		sem, err = semcache.Open(semcache.Options{
+			Path:       filepath.Join(dir, "semcache.jsonl"),
+			MaxEntries: *semMaxEntries,
+			MaxBytes:   *semMaxBytes,
+		})
+		if err != nil {
+			fatal(err)
+		}
+		defer sem.Close()
+	}
+
 	jobsCfg := jobs.Config{
-		Dir:         dir,
-		Client:      client,
-		Workers:     *workers,
-		QueueDepth:  *queueDepth,
-		JobTimeout:  *jobTimeout,
-		MaxAttempts: *retries,
-		Obs:         reg,
-		Logger:      logger,
+		Dir:                   dir,
+		Client:                client,
+		Workers:               *workers,
+		QueueDepth:            *queueDepth,
+		JobTimeout:            *jobTimeout,
+		MaxAttempts:           *retries,
+		Obs:                   reg,
+		Logger:                logger,
+		SemCache:              sem,
+		SemReuseThreshold:     *semReuse,
+		SemConditionThreshold: *semCondition,
 	}
 	if rec != nil {
 		// Completed job timelines feed the recorder's tail-sampler, so
@@ -176,7 +202,7 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
-		if final.State != jobs.StateDone {
+		if !final.State.Succeeded() {
 			fatal(fmt.Errorf("analyzing %s: %s", *logPath, final.Error))
 		}
 		if *htmlOut != "" {

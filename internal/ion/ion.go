@@ -154,7 +154,7 @@ func (f *Framework) AnalyzeLog(ctx context.Context, log *darshan.Log, trace, wor
 	if err != nil {
 		return nil, fmt.Errorf("ion: extracting trace: %w", err)
 	}
-	return f.analyze(ctx, out, trace)
+	return f.analyze(ctx, out, trace, AnalyzeOptions{})
 }
 
 // AnalyzeFile runs the full pipeline on a Darshan log file.
@@ -166,15 +166,32 @@ func (f *Framework) AnalyzeFile(ctx context.Context, logPath, workDir string) (*
 	if err != nil {
 		return nil, fmt.Errorf("ion: %w", err)
 	}
-	return f.analyze(ctx, out, logPath)
+	return f.analyze(ctx, out, logPath, AnalyzeOptions{})
 }
 
 // AnalyzeExtracted runs the Analyzer on already-extracted CSVs.
 func (f *Framework) AnalyzeExtracted(ctx context.Context, out *extractor.Output, trace string) (*Report, error) {
-	return f.analyze(ctx, out, trace)
+	return f.analyze(ctx, out, trace, AnalyzeOptions{})
 }
 
-func (f *Framework) analyze(ctx context.Context, out *extractor.Output, trace string) (*Report, error) {
+// AnalyzeOptions tunes one analysis run without rebuilding the
+// Framework — the semantic cache's conditioning knobs.
+type AnalyzeOptions struct {
+	// Retrieved maps issue ids to retrieved context from a similar
+	// prior diagnosis, injected into that issue's prompt so the model
+	// confirms or adjusts instead of diagnosing from scratch.
+	Retrieved map[issue.ID]string
+	// Adopted maps issue ids to diagnoses reused verbatim from a
+	// similar prior report: no LLM call is made for those issues.
+	Adopted map[issue.ID]*IssueDiagnosis
+}
+
+// AnalyzeExtractedOpts is AnalyzeExtracted with per-run options.
+func (f *Framework) AnalyzeExtractedOpts(ctx context.Context, out *extractor.Output, trace string, opts AnalyzeOptions) (*Report, error) {
+	return f.analyze(ctx, out, trace, opts)
+}
+
+func (f *Framework) analyze(ctx context.Context, out *extractor.Output, trace string, opts AnalyzeOptions) (*Report, error) {
 	kb := f.cfg.KB
 	if kb == nil {
 		kb = knowledge.NewBase(knowledge.FromExtract(out))
@@ -215,7 +232,22 @@ func (f *Framework) analyze(ctx context.Context, out *extractor.Output, trace st
 		mu       sync.Mutex
 		firstErr error
 	)
+	// Adopted diagnoses are filled in before the fan-out starts so the
+	// map writes need no synchronization with the worker goroutines.
+	var remaining []issue.ID
 	for _, id := range issues {
+		if d, ok := opts.Adopted[id]; ok && d != nil {
+			// Adopted verbatim from a similar prior diagnosis: no LLM
+			// call. Copy the struct so the neighbor's report stays
+			// untouched if a consumer mutates ours.
+			adopted := *d
+			adopted.Issue = id
+			report.Diagnoses[id] = &adopted
+			continue
+		}
+		remaining = append(remaining, id)
+	}
+	for _, id := range remaining {
 		id := id
 		wg.Add(1)
 		sem <- struct{}{}
@@ -223,7 +255,7 @@ func (f *Framework) analyze(ctx context.Context, out *extractor.Output, trace st
 			defer wg.Done()
 			defer func() { <-sem }()
 			ictx, span := obs.StartSpan(actx, "diagnose", obs.L("issue", string(id)))
-			diag, err := f.diagnoseOne(ictx, builder, id, out)
+			diag, err := f.diagnoseOne(ictx, builder, id, out, opts.Retrieved[id])
 			span.SetError(err)
 			span.End()
 			if err != nil {
@@ -268,8 +300,8 @@ func (f *Framework) analyze(ctx context.Context, out *extractor.Output, trace st
 	return report, nil
 }
 
-func (f *Framework) diagnoseOne(ctx context.Context, builder *prompt.Builder, id issue.ID, out *extractor.Output) (*IssueDiagnosis, error) {
-	req, err := builder.Diagnosis(id, out)
+func (f *Framework) diagnoseOne(ctx context.Context, builder *prompt.Builder, id issue.ID, out *extractor.Output, retrieved string) (*IssueDiagnosis, error) {
+	req, err := builder.DiagnosisConditioned(id, out, retrieved)
 	if err != nil {
 		return nil, fmt.Errorf("ion: building %s prompt: %w", id, err)
 	}

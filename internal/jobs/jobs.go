@@ -17,6 +17,7 @@ import (
 // State is a job's position in the lifecycle state machine:
 //
 //	queued → running → done
+//	              ↘ reused (served from the semantic cache, no LLM calls)
 //	              ↘ retrying → running (until attempts are exhausted)
 //	              ↘ failed
 //
@@ -29,20 +30,54 @@ const (
 	StateRunning  State = "running"
 	StateRetrying State = "retrying"
 	StateDone     State = "done"
-	StateFailed   State = "failed"
+	// StateReused is a successful terminal state reached without any
+	// LLM calls: the semantic cache found a near-duplicate prior
+	// diagnosis above the reuse threshold and its report was served
+	// verbatim (provenance in Job.ReusedFrom).
+	StateReused State = "reused"
+	StateFailed State = "failed"
 )
 
-// Terminal reports whether the state is final (done or failed).
-func (s State) Terminal() bool { return s == StateDone || s == StateFailed }
+// Terminal reports whether the state is final (done, reused or failed).
+func (s State) Terminal() bool {
+	return s == StateDone || s == StateReused || s == StateFailed
+}
+
+// Succeeded reports whether the state is terminal with a readable
+// report (done or reused).
+func (s State) Succeeded() bool { return s == StateDone || s == StateReused }
 
 // Valid reports whether s is a known lifecycle state.
 func (s State) Valid() bool {
 	switch s {
-	case StateQueued, StateRunning, StateRetrying, StateDone, StateFailed:
+	case StateQueued, StateRunning, StateRetrying, StateDone, StateReused, StateFailed:
 		return true
 	}
 	return false
 }
+
+// Reuse records how a job's diagnosis derived from a semantically
+// similar prior job — the provenance surfaced on job pages and in
+// /api/jobs/{id} as "reused_from".
+type Reuse struct {
+	// Mode is "semantic_hit" (report served verbatim, zero LLM calls)
+	// or "conditioned" (LLM ran with the neighbor's conclusions as
+	// retrieved context and its clean verdicts adopted).
+	Mode string `json:"mode"`
+	// From is the neighbor job id the diagnosis derives from.
+	From string `json:"from"`
+	// Similarity is the cosine similarity of the quantized signatures.
+	Similarity float64 `json:"similarity"`
+	// Deltas names the signature dimensions where this trace differs
+	// from the neighbor (this minus neighbor).
+	Deltas map[string]float64 `json:"deltas,omitempty"`
+}
+
+// Reuse mode labels.
+const (
+	ReuseSemanticHit = "semantic_hit"
+	ReuseConditioned = "conditioned"
+)
 
 // Job is one analysis request: a Darshan trace submitted for diagnosis.
 // The service hands out copies; the canonical record lives in the
@@ -60,6 +95,10 @@ type Job struct {
 	Attempts int `json:"attempts"`
 	// Error holds the most recent failure message, if any.
 	Error string `json:"error,omitempty"`
+	// ReusedFrom records semantic-cache provenance when this job's
+	// diagnosis was served from (or conditioned on) a similar prior
+	// job.
+	ReusedFrom *Reuse `json:"reused_from,omitempty"`
 	// SubmittedAt/StartedAt/FinishedAt are lifecycle timestamps.
 	SubmittedAt time.Time `json:"submitted_at"`
 	StartedAt   time.Time `json:"started_at"`
@@ -105,6 +144,11 @@ type Stats struct {
 	Retried   int64 `json:"retried"`
 	CacheHits int64 `json:"cache_hits"`
 	Recovered int64 `json:"recovered"`
+	// SemanticHits counts jobs served verbatim from the semantic
+	// cache; Conditioned counts jobs whose analysis was conditioned on
+	// a similar prior diagnosis.
+	SemanticHits int64 `json:"semantic_hits"`
+	Conditioned  int64 `json:"conditioned"`
 }
 
 // CacheHitRate is CacheHits / Submitted (0 when nothing submitted).

@@ -20,6 +20,7 @@ import (
 	"ion/internal/ion"
 	"ion/internal/llm"
 	"ion/internal/obs"
+	"ion/internal/semcache"
 )
 
 // Config assembles a Service.
@@ -56,6 +57,21 @@ type Config struct {
 	// whose extraction is cached skips parse+extract entirely. 0 means
 	// the default (64 MiB); negative disables the cache.
 	ExtractCacheBytes int64
+	// SemCache, when non-nil, enables semantic reuse: after the
+	// exact-hash dedup misses, a completed diagnosis whose counter
+	// signature is similar enough to the new trace's is served
+	// verbatim (above SemReuseThreshold) or injected into the LLM
+	// prompts as retrieved context (above SemConditionThreshold).
+	// Completed full runs are indexed back into the store.
+	SemCache *semcache.Store
+	// SemReuseThreshold is the cosine similarity at or above which a
+	// neighbor's report is served verbatim; 0 means the default
+	// (0.995). Set above 1 to disable the verbatim tier.
+	SemReuseThreshold float64
+	// SemConditionThreshold is the cosine similarity at or above which
+	// a neighbor's conclusions condition the LLM prompts; 0 means the
+	// default (0.90). Set above 1 to disable the conditioning tier.
+	SemConditionThreshold float64
 	// Obs receives the service's metrics: queue/worker gauges, outcome
 	// counters, and per-stage pipeline latency histograms. nil uses a
 	// private registry (instrumentation always runs, nothing is
@@ -97,6 +113,12 @@ func (c *Config) applyDefaults() {
 	if c.ExtractCacheBytes == 0 {
 		c.ExtractCacheBytes = defaultExtractCacheBytes
 	}
+	if c.SemReuseThreshold == 0 {
+		c.SemReuseThreshold = defaultSemReuseThreshold
+	}
+	if c.SemConditionThreshold == 0 {
+		c.SemConditionThreshold = defaultSemConditionThreshold
+	}
 	if c.Obs == nil {
 		c.Obs = obs.NewRegistry()
 	}
@@ -113,7 +135,11 @@ type Service struct {
 	fw    *ion.Framework
 	obs   *obs.Registry
 	log   *slog.Logger
-	cache *extractCache // nil when disabled
+	cache *extractCache   // nil when disabled
+	sem   *semcache.Store // nil when semantic reuse is disabled
+	// semSim observes the best-match cosine similarity of every
+	// semantic lookup (nil when semantic reuse is disabled).
+	semSim *obs.Histogram
 
 	baseCtx context.Context // canceled to abort in-flight analyses
 	abort   context.CancelFunc
@@ -129,6 +155,7 @@ type Service struct {
 	busy   int
 
 	submitted, completed, failed, retried, cacheHits, recovered int64
+	semHits, semConditioned                                     int64
 }
 
 // Open starts a Service over cfg.Dir, recovering any jobs a previous
@@ -173,6 +200,7 @@ func Open(cfg Config) (*Service, error) {
 		obs:     cfg.Obs,
 		log:     cfg.Logger,
 		cache:   newExtractCache(cfg.ExtractCacheBytes),
+		sem:     cfg.SemCache,
 		baseCtx: ctx,
 		abort:   cancel,
 		stop:    make(chan struct{}),
@@ -274,6 +302,35 @@ func (s *Service) registerMetrics() {
 		func() float64 { return float64(s.cache.bytes()) })
 	s.obs.GaugeFunc("ion_extract_cache_entries", "Extraction outputs currently cached.",
 		func() float64 { return float64(s.cache.len()) })
+
+	if s.sem != nil {
+		s.obs.CounterFunc("ion_semcache_hits_total", "Jobs served verbatim from the semantic cache (zero LLM calls).",
+			func() float64 { return float64(s.sem.Stats().Hits) })
+		s.obs.CounterFunc("ion_semcache_conditioned_total", "Jobs whose prompts were conditioned on a similar prior diagnosis.",
+			func() float64 { return float64(s.sem.Stats().Conditioned) })
+		s.obs.CounterFunc("ion_semcache_misses_total", "Jobs that found no usable semantic neighbor and ran full fan-out.",
+			func() float64 { return float64(s.sem.Stats().Misses) })
+		s.obs.GaugeFunc("ion_semcache_entries", "Diagnoses currently indexed in the semantic cache.",
+			func() float64 { return float64(s.sem.Len()) })
+		s.obs.GaugeFunc("ion_semcache_bytes", "Estimated bytes retained by the semantic cache.",
+			func() float64 { return float64(s.sem.Bytes()) })
+		// The ratio self-gates on traffic: below semHitRatioMinLookups
+		// policy outcomes it reports 1.0, so the collapse alert (the
+		// rule grammar has no conjunctions to express "and traffic is
+		// high") stays quiet on idle or freshly started services.
+		s.obs.GaugeFunc("ion_semcache_hit_ratio", "Semantic hits+conditioned over lookups; 1.0 until enough traffic to judge.",
+			func() float64 {
+				st := s.sem.Stats()
+				total := st.Hits + st.Conditioned + st.Misses
+				if total < semHitRatioMinLookups {
+					return 1
+				}
+				return float64(st.Hits+st.Conditioned) / float64(total)
+			})
+		s.semSim = s.obs.Histogram("ion_semcache_similarity",
+			"Best-match cosine similarity per semantic lookup.",
+			[]float64{0.5, 0.6, 0.7, 0.8, 0.85, 0.9, 0.95, 0.98, 0.99, 0.995, 1})
+	}
 }
 
 // Store exposes the underlying store (read-only use by the web layer).
@@ -390,7 +447,7 @@ func (s *Service) Report(id string) (*ion.Report, error) {
 	if err != nil {
 		return nil, err
 	}
-	if j.State != StateDone {
+	if !j.State.Succeeded() {
 		return nil, fmt.Errorf("%w: %s is %s", ErrNotDone, id, j.State)
 	}
 	return s.store.Report(id)
@@ -429,7 +486,19 @@ func (s *Service) Stats() Stats {
 		Retried:       s.retried,
 		CacheHits:     s.cacheHits,
 		Recovered:     s.recovered,
+		SemanticHits:  s.semHits,
+		Conditioned:   s.semConditioned,
 	}
+}
+
+// SemCache exposes the semantic cache (nil when disabled); read-only
+// use by the web layer.
+func (s *Service) SemCache() *semcache.Store { return s.sem }
+
+// SemThresholds returns the reuse and conditioning similarity
+// thresholds in effect.
+func (s *Service) SemThresholds() (reuse, condition float64) {
+	return s.cfg.SemReuseThreshold, s.cfg.SemConditionThreshold
 }
 
 // Close shuts the service down gracefully: no new submissions are
@@ -513,7 +582,7 @@ func (s *Service) run(id string) {
 	if out, ok := s.cache.get(hash); ok {
 		root.Annotate("extract_cache", "hit")
 		logger.Info("extract cache hit, skipping parse+extract", "hash", hash[:12])
-		state, cause := s.attempts(ctx, id, out)
+		state, cause := s.diagnose(ctx, id, hash, out)
 		s.settle(id, state, cause, tracer, root)
 		return
 	}
@@ -532,7 +601,7 @@ func (s *Service) run(id string) {
 			espan.End()
 			if eerr == nil {
 				s.cache.put(hash, out)
-				state, cause := s.attempts(ctx, id, out)
+				state, cause := s.diagnose(ctx, id, hash, out)
 				s.settle(id, state, cause, tracer, root)
 				return
 			}
@@ -573,9 +642,10 @@ func (s *Service) saveTimeline(id string, tracer *obs.Tracer, root *obs.Span) {
 
 // attempts runs the analysis over already-extracted tables. Extraction
 // happens once in run (or not at all on a cache hit); retries repeat
-// only the analysis stage. It returns the terminal state to apply, or
-// an empty state when the job was parked as queued for recovery.
-func (s *Service) attempts(ctx context.Context, id string, out *extractor.Output) (State, error) {
+// only the analysis stage. It returns the terminal state to apply (and
+// the report on success), or an empty state when the job was parked as
+// queued for recovery.
+func (s *Service) attempts(ctx context.Context, id string, out *extractor.Output, opts ion.AnalyzeOptions) (State, *ion.Report, error) {
 	logger := obs.LoggerFrom(ctx)
 	for attempt := 1; ; attempt++ {
 		s.transition(id, StateRunning, attempt, "")
@@ -584,7 +654,7 @@ func (s *Service) attempts(ctx context.Context, id string, out *extractor.Output
 		tctx, cancel := context.WithTimeout(actx, s.cfg.JobTimeout)
 		name := s.snapshotName(id)
 		start := time.Now()
-		rep, err := s.fw.AnalyzeExtracted(tctx, out, name)
+		rep, err := s.fw.AnalyzeExtractedOpts(tctx, out, name, opts)
 		cancel()
 		if err == nil {
 			err = s.store.PutReport(id, rep)
@@ -594,11 +664,11 @@ func (s *Service) attempts(ctx context.Context, id string, out *extractor.Output
 		if err == nil {
 			logger.Info("job done", "attempt", attempt,
 				"elapsed", time.Since(start).Round(time.Millisecond).String())
-			return StateDone, nil
+			return StateDone, rep, nil
 		}
 		if !s.retryable(err, attempt) {
 			logger.Error("job failed", "attempt", attempt, "err", err)
-			return StateFailed, err
+			return StateFailed, nil, err
 		}
 		s.mu.Lock()
 		s.retried++
@@ -610,7 +680,7 @@ func (s *Service) attempts(ctx context.Context, id string, out *extractor.Output
 			// the next Open recovers it.
 			logger.Info("shutdown during backoff, parking job as queued", "attempt", attempt)
 			s.transition(id, StateQueued, attempt, err.Error())
-			return "", nil
+			return "", nil, nil
 		}
 	}
 }
@@ -691,7 +761,7 @@ func (s *Service) finish(id string, state State, cause error) {
 		j.Error = ""
 	}
 	switch state {
-	case StateDone:
+	case StateDone, StateReused:
 		s.completed++
 	case StateFailed:
 		s.failed++

@@ -22,6 +22,9 @@ const (
 	MetaKind   = "ion-kind" // "diagnosis", "summary", or "chat"
 	MetaIssue  = "ion-issue"
 	MetaCSVDir = "ion-csv-dir"
+	// MetaConditioned is "1" on diagnosis prompts that carry retrieved
+	// context from a semantically similar prior diagnosis.
+	MetaConditioned = "ion-conditioned"
 )
 
 // Request kinds.
@@ -63,6 +66,19 @@ func NewBuilder(kb *knowledge.Base) *Builder {
 // are filtered to the issue's module map; file attachments reference
 // the extracted CSV paths.
 func (b *Builder) Diagnosis(id issue.ID, out *extractor.Output) (llm.Request, error) {
+	return b.diagnosis(id, out, "")
+}
+
+// DiagnosisConditioned builds the diagnosis prompt with retrieved
+// context from a semantically similar prior diagnosis injected before
+// the task: the model is asked to confirm or adjust the neighbor's
+// conclusion against this trace's data instead of diagnosing from
+// scratch. An empty retrieved string degrades to the plain prompt.
+func (b *Builder) DiagnosisConditioned(id issue.ID, out *extractor.Output, retrieved string) (llm.Request, error) {
+	return b.diagnosis(id, out, strings.TrimSpace(retrieved))
+}
+
+func (b *Builder) diagnosis(id issue.ID, out *extractor.Output, retrieved string) (llm.Request, error) {
 	ctx, err := b.KB.Context(id)
 	if err != nil {
 		return llm.Request{}, err
@@ -106,6 +122,18 @@ func (b *Builder) Diagnosis(id issue.ID, out *extractor.Output) (llm.Request, er
 		u.WriteString("\n")
 	}
 
+	if retrieved != "" {
+		u.WriteString("## Retrieved context from a similar prior diagnosis\n\n")
+		u.WriteString(`A previously analyzed workload with a highly similar I/O signature
+was diagnosed as follows. Treat it as a prior, not as ground truth:
+verify its claims against this trace's own numbers, then confirm or
+adjust the conclusion rather than diagnosing from scratch.
+
+`)
+		u.WriteString(retrieved)
+		u.WriteString("\n\n")
+	}
+
 	u.WriteString("## Task\n\n")
 	u.WriteString(`Determine whether this issue is present in the trace and how severe
 it is. Think step by step: (1) state which metrics you will compute and
@@ -144,6 +172,9 @@ A short diagnosis paragraph for the user. End with a single line:
 	}
 	if dir := csvDir(out); dir != "" {
 		req.Metadata[MetaCSVDir] = dir
+	}
+	if retrieved != "" {
+		req.Metadata[MetaConditioned] = "1"
 	}
 	return req, nil
 }

@@ -7,11 +7,20 @@
 package rag
 
 import (
+	"errors"
 	"fmt"
 	"math"
 	"sort"
 	"strings"
 )
+
+// ErrNoTerms reports a document that tokenizes to nothing indexable —
+// empty text, or text made entirely of stopwords and single
+// characters. Callers building an index over machine-generated chunks
+// should skip these documents (errors.Is) rather than abort: an
+// all-stopword chunk carries no retrievable signal, and indexing it
+// anyway would give it a zero vector norm that can NaN cosine scores.
+var ErrNoTerms = errors.New("rag: document has no indexable terms")
 
 // Document is one indexed chunk.
 type Document struct {
@@ -52,14 +61,14 @@ func (ix *Index) Len() int { return len(ix.docs) }
 // are rebuilt on the next query.
 func (ix *Index) Add(doc Document) error {
 	if strings.TrimSpace(doc.Text) == "" {
-		return fmt.Errorf("rag: document %q has no text", doc.ID)
+		return fmt.Errorf("%w: %q has no text", ErrNoTerms, doc.ID)
 	}
 	tf := map[string]float64{}
 	for _, tok := range Tokenize(doc.Text) {
 		tf[tok]++
 	}
 	if len(tf) == 0 {
-		return fmt.Errorf("rag: document %q has no indexable terms", doc.ID)
+		return fmt.Errorf("%w: %q", ErrNoTerms, doc.ID)
 	}
 	ix.docs = append(ix.docs, doc)
 	ix.termFreq = append(ix.termFreq, tf)

@@ -2,12 +2,15 @@ package rag
 
 import (
 	"context"
+	"errors"
+	"math"
 	"strings"
 	"testing"
 	"testing/quick"
 
 	"ion/internal/expertsim"
 	"ion/internal/ion"
+	"ion/internal/issue"
 	"ion/internal/knowledge"
 	"ion/internal/testutil"
 )
@@ -194,5 +197,75 @@ func TestRAGSessionEndToEnd(t *testing.T) {
 	}
 	if !strings.Contains(answer, "Imbalanced I/O Workload") && !strings.Contains(answer, "rank 0") {
 		t.Errorf("RAG-backed answer off-topic: %s", answer)
+	}
+}
+
+// Regression: unindexable documents must fail with the ErrNoTerms
+// sentinel so bulk indexers can skip them, and queries that tokenize to
+// nothing (or share no terms) must return no hits rather than NaN
+// cosine scores from a zero norm.
+func TestErrNoTermsSentinel(t *testing.T) {
+	ix := NewIndex()
+	for _, text := range []string{"", "   ", "a a a", "the of and", "i"} {
+		err := ix.Add(Document{ID: "d", Text: text})
+		if !errors.Is(err, ErrNoTerms) {
+			t.Errorf("Add(%q) = %v, want ErrNoTerms", text, err)
+		}
+	}
+	if ix.Len() != 0 {
+		t.Fatalf("unindexable documents were indexed: len = %d", ix.Len())
+	}
+}
+
+func TestZeroNormQueriesDoNotNaN(t *testing.T) {
+	ix := NewIndex()
+	if err := ix.Add(Document{ID: "doc", Text: "lustre stripe alignment"}); err != nil {
+		t.Fatal(err)
+	}
+	for _, q := range []string{"", "the a an of", "i", "zzz qqq"} {
+		hits := ix.Query(q, 5)
+		for _, h := range hits {
+			if math.IsNaN(h.Score) || math.IsInf(h.Score, 0) {
+				t.Fatalf("Query(%q) produced non-finite score %v", q, h.Score)
+			}
+		}
+		if q != "zzz qqq" && len(hits) != 0 {
+			t.Errorf("Query(%q) returned hits: %+v", q, hits)
+		}
+	}
+	// Empty index: any query must be a clean no-hit.
+	if hits := NewIndex().Query("lustre", 3); len(hits) != 0 {
+		t.Errorf("empty index returned hits: %+v", hits)
+	}
+}
+
+func TestIndexReportSkipsUnindexableChunks(t *testing.T) {
+	rep := &ion.Report{
+		Trace: "t",
+		Order: []issue.ID{issue.SmallIO, issue.Metadata},
+		Diagnoses: map[issue.ID]*ion.IssueDiagnosis{
+			// All-stopword conclusion and step: must be skipped, not fatal.
+			issue.SmallIO: {Issue: issue.SmallIO, Title: "", Verdict: issue.VerdictNotDetected,
+				Conclusion: "", Steps: []string{" "}},
+			issue.Metadata: {Issue: issue.Metadata, Title: "Excessive Metadata Load",
+				Verdict:    issue.VerdictDetected,
+				Conclusion: "metadata server overloaded by opens and stats",
+				Steps:      []string{"counted POSIX_OPENS and POSIX_STATS"}},
+		},
+	}
+	ix, err := IndexReport(rep, nil)
+	if err != nil {
+		t.Fatalf("IndexReport: %v", err)
+	}
+	// The small-io chunks still index: their header carries the issue id
+	// and verdict. Only truly term-free chunks would drop.
+	hits := ix.Query("metadata opens", 2)
+	if len(hits) == 0 || !strings.Contains(hits[0].Doc.ID, "metadata") {
+		t.Fatalf("retrieval over partially indexable report failed: %+v", hits)
+	}
+	for _, h := range hits {
+		if math.IsNaN(h.Score) {
+			t.Fatalf("NaN score: %+v", h)
+		}
 	}
 }

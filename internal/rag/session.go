@@ -1,6 +1,7 @@
 package rag
 
 import (
+	"errors"
 	"fmt"
 	"strings"
 
@@ -12,19 +13,28 @@ import (
 // IndexReport builds an index over a diagnosis report (one chunk per
 // issue conclusion and one per reasoning step) and the knowledge base
 // (one chunk per issue context), the corpus the interactive interface
-// retrieves from.
+// retrieves from. Chunks with no indexable terms (e.g. a one-word
+// conclusion of stopwords) are skipped, not fatal: the rest of the
+// report still indexes.
 func IndexReport(rep *ion.Report, kb *knowledge.Base) (*Index, error) {
 	if rep == nil {
 		return nil, fmt.Errorf("rag: nil report")
 	}
 	ix := NewIndex()
+	add := func(doc Document) error {
+		err := ix.Add(doc)
+		if errors.Is(err, ErrNoTerms) {
+			return nil
+		}
+		return err
+	}
 	for _, id := range rep.Order {
 		d := rep.Diagnoses[id]
 		if d == nil {
 			continue
 		}
 		header := fmt.Sprintf("[%s] %s\nVERDICT: %s\n", id, d.Title, d.Verdict)
-		if err := ix.Add(Document{
+		if err := add(Document{
 			ID:   "diagnosis/" + string(id),
 			Kind: "diagnosis",
 			Text: header + d.Conclusion,
@@ -32,7 +42,7 @@ func IndexReport(rep *ion.Report, kb *knowledge.Base) (*Index, error) {
 			return nil, err
 		}
 		for i, s := range d.Steps {
-			if err := ix.Add(Document{
+			if err := add(Document{
 				ID:   fmt.Sprintf("step/%s/%d", id, i+1),
 				Kind: "step",
 				Text: header + s,
@@ -47,7 +57,7 @@ func IndexReport(rep *ion.Report, kb *knowledge.Base) (*Index, error) {
 			if err != nil {
 				return nil, err
 			}
-			if err := ix.Add(Document{
+			if err := add(Document{
 				ID:   "knowledge/" + string(id),
 				Kind: "knowledge",
 				Text: fmt.Sprintf("[%s] %s\n%s\nMitigations: %s", id, c.Title, c.Knowledge, c.Mitigations),

@@ -1,0 +1,102 @@
+package semcache
+
+import (
+	"math"
+	"testing"
+
+	"ion/internal/testutil"
+)
+
+func TestDimensionsAlignWithExtract(t *testing.T) {
+	out, _, err := testutil.Extracted("openpmd-baseline")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sig := Extract(out)
+	if len(sig) != len(Dimensions()) {
+		t.Fatalf("Extract returned %d dims, Dimensions names %d", len(sig), len(Dimensions()))
+	}
+	for i, v := range sig {
+		if math.IsNaN(v) || v < 0 || v > 1 {
+			t.Errorf("dim %s = %v, want a ratio in [0,1]", Dimensions()[i], v)
+		}
+	}
+	var nonzero int
+	for _, v := range sig {
+		if v > 0 {
+			nonzero++
+		}
+	}
+	if nonzero < 4 {
+		t.Fatalf("signature nearly empty (%d nonzero dims): %v", nonzero, sig)
+	}
+}
+
+func TestExtractNilAndEmpty(t *testing.T) {
+	if sig := Extract(nil); len(sig) != len(Dimensions()) {
+		t.Fatalf("nil output: got %d dims", len(sig))
+	}
+}
+
+func TestExtractDistinguishesWorkloads(t *testing.T) {
+	a, _, err := testutil.Extracted("openpmd-baseline")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _, err := testutil.Extracted("healthy-checkpoint")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sa := Extract(a).Quantize(0)
+	sb := Extract(b).Quantize(0)
+	if sim := Cosine(sa, sa); sim != 1 {
+		t.Fatalf("self-similarity = %v, want 1", sim)
+	}
+	if sim := Cosine(sa, sb); sim >= 0.999 {
+		t.Fatalf("distinct workloads are indistinguishable: cosine = %v", sim)
+	}
+}
+
+func TestQuantizeAbsorbsJitter(t *testing.T) {
+	a := Signature{0.500, 0.250, 0.125}
+	b := Signature{0.505, 0.248, 0.130} // sub-grid jitter
+	qa, qb := a.Quantize(0), b.Quantize(0)
+	for i := range qa {
+		if qa[i] != qb[i] {
+			t.Fatalf("dim %d: %v != %v after quantization", i, qa[i], qb[i])
+		}
+	}
+	if got := Cosine(qa, qb); got != 1 {
+		t.Fatalf("jittered cosine = %v, want 1", got)
+	}
+}
+
+func TestCosineZeroNorm(t *testing.T) {
+	zero := make(Signature, 4)
+	one := Signature{1, 0, 0, 0}
+	if got := Cosine(zero, zero); got != 1 {
+		t.Fatalf("Cosine(0,0) = %v, want 1", got)
+	}
+	if got := Cosine(zero, one); got != 0 {
+		t.Fatalf("Cosine(0,x) = %v, want 0", got)
+	}
+	if got := Cosine(one, zero); got != 0 {
+		t.Fatalf("Cosine(x,0) = %v, want 0", got)
+	}
+	if got := Cosine(one, one); math.IsNaN(got) || got != 1 {
+		t.Fatalf("Cosine(x,x) = %v, want 1", got)
+	}
+}
+
+func TestDeltasNamesMovedDimensions(t *testing.T) {
+	a := make(Signature, len(Dimensions()))
+	b := make(Signature, len(Dimensions()))
+	a[0], b[0] = 0.75, 0.5
+	d := Deltas(a, b)
+	if len(d) != 1 {
+		t.Fatalf("got %d deltas, want 1: %v", len(d), d)
+	}
+	if got := d[Dimensions()[0]]; got != 0.25 {
+		t.Fatalf("delta = %v, want 0.25", got)
+	}
+}

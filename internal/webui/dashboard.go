@@ -203,6 +203,7 @@ func dashboardPanels() []dashPanel {
 			q("ion_llm_request_seconds", map[string]string{"quantile": "0.95"}),
 		}},
 		{title: "Extract cache hit ratio", unit: "%", queries: []series.Query{q("ion_extract_cache_hit_ratio", nil)}},
+		{title: "Semantic cache hit ratio", unit: "%", queries: []series.Query{q("ion_semcache_hit_ratio", nil)}},
 		{title: "HTTP requests", unit: "/s", queries: []series.Query{q("ion_http_requests_total", nil)}},
 		{title: "Heap", unit: "B", queries: []series.Query{q("ion_go_heap_bytes", nil)}},
 		{title: "Goroutines", queries: []series.Query{q("ion_go_goroutines", nil)}},

@@ -8,6 +8,7 @@ import (
 	"io"
 	"log/slog"
 	"net/http"
+	"sort"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -20,6 +21,7 @@ import (
 	"ion/internal/obs/flight"
 	"ion/internal/obs/series"
 	"ion/internal/report"
+	"ion/internal/semcache"
 )
 
 // maxTraceBody caps trace uploads; oversized payloads get 413.
@@ -101,6 +103,7 @@ func (s *JobServer) WithFlight(rec *flight.Recorder) *JobServer {
 //	POST /api/jobs/{id}/ask    {"question": ...} against that job's report
 //	GET  /api/jobs/{id}/trace  the analysis span timeline (JSON)
 //	GET  /api/stats            queue/worker/cache counters (JSON)
+//	GET  /api/semcache         semantic-cache stats, thresholds, entries (JSON)
 //	GET  /api/metrics/query    windowed series from the in-process store (JSON)
 //	GET  /api/alerts           alert rule states and transition history (JSON)
 //	GET  /api/incidents        flight-recorder bundle manifests (JSON)
@@ -127,6 +130,7 @@ func (s *JobServer) Handler() http.Handler {
 	handle("GET /api/jobs/{id}/trace", s.handleJobTrace)
 	handle("POST /api/jobs/{id}/ask", s.handleJobAsk)
 	handle("GET /api/stats", s.handleStats)
+	handle("GET /api/semcache", s.handleSemcache)
 	handle("GET /api/metrics/query", s.handleMetricsQuery)
 	handle("GET /api/alerts", s.handleAlerts)
 	handle("GET /api/incidents", s.handleIncidents)
@@ -310,13 +314,46 @@ func (s *JobServer) handleStats(w http.ResponseWriter, r *http.Request) {
 	s.writeJSON(w, http.StatusOK, s.svc.Stats())
 }
 
+// semcacheResponse is the GET /api/semcache wire type: the store's
+// counters and bounds, the reuse-policy thresholds in effect, and the
+// indexed entries (newest first).
+type semcacheResponse struct {
+	Stats              semcache.Stats   `json:"stats"`
+	ReuseThreshold     float64          `json:"reuse_threshold"`
+	ConditionThreshold float64          `json:"condition_threshold"`
+	QuantStep          float64          `json:"quant_step"`
+	Dimensions         []string         `json:"dimensions"`
+	Entries            []semcache.Entry `json:"entries"`
+}
+
+func (s *JobServer) handleSemcache(w http.ResponseWriter, r *http.Request) {
+	sem := s.svc.SemCache()
+	if sem == nil {
+		http.Error(w, "semantic cache disabled: start ionserve with -sem-cache", http.StatusNotFound)
+		return
+	}
+	reuse, condition := s.svc.SemThresholds()
+	entries := sem.Entries()
+	if entries == nil {
+		entries = []semcache.Entry{}
+	}
+	s.writeJSON(w, http.StatusOK, semcacheResponse{
+		Stats:              sem.Stats(),
+		ReuseThreshold:     reuse,
+		ConditionThreshold: condition,
+		QuantStep:          sem.QuantStep(),
+		Dimensions:         semcache.Dimensions(),
+		Entries:            entries,
+	})
+}
+
 func (s *JobServer) handleJobPage(w http.ResponseWriter, r *http.Request) {
 	job, ok := s.getJob(w, r)
 	if !ok {
 		return
 	}
 	w.Header().Set("Content-Type", "text/html; charset=utf-8")
-	if job.State != jobs.StateDone {
+	if !job.State.Succeeded() {
 		fmt.Fprintf(w, pendingPage, html.EscapeString(job.Trace), html.EscapeString(string(job.State)),
 			job.Attempts, html.EscapeString(job.Error), html.EscapeString(job.ID))
 		return
@@ -331,8 +368,49 @@ func (s *JobServer) handleJobPage(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, err.Error(), http.StatusInternalServerError)
 		return
 	}
-	widget := navLink + chatWidgetFor("/api/jobs/"+job.ID+"/ask")
+	widget := reuseBanner(job) + navLink + chatWidgetFor("/api/jobs/"+job.ID+"/ask")
 	fmt.Fprint(w, strings.Replace(page.String(), "</body>", widget+"</body>", 1))
+}
+
+// reuseBanner renders the semantic-cache provenance of a job: where
+// its diagnosis came from, how similar the neighbor was, and which
+// signature dimensions moved. Empty for jobs analyzed cold.
+func reuseBanner(job jobs.Job) string {
+	ru := job.ReusedFrom
+	if ru == nil {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteString(`<div style="margin-top:2rem;padding:0.75rem 1rem;border:1px solid #2563eb;border-radius:6px;background:#eff6ff">`)
+	switch ru.Mode {
+	case jobs.ReuseSemanticHit:
+		fmt.Fprintf(&b, `<strong>Semantic hit:</strong> this report was served verbatim from job
+<a href="/jobs/%s"><code>%s</code></a> (signature similarity %.4f, no LLM calls).`,
+			html.EscapeString(ru.From), html.EscapeString(ru.From), ru.Similarity)
+	case jobs.ReuseConditioned:
+		fmt.Fprintf(&b, `<strong>Conditioned run:</strong> this analysis was conditioned on job
+<a href="/jobs/%s"><code>%s</code></a> (signature similarity %.4f): its conclusions were
+retrieved as context and its clean verdicts adopted.`,
+			html.EscapeString(ru.From), html.EscapeString(ru.From), ru.Similarity)
+	default:
+		fmt.Fprintf(&b, `<strong>Reused:</strong> derived from job <code>%s</code> (similarity %.4f).`,
+			html.EscapeString(ru.From), ru.Similarity)
+	}
+	if len(ru.Deltas) > 0 {
+		dims := make([]string, 0, len(ru.Deltas))
+		for d := range ru.Deltas {
+			dims = append(dims, d)
+		}
+		sort.Strings(dims)
+		parts := make([]string, 0, len(dims))
+		for _, d := range dims {
+			parts = append(parts, fmt.Sprintf("%s %+.3f", d, ru.Deltas[d]))
+		}
+		fmt.Fprintf(&b, ` <span style="color:#555">Signature deltas: %s.</span>`,
+			html.EscapeString(strings.Join(parts, ", ")))
+	}
+	b.WriteString(`</div>`)
+	return b.String()
 }
 
 func (s *JobServer) handleIndex(w http.ResponseWriter, r *http.Request) {
@@ -341,11 +419,16 @@ func (s *JobServer) handleIndex(w http.ResponseWriter, r *http.Request) {
 	var rows strings.Builder
 	for _, j := range list {
 		link := html.EscapeString(j.Trace)
-		if j.State == jobs.StateDone {
+		if j.State.Succeeded() {
 			link = fmt.Sprintf(`<a href="/jobs/%s">%s</a>`, html.EscapeString(j.ID), link)
 		}
+		state := html.EscapeString(string(j.State))
+		if j.ReusedFrom != nil {
+			state += fmt.Sprintf(` <span style="color:#2563eb">&larr; <code>%s</code></span>`,
+				html.EscapeString(j.ReusedFrom.From))
+		}
 		fmt.Fprintf(&rows, "<tr><td>%s</td><td><code>%s</code></td><td>%s</td><td>%d</td><td>%s</td></tr>\n",
-			link, html.EscapeString(j.ID), html.EscapeString(string(j.State)),
+			link, html.EscapeString(j.ID), state,
 			j.Attempts, html.EscapeString(j.Error))
 	}
 	if len(list) == 0 {
@@ -355,7 +438,7 @@ func (s *JobServer) handleIndex(w http.ResponseWriter, r *http.Request) {
 	fmt.Fprintf(w, indexPage, rows.String(),
 		st.QueueDepth, st.QueueCapacity, st.Busy, st.Workers, 100*st.Utilization(),
 		st.Completed, st.Failed, st.Retried, st.CacheHits, 100*st.CacheHitRate(),
-		st.Recovered)
+		st.Recovered, st.SemanticHits, st.Conditioned)
 }
 
 // getJob resolves the {id} path value, writing a 404 on miss.
@@ -436,8 +519,9 @@ queue a diagnosis, or POST it to <code>/api/jobs</code>.</p>
 </table>
 <p style="color:#555">queue %d/%d &middot; workers busy %d/%d (%.0f%% utilized) &middot;
 completed %d &middot; failed %d &middot; retries %d &middot; cache hits %d (%.0f%% hit rate)
-&middot; recovered %d
-&middot; <a href="/api/stats">stats JSON</a> &middot; <a href="/metrics">metrics</a></p>
+&middot; recovered %d &middot; semantic hits %d &middot; conditioned %d
+&middot; <a href="/api/stats">stats JSON</a> &middot; <a href="/api/semcache">semcache</a>
+&middot; <a href="/metrics">metrics</a></p>
 <script>
 document.getElementById("upload").addEventListener("click", async function() {
   var f = document.getElementById("trace").files[0];
