@@ -34,6 +34,7 @@ import (
 	"ion/internal/llm"
 	"ion/internal/obs"
 	"ion/internal/obs/flight"
+	"ion/internal/obs/prof"
 	"ion/internal/obs/series"
 	"ion/internal/semcache"
 	"ion/internal/webui"
@@ -60,6 +61,10 @@ func main() {
 		incKeep    = flag.Int("incident-retention", 16, "incident bundles kept on disk (oldest deleted first)")
 		captureCPU = flag.Int("capture-cpu-seconds", 5, "CPU-profile length inside an incident capture (0 skips the CPU profile)")
 
+		profInterval  = flag.Duration("prof-interval", time.Minute, "continuous-profiler duty cycle: one CPU window plus heap/goroutine snapshots per interval (0 disables)")
+		profWindow    = flag.Duration("prof-window", 10*time.Second, "CPU-profile length inside each continuous-profiler cycle (clamped to half the interval)")
+		profRetention = flag.Duration("prof-retention", 2*time.Hour, "how long decoded profile windows are retained in <data>/prof")
+
 		semCache      = flag.Bool("sem-cache", true, "semantic diagnosis cache: reuse prior diagnoses of similar traces")
 		semReuse      = flag.Float64("sem-reuse-threshold", 0.995, "signature similarity at or above which a prior diagnosis is served verbatim (>1 disables the verbatim tier)")
 		semCondition  = flag.Float64("sem-condition-threshold", 0.90, "signature similarity at or above which the analysis is conditioned on a prior diagnosis (>1 disables conditioning)")
@@ -77,6 +82,9 @@ func main() {
 	// Process health lands in the same registry (and therefore the same
 	// series store) as the application metrics.
 	obs.RegisterRuntimeMetrics(reg)
+	// ion_build_info joins every scrape, profile window, and incident
+	// bundle to the binary that produced it.
+	obs.RegisterBuildInfo(reg)
 	// Instrument the client once, at the edge, so both the analysis
 	// workers and the chat sessions report into the same registry.
 	client := llm.Instrument(expertsim.New(), reg)
@@ -116,6 +124,11 @@ func main() {
 		}
 	}
 
+	// One CPU-profile guard is shared by the continuous profiler and the
+	// flight recorder: runtime/pprof allows a single active CPU profile,
+	// and incident captures preempt the rolling window.
+	cpuGuard := obs.NewCPUProfileGuard()
+
 	// Flight recorder: always-on rings (logs, slow spans, metric
 	// snapshots), snapshotted into a tar.gz incident bundle when an
 	// alert fires or /api/debug/capture is hit. The recorder's log tee
@@ -130,6 +143,7 @@ func main() {
 		rec, err = flight.New(flight.Options{
 			Dir:        bundleDir,
 			CPUProfile: time.Duration(*captureCPU) * time.Second,
+			CPUGuard:   cpuGuard,
 			MaxBundles: *incKeep,
 			Registry:   reg,
 			Config:     flagConfig(),
@@ -141,6 +155,41 @@ func main() {
 		logger = slog.New(rec.LogHandler(logger.Handler()))
 		rec.Start()
 		defer rec.Stop()
+	}
+
+	// Continuous profiler: a rolling CPU window plus heap/goroutine
+	// snapshots every cycle, decoded in-process and journaled under
+	// <data>/prof so "what was hot before the restart" survives. Windows
+	// feed the ion_prof_* gauges the HotFunctionRegression rule watches.
+	var profiler *prof.Profiler
+	if *profInterval > 0 {
+		profStore, err := prof.OpenStore(prof.StoreOptions{
+			Path:      filepath.Join(dir, "prof", "windows.jsonl"),
+			Retention: *profRetention,
+		})
+		if err != nil {
+			fatal(err)
+		}
+		defer profStore.Close()
+		profiler, err = prof.New(prof.Options{
+			Window:   *profWindow,
+			Interval: *profInterval,
+			Store:    profStore,
+			Registry: reg,
+			Guard:    cpuGuard,
+			Logger:   logger,
+		})
+		if err != nil {
+			fatal(err)
+		}
+		profiler.Start()
+		defer profiler.Stop()
+		if rec != nil {
+			// Incident bundles carry the recent profile windows, so a
+			// capture answers "what was the CPU doing" without waiting for
+			// its own profile.
+			rec.SetProfileWindowsFn(func() any { return profStore.Windows("", 12) })
+		}
 	}
 
 	// Semantic diagnosis cache: one journaled signature entry per
@@ -231,6 +280,11 @@ func main() {
 	js.WithObs(reg, logger)
 	if rec != nil {
 		js.WithFlight(rec)
+	}
+	if profiler != nil {
+		js.WithProf(profiler)
+		fmt.Printf("ionserve: continuous profiling at http://%s/dashboard/profile (%s window every %s)\n",
+			*addr, profiler.Window(), profiler.Interval())
 	}
 
 	if *scrapeInt > 0 {

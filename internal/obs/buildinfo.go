@@ -1,0 +1,86 @@
+package obs
+
+import (
+	"runtime"
+	"runtime/debug"
+	"strings"
+)
+
+// BuildInfo identifies the running build: the answer to "which binary
+// produced this profile window / incident bundle / metric scrape".
+type BuildInfo struct {
+	// Version is the main module version ("(devel)" for plain go build,
+	// a tag for released builds), with the VCS revision appended when
+	// the build embedded one.
+	Version string `json:"version"`
+	// GoVersion is the toolchain that built the binary.
+	GoVersion string `json:"go_version"`
+	// OS and Arch are the build target.
+	OS   string `json:"goos"`
+	Arch string `json:"goarch"`
+}
+
+// String renders the build identity for dashboard headers:
+// "ion abc123def456 (go1.24.0 linux/amd64)".
+func (b BuildInfo) String() string {
+	return "ion " + b.Version + " (" + b.GoVersion + " " + b.OS + "/" + b.Arch + ")"
+}
+
+// GetBuildInfo reads the build metadata embedded in the running binary.
+func GetBuildInfo() BuildInfo {
+	bi := BuildInfo{
+		Version:   "unknown",
+		GoVersion: runtime.Version(),
+		OS:        runtime.GOOS,
+		Arch:      runtime.GOARCH,
+	}
+	info, ok := debug.ReadBuildInfo()
+	if !ok {
+		return bi
+	}
+	if v := info.Main.Version; v != "" {
+		bi.Version = v
+	}
+	var revision, modified string
+	for _, s := range info.Settings {
+		switch s.Key {
+		case "vcs.revision":
+			revision = s.Value
+		case "vcs.modified":
+			modified = s.Value
+		}
+	}
+	if revision != "" {
+		if len(revision) > 12 {
+			revision = revision[:12]
+		}
+		short := revision
+		if modified == "true" {
+			revision += "-dirty"
+		}
+		switch {
+		case bi.Version == "(devel)" || bi.Version == "unknown":
+			bi.Version = revision
+		case strings.Contains(bi.Version, short):
+			// Pseudo-versions already embed the revision; appending it
+			// again would just repeat the hash.
+		default:
+			bi.Version += "+" + revision
+		}
+	}
+	return bi
+}
+
+// RegisterBuildInfo installs the ion_build_info gauge: constant value 1
+// with the build identity as labels, the standard join key that makes
+// profile windows, incident bundles, and alert firings attributable to
+// a specific binary. It returns the info for direct display (dashboard
+// headers). Call once per registry.
+func RegisterBuildInfo(reg *Registry) BuildInfo {
+	bi := GetBuildInfo()
+	reg.Gauge("ion_build_info",
+		"Build metadata of the running binary; the value is always 1.",
+		L("version", bi.Version), L("go_version", bi.GoVersion),
+		L("goos", bi.OS), L("goarch", bi.Arch)).Set(1)
+	return bi
+}

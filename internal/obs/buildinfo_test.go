@@ -1,0 +1,60 @@
+package obs
+
+import (
+	"runtime"
+	"strings"
+	"testing"
+)
+
+func TestGetBuildInfo(t *testing.T) {
+	bi := GetBuildInfo()
+	if bi.GoVersion != runtime.Version() {
+		t.Errorf("GoVersion = %q, want %q", bi.GoVersion, runtime.Version())
+	}
+	if bi.OS != runtime.GOOS || bi.Arch != runtime.GOARCH {
+		t.Errorf("target = %s/%s, want %s/%s", bi.OS, bi.Arch, runtime.GOOS, runtime.GOARCH)
+	}
+	if bi.Version == "" {
+		t.Error("Version is empty")
+	}
+}
+
+func TestRegisterBuildInfo(t *testing.T) {
+	reg := NewRegistry()
+	bi := RegisterBuildInfo(reg)
+
+	var b strings.Builder
+	if _, err := reg.WriteTo(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.Contains(out, "ion_build_info{") {
+		t.Fatalf("exposition missing ion_build_info:\n%s", out)
+	}
+	for _, label := range []string{
+		`go_version="` + bi.GoVersion + `"`,
+		`goos="` + bi.OS + `"`,
+		`goarch="` + bi.Arch + `"`,
+		`version="` + bi.Version + `"`,
+	} {
+		if !strings.Contains(out, label) {
+			t.Errorf("exposition missing label %s:\n%s", label, out)
+		}
+	}
+
+	// The gauge is a plain sample with value 1, so Gather (and the
+	// series store behind it) can retain build identity alongside every
+	// other metric.
+	found := false
+	for _, s := range reg.Gather() {
+		if s.Name == "ion_build_info" {
+			found = true
+			if s.Value != 1 {
+				t.Errorf("ion_build_info value = %v, want 1", s.Value)
+			}
+		}
+	}
+	if !found {
+		t.Error("Gather missing ion_build_info")
+	}
+}

@@ -1,0 +1,100 @@
+package obs
+
+import (
+	"fmt"
+	"sync"
+	"time"
+)
+
+// CPUProfileGuard coordinates ownership of the runtime's CPU profiler.
+// The runtime allows exactly one pprof.StartCPUProfile at a time, but
+// ionserve has two would-be owners: the continuous profiler (always-on
+// rolling windows) and the flight recorder (a bounded profile inside an
+// incident capture). The guard serializes them with a priority rule:
+// the continuous profiler acquires opportunistically and registers a
+// yield callback; an incident capture acquires preemptively, which
+// invokes the holder's yield (asking it to stop its window early) and
+// then waits for the release. The yielded side simply resumes on its
+// next cycle — neither side ever sees the runtime's "cpu profiling
+// already in use" error.
+//
+// All methods are safe for concurrent use. The zero value is not
+// usable; call NewCPUProfileGuard.
+type CPUProfileGuard struct {
+	mu     sync.Mutex
+	sem    chan struct{} // capacity 1; holds the token while the guard is free
+	holder string
+	yield  func() // non-nil while the current holder is preemptible
+}
+
+// NewCPUProfileGuard returns a free guard.
+func NewCPUProfileGuard() *CPUProfileGuard {
+	g := &CPUProfileGuard{sem: make(chan struct{}, 1)}
+	g.sem <- struct{}{}
+	return g
+}
+
+// Holder returns the name of the current owner, or "" when free.
+func (g *CPUProfileGuard) Holder() string {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.holder
+}
+
+// TryAcquire takes the guard if it is free, registering yield as the
+// preemption callback (nil means the acquisition cannot be preempted).
+// It never blocks: when the guard is held, ok is false and the caller
+// should skip this cycle. The returned release is idempotent.
+func (g *CPUProfileGuard) TryAcquire(owner string, yield func()) (release func(), ok bool) {
+	select {
+	case <-g.sem:
+		g.mu.Lock()
+		g.holder, g.yield = owner, yield
+		g.mu.Unlock()
+		return g.releaseFunc(), true
+	default:
+		return nil, false
+	}
+}
+
+// Acquire takes the guard, preempting a yieldable holder: the holder's
+// yield callback is invoked (once, on its own goroutine) and Acquire
+// waits up to wait for the release. It fails when the guard is held by
+// a non-preemptible owner past the deadline — e.g. a second concurrent
+// incident capture. The returned release is idempotent.
+func (g *CPUProfileGuard) Acquire(owner string, wait time.Duration) (release func(), err error) {
+	g.mu.Lock()
+	if y := g.yield; y != nil {
+		// Consume the callback so a racing second Acquire cannot invoke
+		// it twice; run it off-lock in case it re-enters the guard.
+		g.yield = nil
+		go y()
+	}
+	holder := g.holder
+	g.mu.Unlock()
+
+	t := time.NewTimer(wait)
+	defer t.Stop()
+	select {
+	case <-g.sem:
+		g.mu.Lock()
+		g.holder, g.yield = owner, nil
+		g.mu.Unlock()
+		return g.releaseFunc(), nil
+	case <-t.C:
+		return nil, fmt.Errorf("obs: cpu profiler busy (held by %q)", holder)
+	}
+}
+
+// releaseFunc builds the once-only release for the current acquisition.
+func (g *CPUProfileGuard) releaseFunc() func() {
+	var once sync.Once
+	return func() {
+		once.Do(func() {
+			g.mu.Lock()
+			g.holder, g.yield = "", nil
+			g.mu.Unlock()
+			g.sem <- struct{}{}
+		})
+	}
+}

@@ -80,6 +80,11 @@ type Options struct {
 	// Registry is snapshotted into the metrics ring and receives the
 	// recorder's own counters; nil uses a private registry.
 	Registry *obs.Registry
+	// CPUGuard coordinates CPU-profiler ownership with the continuous
+	// profiler: an incident capture preempts a running profile window
+	// (the window ends early and the profiler resumes next cycle). Nil
+	// uses a private guard, i.e. no coordination needed.
+	CPUGuard *obs.CPUProfileGuard
 	// Config is included in every bundle with secret-looking values
 	// redacted.
 	Config map[string]string
@@ -114,6 +119,9 @@ func (o *Options) applyDefaults() {
 	}
 	if o.Registry == nil {
 		o.Registry = obs.NewRegistry()
+	}
+	if o.CPUGuard == nil {
+		o.CPUGuard = obs.NewCPUProfileGuard()
 	}
 	if o.Logger == nil {
 		o.Logger = obs.NopLogger()
@@ -153,7 +161,8 @@ type Recorder struct {
 	captured   *obs.Counter
 	suppressed *obs.Counter
 
-	alertsFn func() any // optional: current alert states for the bundle
+	alertsFn      func() any // optional: current alert states for the bundle
+	profWindowsFn func() any // optional: recent profile windows for the bundle
 
 	mu        sync.Mutex
 	snaps     []metricSnapshot // ring storage
@@ -200,6 +209,13 @@ func New(opts Options) (*Recorder, error) {
 // each bundle's alerts.json (typically series.Store.Alerts). Call
 // before Start.
 func (r *Recorder) SetAlertsFunc(fn func() any) { r.alertsFn = fn }
+
+// SetProfileWindowsFn installs the callback whose result is marshaled
+// into each bundle's profile_windows.json (typically the continuous
+// profiler's recent decoded windows, so an incident bundle shows where
+// CPU and heap went in the minutes before the alert). Call before
+// Start.
+func (r *Recorder) SetProfileWindowsFn(fn func() any) { r.profWindowsFn = fn }
 
 // OfferTimeline feeds one completed span timeline to the tail-sampler.
 func (r *Recorder) OfferTimeline(tl obs.Timeline) { r.spans.Offer(tl) }
@@ -378,19 +394,28 @@ func (r *Recorder) capture(now time.Time, reason string) (Manifest, error) {
 		add("heap.pprof", append([]byte(nil), buf.Bytes()...))
 	}
 
-	// CPU profile: optional, bounded, and tolerant of a profiler that is
-	// already running (e.g. someone is on /debug/pprof/profile).
+	// CPU profile: optional, bounded, and owner-aware. The shared guard
+	// preempts the continuous profiler (its window ends early and it
+	// resumes next cycle); a profiler the guard does not manage — e.g.
+	// someone on /debug/pprof/profile — still degrades to a note, never
+	// a failed capture.
 	if r.opts.CPUProfile > 0 {
-		buf.Reset()
-		if err := pprof.StartCPUProfile(&buf); err != nil {
+		release, err := r.opts.CPUGuard.Acquire("incident-capture", 3*time.Second)
+		if err != nil {
 			m.Notes = append(m.Notes, "cpu profile unavailable: "+err.Error())
 		} else {
-			select {
-			case <-time.After(r.opts.CPUProfile):
-			case <-r.stop:
+			buf.Reset()
+			if err := pprof.StartCPUProfile(&buf); err != nil {
+				m.Notes = append(m.Notes, "cpu profile unavailable: "+err.Error())
+			} else {
+				select {
+				case <-time.After(r.opts.CPUProfile):
+				case <-r.stop:
+				}
+				pprof.StopCPUProfile()
+				add("cpu.pprof", append([]byte(nil), buf.Bytes()...))
 			}
-			pprof.StopCPUProfile()
-			add("cpu.pprof", append([]byte(nil), buf.Bytes()...))
+			release()
 		}
 	}
 
@@ -415,6 +440,11 @@ func (r *Recorder) capture(now time.Time, reason string) (Manifest, error) {
 	if r.alertsFn != nil {
 		if data, err := json.MarshalIndent(r.alertsFn(), "", " "); err == nil {
 			add("alerts.json", data)
+		}
+	}
+	if r.profWindowsFn != nil {
+		if data, err := json.MarshalIndent(r.profWindowsFn(), "", " "); err == nil {
+			add("profile_windows.json", data)
 		}
 	}
 	if len(r.opts.Config) > 0 {

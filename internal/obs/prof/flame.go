@@ -1,0 +1,191 @@
+package prof
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sort"
+	"strings"
+)
+
+// flameNode is one frame in the merged call tree.
+type flameNode struct {
+	name     string
+	value    int64 // total under this frame (self + children)
+	children map[string]*flameNode
+}
+
+func (n *flameNode) child(name string) *flameNode {
+	if n.children == nil {
+		n.children = map[string]*flameNode{}
+	}
+	c, ok := n.children[name]
+	if !ok {
+		c = &flameNode{name: name}
+		n.children[name] = c
+	}
+	return c
+}
+
+// buildFlameTree merges root-first folded stacks into a tree.
+func buildFlameTree(stacks []Stack) *flameNode {
+	root := &flameNode{name: "root"}
+	for _, s := range stacks {
+		root.value += s.Value
+		n := root
+		for _, frame := range s.Frames {
+			n = n.child(frame)
+			n.value += s.Value
+		}
+	}
+	return root
+}
+
+// Flamegraph geometry.
+const (
+	flameWidth      = 1200.0
+	flameRowHeight  = 17.0
+	flameFontSize   = 11
+	flameMinPx      = 1.5 // frames narrower than this are dropped
+	flameTextMinPx  = 30.0
+	flameCharPx     = 6.5
+	flameMaxDepth   = 64
+	flameHeaderRows = 2
+)
+
+// frameColor picks a stable warm color for a function name, shading
+// runtime/stdlib frames cooler so application frames pop.
+func frameColor(name string) string {
+	h := fnv.New32a()
+	h.Write([]byte(name))
+	v := h.Sum32()
+	if strings.HasPrefix(name, "runtime.") || strings.HasPrefix(name, "runtime/") {
+		// Muted blue-grays for the runtime.
+		return fmt.Sprintf("rgb(%d,%d,%d)", 150+int(v%30), 160+int((v>>8)%30), 185+int((v>>16)%40))
+	}
+	// Flame palette: red-orange-yellow.
+	return fmt.Sprintf("rgb(%d,%d,%d)", 205+int(v%50), 80+int((v>>8)%110), int((v>>16)%30))
+}
+
+// FlamegraphSVG renders a window's folded stacks as a self-contained
+// SVG flamegraph: zero JavaScript, hover titles on every frame, widths
+// proportional to sample value. The caller owns the Content-Type.
+func FlamegraphSVG(w Window) []byte {
+	root := buildFlameTree(w.Stacks)
+	var b strings.Builder
+
+	// First pass: depth, to size the image.
+	depth := flameDepth(root, 0)
+	if depth > flameMaxDepth {
+		depth = flameMaxDepth
+	}
+	height := float64(depth+flameHeaderRows) * flameRowHeight
+	fmt.Fprintf(&b, `<svg xmlns="http://www.w3.org/2000/svg" viewBox="0 0 %.0f %.0f" width="%.0f" height="%.0f" font-family="ui-monospace, SFMono-Regular, Menlo, monospace" font-size="%d">`,
+		flameWidth, height, flameWidth, height, flameFontSize)
+	fmt.Fprintf(&b, `<rect width="100%%" height="100%%" fill="#fafafa"/>`)
+	title := fmt.Sprintf("%s %s — %s of %s sampled", w.Kind, w.ID, formatSampleValue(root.value, w.Unit), formatSampleValue(w.Total, w.Unit))
+	fmt.Fprintf(&b, `<text x="6" y="%.0f" fill="#333">%s</text>`, flameRowHeight-4, escapeXML(title))
+
+	if root.value > 0 {
+		renderFlameNode(&b, root, 0, flameWidth, 0, root.value, w.Unit)
+	} else {
+		fmt.Fprintf(&b, `<text x="6" y="%.0f" fill="#999">no samples in this window</text>`, 2*flameRowHeight)
+	}
+	b.WriteString(`</svg>`)
+	return []byte(b.String())
+}
+
+func flameDepth(n *flameNode, d int) int {
+	max := d
+	for _, c := range n.children {
+		if cd := flameDepth(c, d+1); cd > max {
+			max = cd
+		}
+	}
+	return max
+}
+
+// renderFlameNode emits one frame rect and recurses into children,
+// laying them out left-to-right by descending value for a stable,
+// readable image.
+func renderFlameNode(b *strings.Builder, n *flameNode, x, width float64, depth int, total int64, unit string) {
+	if depth > flameMaxDepth {
+		return
+	}
+	if depth > 0 { // the synthetic root has no rect
+		y := float64(depth-1+flameHeaderRows) * flameRowHeight
+		share := 100 * float64(n.value) / float64(total)
+		fmt.Fprintf(b, `<g><title>%s — %s (%.1f%%)</title><rect x="%.1f" y="%.1f" width="%.1f" height="%.0f" fill="%s" stroke="#fafafa" stroke-width="0.5" rx="1"/>`,
+			escapeXML(n.name), formatSampleValue(n.value, unit), share,
+			x, y, width, flameRowHeight-1, frameColor(n.name))
+		if width >= flameTextMinPx {
+			label := n.name
+			if maxChars := int(width / flameCharPx); len(label) > maxChars {
+				if maxChars > 2 {
+					label = label[:maxChars-2] + ".."
+				} else {
+					label = ""
+				}
+			}
+			if label != "" {
+				fmt.Fprintf(b, `<text x="%.1f" y="%.1f" fill="#1a1a1a">%s</text>`,
+					x+3, y+flameRowHeight-5, escapeXML(label))
+			}
+		}
+		b.WriteString(`</g>`)
+	}
+
+	kids := make([]*flameNode, 0, len(n.children))
+	for _, c := range n.children {
+		kids = append(kids, c)
+	}
+	sort.Slice(kids, func(i, j int) bool {
+		if kids[i].value != kids[j].value {
+			return kids[i].value > kids[j].value
+		}
+		return kids[i].name < kids[j].name
+	})
+	cx := x
+	for _, c := range kids {
+		cw := width * float64(c.value) / float64(n.value)
+		if cw < flameMinPx {
+			continue
+		}
+		renderFlameNode(b, c, cx, cw, depth+1, total, unit)
+		cx += cw
+	}
+}
+
+// formatSampleValue renders a sample total in its unit.
+func formatSampleValue(v int64, unit string) string {
+	switch unit {
+	case "nanoseconds":
+		switch {
+		case v >= 1e9:
+			return fmt.Sprintf("%.2fs", float64(v)/1e9)
+		case v >= 1e6:
+			return fmt.Sprintf("%.1fms", float64(v)/1e6)
+		case v >= 1e3:
+			return fmt.Sprintf("%.1fµs", float64(v)/1e3)
+		}
+		return fmt.Sprintf("%dns", v)
+	case "bytes":
+		switch {
+		case v >= 1<<30:
+			return fmt.Sprintf("%.2fGiB", float64(v)/(1<<30))
+		case v >= 1<<20:
+			return fmt.Sprintf("%.1fMiB", float64(v)/(1<<20))
+		case v >= 1<<10:
+			return fmt.Sprintf("%.1fKiB", float64(v)/(1<<10))
+		}
+		return fmt.Sprintf("%dB", v)
+	default:
+		return fmt.Sprint(v)
+	}
+}
+
+// escapeXML escapes the five XML special characters for SVG text and
+// title content.
+func escapeXML(s string) string {
+	r := strings.NewReplacer("&", "&amp;", "<", "&lt;", ">", "&gt;", `"`, "&quot;", "'", "&apos;")
+	return r.Replace(s)
+}

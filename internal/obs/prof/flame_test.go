@@ -1,0 +1,132 @@
+package prof
+
+import (
+	"bytes"
+	"encoding/xml"
+	"strings"
+	"testing"
+	"time"
+)
+
+func flameTestWindow() Window {
+	return Window{
+		ID:    "w-cpu-1",
+		Kind:  "cpu",
+		Start: time.Date(2026, 8, 7, 12, 0, 0, 0, time.UTC),
+		End:   time.Date(2026, 8, 7, 12, 0, 10, 0, time.UTC),
+		Unit:  "nanoseconds",
+		Total: 1600,
+		Stacks: []Stack{
+			{Frames: []string{"main.root", "main.mid", "main.leaf"}, Value: 1000},
+			{Frames: []string{"main.root", "main.mid"}, Value: 500},
+			{Frames: []string{"main.root", "runtime.gcBgMarkWorker"}, Value: 100},
+		},
+		KeptValue: 1600,
+	}
+}
+
+// TestFlamegraphSVGWellFormed validates the rendered SVG as XML and
+// checks the frames are present with proportional widths.
+func TestFlamegraphSVGWellFormed(t *testing.T) {
+	svg := FlamegraphSVG(flameTestWindow())
+
+	dec := xml.NewDecoder(bytes.NewReader(svg))
+	rects, texts, titles := 0, 0, 0
+	for {
+		tok, err := dec.Token()
+		if err != nil {
+			if err.Error() == "EOF" {
+				break
+			}
+			t.Fatalf("SVG is not well-formed XML: %v\n%s", err, svg)
+		}
+		if se, ok := tok.(xml.StartElement); ok {
+			switch se.Name.Local {
+			case "rect":
+				rects++
+			case "text":
+				texts++
+			case "title":
+				titles++
+			}
+		}
+	}
+	// Background + 4 distinct frames (root, mid, leaf, gc worker).
+	if rects < 5 {
+		t.Fatalf("rects = %d, want ≥5", rects)
+	}
+	if titles < 4 {
+		t.Fatalf("hover titles = %d, want ≥4 (one per frame)", titles)
+	}
+	if texts < 2 {
+		t.Fatalf("texts = %d, want ≥2", texts)
+	}
+	out := string(svg)
+	for _, frame := range []string{"main.root", "main.mid", "main.leaf"} {
+		if !strings.Contains(out, frame) {
+			t.Errorf("SVG missing frame %q", frame)
+		}
+	}
+	if !strings.Contains(out, "100.0%") {
+		t.Errorf("SVG missing root share tooltip:\n%s", out)
+	}
+	if !strings.Contains(out, `xmlns="http://www.w3.org/2000/svg"`) {
+		t.Error("SVG missing namespace")
+	}
+	if strings.Contains(strings.ToLower(out), "<script") {
+		t.Error("flamegraph must be JavaScript-free")
+	}
+}
+
+// TestFlamegraphEscapesNames: generic Go function names carry XML
+// metacharacters and must not break the document.
+func TestFlamegraphEscapesNames(t *testing.T) {
+	w := flameTestWindow()
+	w.Stacks = []Stack{{Frames: []string{`main.Map[string]chan<- int "q&a"`}, Value: 10}}
+	w.Total, w.KeptValue = 10, 10
+	svg := FlamegraphSVG(w)
+	dec := xml.NewDecoder(bytes.NewReader(svg))
+	for {
+		tok, err := dec.Token()
+		if err != nil {
+			if err.Error() == "EOF" {
+				break
+			}
+			t.Fatalf("escaped SVG not well-formed: %v\n%s", err, svg)
+		}
+		_ = tok
+	}
+	if bytes.Contains(svg, []byte(`chan<- `)) {
+		t.Error("raw '<' leaked into SVG")
+	}
+}
+
+func TestFlamegraphEmptyWindow(t *testing.T) {
+	w := Window{ID: "w-cpu-empty", Kind: "cpu", Unit: "nanoseconds"}
+	svg := FlamegraphSVG(w)
+	if !bytes.Contains(svg, []byte("no samples")) {
+		t.Fatalf("empty window SVG missing placeholder:\n%s", svg)
+	}
+}
+
+func TestFormatSampleValue(t *testing.T) {
+	for _, tc := range []struct {
+		v    int64
+		unit string
+		want string
+	}{
+		{2_500_000_000, "nanoseconds", "2.50s"},
+		{3_200_000, "nanoseconds", "3.2ms"},
+		{4_500, "nanoseconds", "4.5µs"},
+		{900, "nanoseconds", "900ns"},
+		{3 << 30, "bytes", "3.00GiB"},
+		{5 << 20, "bytes", "5.0MiB"},
+		{2 << 10, "bytes", "2.0KiB"},
+		{512, "bytes", "512B"},
+		{42, "count", "42"},
+	} {
+		if got := formatSampleValue(tc.v, tc.unit); got != tc.want {
+			t.Errorf("formatSampleValue(%d, %q) = %q, want %q", tc.v, tc.unit, got, tc.want)
+		}
+	}
+}

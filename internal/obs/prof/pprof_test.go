@@ -1,0 +1,387 @@
+package prof
+
+import (
+	"bytes"
+	"compress/gzip"
+	"runtime"
+	"runtime/pprof"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// --- tiny protobuf writer for golden profiles ------------------------
+
+func appendVarint(b []byte, v uint64) []byte {
+	for v >= 0x80 {
+		b = append(b, byte(v)|0x80)
+		v >>= 7
+	}
+	return append(b, byte(v))
+}
+
+func appendTag(b []byte, num, wire int) []byte {
+	return appendVarint(b, uint64(num)<<3|uint64(wire))
+}
+
+func appendVarintField(b []byte, num int, v uint64) []byte {
+	b = appendTag(b, num, wireVarint)
+	return appendVarint(b, v)
+}
+
+func appendBytesField(b []byte, num int, payload []byte) []byte {
+	b = appendTag(b, num, wireBytes)
+	b = appendVarint(b, uint64(len(payload)))
+	return append(b, payload...)
+}
+
+func appendPackedField(b []byte, num int, vals []uint64) []byte {
+	var p []byte
+	for _, v := range vals {
+		p = appendVarint(p, v)
+	}
+	return appendBytesField(b, num, p)
+}
+
+// goldenProfile hand-encodes a two-dimension CPU profile:
+//
+//	strings: 0:"" 1:samples 2:count 3:cpu 4:nanoseconds
+//	         5:main.leaf 6:main.mid 7:main.root 8:main.inline
+//	stacks (leaf first): [leaf mid root]=10/1000, [mid root]=5/500, [root]=1/100
+//
+// With packed=false the repeated sample fields use the unpacked
+// encoding, exercising both branches of packedUints.
+func goldenProfile(packed bool) []byte {
+	var out []byte
+	valueType := func(typ, unit uint64) []byte {
+		var vt []byte
+		vt = appendVarintField(vt, 1, typ)
+		vt = appendVarintField(vt, 2, unit)
+		return vt
+	}
+	out = appendBytesField(out, 1, valueType(1, 2)) // samples/count
+	out = appendBytesField(out, 1, valueType(3, 4)) // cpu/nanoseconds
+
+	sample := func(locs, vals []uint64) []byte {
+		var s []byte
+		if packed {
+			s = appendPackedField(s, 1, locs)
+			s = appendPackedField(s, 2, vals)
+		} else {
+			for _, l := range locs {
+				s = appendVarintField(s, 1, l)
+			}
+			for _, v := range vals {
+				s = appendVarintField(s, 2, v)
+			}
+		}
+		return s
+	}
+	out = appendBytesField(out, 2, sample([]uint64{1, 2, 3}, []uint64{10, 1000}))
+	out = appendBytesField(out, 2, sample([]uint64{2, 3}, []uint64{5, 500}))
+	out = appendBytesField(out, 2, sample([]uint64{3}, []uint64{1, 100}))
+
+	location := func(id uint64, funcIDs ...uint64) []byte {
+		var l []byte
+		l = appendVarintField(l, 1, id)
+		for _, fid := range funcIDs {
+			var line []byte
+			line = appendVarintField(line, 1, fid)
+			l = appendBytesField(l, 4, line)
+		}
+		return l
+	}
+	out = appendBytesField(out, 4, location(1, 1))
+	out = appendBytesField(out, 4, location(2, 2))
+	out = appendBytesField(out, 4, location(3, 3))
+
+	function := func(id, name uint64) []byte {
+		var f []byte
+		f = appendVarintField(f, 1, id)
+		f = appendVarintField(f, 2, name)
+		return f
+	}
+	out = appendBytesField(out, 5, function(1, 5))
+	out = appendBytesField(out, 5, function(2, 6))
+	out = appendBytesField(out, 5, function(3, 7))
+
+	for _, s := range []string{"", "samples", "count", "cpu", "nanoseconds",
+		"main.leaf", "main.mid", "main.root", "main.inline"} {
+		out = appendBytesField(out, 6, []byte(s))
+	}
+	out = appendVarintField(out, 9, 1700000000000000000) // time_nanos
+	out = appendVarintField(out, 10, 10_000_000_000)     // duration_nanos
+	out = appendBytesField(out, 11, valueType(3, 4))     // period_type
+	out = appendVarintField(out, 12, 10_000_000)         // period
+	return out
+}
+
+func TestParseGoldenProfile(t *testing.T) {
+	for _, tc := range []struct {
+		name   string
+		packed bool
+	}{{"packed", true}, {"unpacked", false}} {
+		t.Run(tc.name, func(t *testing.T) {
+			p, err := Parse(goldenProfile(tc.packed))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(p.SampleTypes) != 2 || p.SampleTypes[1].Type != "cpu" || p.SampleTypes[1].Unit != "nanoseconds" {
+				t.Fatalf("sample types = %+v", p.SampleTypes)
+			}
+			if got := p.DefaultValueIndex(); got != 1 {
+				t.Fatalf("DefaultValueIndex = %d, want 1 (cpu)", got)
+			}
+			if len(p.Samples) != 3 {
+				t.Fatalf("samples = %d, want 3", len(p.Samples))
+			}
+			want := []string{"main.leaf", "main.mid", "main.root"}
+			if got := p.Samples[0].Stack; strings.Join(got, ",") != strings.Join(want, ",") {
+				t.Fatalf("stack = %v, want %v", got, want)
+			}
+			if p.Period != 10_000_000 || p.DurationNanos != 10_000_000_000 {
+				t.Fatalf("period = %d, duration = %d", p.Period, p.DurationNanos)
+			}
+
+			funcs, stacks, total := Aggregate(p, 1)
+			if total != 1600 {
+				t.Fatalf("total = %d, want 1600", total)
+			}
+			byName := map[string]FuncStat{}
+			for _, f := range funcs {
+				byName[f.Name] = f
+			}
+			for _, exp := range []struct {
+				name      string
+				flat, cum int64
+			}{
+				{"main.leaf", 1000, 1000},
+				{"main.mid", 500, 1500},
+				{"main.root", 100, 1600},
+			} {
+				f := byName[exp.name]
+				if f.Flat != exp.flat || f.Cum != exp.cum {
+					t.Errorf("%s: flat=%d cum=%d, want flat=%d cum=%d",
+						exp.name, f.Flat, f.Cum, exp.flat, exp.cum)
+				}
+			}
+			if funcs[0].Name != "main.leaf" {
+				t.Errorf("hottest flat = %s, want main.leaf", funcs[0].Name)
+			}
+			if w := byName["main.root"]; w.CumShare != 1.0 {
+				t.Errorf("root cum share = %v, want 1", w.CumShare)
+			}
+			// Stacks come back root first, heaviest first.
+			if len(stacks) != 3 {
+				t.Fatalf("stacks = %d, want 3", len(stacks))
+			}
+			if got := strings.Join(stacks[0].Frames, ","); got != "main.root,main.mid,main.leaf" {
+				t.Fatalf("top stack = %q (root first expected)", got)
+			}
+			if stacks[0].Value != 1000 {
+				t.Fatalf("top stack value = %d, want 1000", stacks[0].Value)
+			}
+		})
+	}
+}
+
+func TestParseGzipped(t *testing.T) {
+	raw := goldenProfile(true)
+	var buf bytes.Buffer
+	zw := gzip.NewWriter(&buf)
+	zw.Write(raw)
+	zw.Close()
+	p, err := Parse(buf.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Samples) != 3 {
+		t.Fatalf("samples = %d, want 3", len(p.Samples))
+	}
+}
+
+func TestParseInlineFrames(t *testing.T) {
+	// One location with two Line entries: the innermost inline frame
+	// first, so the leaf attribution must go to main.inline.
+	var out []byte
+	vt := appendVarintField(appendVarintField(nil, 1, 3), 2, 4)
+	out = appendBytesField(out, 1, vt)
+	var s []byte
+	s = appendPackedField(s, 1, []uint64{1})
+	s = appendPackedField(s, 2, []uint64{7})
+	out = appendBytesField(out, 2, s)
+	var loc []byte
+	loc = appendVarintField(loc, 1, 1)
+	loc = appendBytesField(loc, 4, appendVarintField(nil, 1, 1)) // inline (innermost)
+	loc = appendBytesField(loc, 4, appendVarintField(nil, 1, 2)) // caller
+	out = appendBytesField(out, 4, loc)
+	out = appendBytesField(out, 5, appendVarintField(appendVarintField(nil, 1, 1), 2, 5))
+	out = appendBytesField(out, 5, appendVarintField(appendVarintField(nil, 1, 2), 2, 6))
+	for _, str := range []string{"", "ignored", "ignored2", "cpu", "nanoseconds",
+		"main.inline", "main.caller"} {
+		out = appendBytesField(out, 6, []byte(str))
+	}
+
+	p, err := Parse(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Samples) != 1 {
+		t.Fatalf("samples = %d, want 1", len(p.Samples))
+	}
+	want := []string{"main.inline", "main.caller"}
+	if got := p.Samples[0].Stack; strings.Join(got, ",") != strings.Join(want, ",") {
+		t.Fatalf("stack = %v, want %v (inline expanded innermost first)", got, want)
+	}
+	funcs, _, _ := Aggregate(p, 0)
+	if funcs[0].Name != "main.inline" || funcs[0].Flat != 7 {
+		t.Fatalf("flat leaf = %+v, want main.inline flat=7", funcs[0])
+	}
+}
+
+// TestParseTruncated feeds every prefix of a golden profile (and of its
+// gzipped form) to Parse: a torn journal tail or half-written capture
+// must error or partially decode, never panic.
+func TestParseTruncated(t *testing.T) {
+	raw := goldenProfile(true)
+	var buf bytes.Buffer
+	zw := gzip.NewWriter(&buf)
+	zw.Write(raw)
+	zw.Close()
+	for _, data := range [][]byte{raw, buf.Bytes()} {
+		for i := 0; i <= len(data); i++ {
+			func() {
+				defer func() {
+					if r := recover(); r != nil {
+						t.Fatalf("panic at prefix %d: %v", i, r)
+					}
+				}()
+				Parse(data[:i])
+			}()
+		}
+	}
+}
+
+func TestParseGarbage(t *testing.T) {
+	for _, data := range [][]byte{
+		nil,
+		[]byte("not a profile at all, just text"),
+		{0x1f, 0x8b, 0xff, 0xff},       // gzip magic, bogus header
+		bytes.Repeat([]byte{0xff}, 64), // endless varint continuation
+	} {
+		if _, err := Parse(data); err == nil {
+			t.Errorf("Parse(%q) succeeded, want error", data)
+		}
+	}
+}
+
+// cpuBurner spins so a real CPU profile has a named hot function.
+//
+//go:noinline
+func cpuBurner(stop *atomic.Bool, sink *atomic.Uint64) {
+	var acc uint64 = 0x9e3779b97f4a7c15
+	for !stop.Load() {
+		for i := 0; i < 1<<14; i++ {
+			acc ^= acc << 13
+			acc ^= acc >> 7
+			acc ^= acc << 17
+		}
+		sink.Add(acc)
+	}
+}
+
+// TestParseRealCPUProfile runs the runtime profiler for real and checks
+// that the hand-rolled decoder finds the burner on top of the profile.
+func TestParseRealCPUProfile(t *testing.T) {
+	if testing.Short() {
+		t.Skip("real profiling in -short mode")
+	}
+	var buf bytes.Buffer
+	if err := pprof.StartCPUProfile(&buf); err != nil {
+		t.Skipf("cpu profiler unavailable: %v", err)
+	}
+	var stop atomic.Bool
+	var sink atomic.Uint64
+	done := make(chan struct{})
+	go func() { defer close(done); cpuBurner(&stop, &sink) }()
+	time.Sleep(400 * time.Millisecond)
+	stop.Store(true)
+	<-done
+	pprof.StopCPUProfile()
+
+	p, err := Parse(buf.Bytes())
+	if err != nil {
+		t.Fatalf("decoding runtime cpu profile: %v", err)
+	}
+	vi := p.DefaultValueIndex()
+	if p.SampleTypes[vi].Type != "cpu" {
+		t.Fatalf("default value type = %q, want cpu", p.SampleTypes[vi].Type)
+	}
+	funcs, stacks, total := Aggregate(p, vi)
+	if total <= 0 || len(funcs) == 0 {
+		t.Fatalf("no samples decoded (total=%d funcs=%d)", total, len(funcs))
+	}
+	found := false
+	for _, f := range funcs {
+		if strings.Contains(f.Name, "cpuBurner") {
+			found = true
+			if f.FlatShare < 0.10 {
+				t.Errorf("cpuBurner flat share = %.3f, expected the burner to dominate", f.FlatShare)
+			}
+		}
+	}
+	if !found {
+		t.Fatalf("cpuBurner not in decoded function table: %+v", funcs[:min(len(funcs), 8)])
+	}
+	if len(stacks) == 0 {
+		t.Fatal("no folded stacks decoded")
+	}
+}
+
+// TestParseRealHeapProfile decodes a live heap profile and checks the
+// conventional inuse_space dimension is found.
+func TestParseRealHeapProfile(t *testing.T) {
+	ballast := make([][]byte, 0, 64)
+	for i := 0; i < 64; i++ {
+		ballast = append(ballast, make([]byte, 128<<10))
+	}
+	runtime.GC()
+	var buf bytes.Buffer
+	if err := pprof.Lookup("heap").WriteTo(&buf, 0); err != nil {
+		t.Fatal(err)
+	}
+	p, err := Parse(buf.Bytes())
+	if err != nil {
+		t.Fatalf("decoding runtime heap profile: %v", err)
+	}
+	vi := p.DefaultValueIndex()
+	if p.SampleTypes[vi].Type != "inuse_space" {
+		t.Fatalf("default value type = %q, want inuse_space (types %+v)",
+			p.SampleTypes[vi].Type, p.SampleTypes)
+	}
+	if p.SampleTypes[vi].Unit != "bytes" {
+		t.Fatalf("unit = %q, want bytes", p.SampleTypes[vi].Unit)
+	}
+	funcs, _, total := Aggregate(p, vi)
+	if total <= 0 || len(funcs) == 0 {
+		t.Fatalf("no heap samples decoded (total=%d)", total)
+	}
+	runtime.KeepAlive(ballast)
+}
+
+// TestParseRealGoroutineProfile decodes the goroutine profile.
+func TestParseRealGoroutineProfile(t *testing.T) {
+	var buf bytes.Buffer
+	if err := pprof.Lookup("goroutine").WriteTo(&buf, 0); err != nil {
+		t.Fatal(err)
+	}
+	p, err := Parse(buf.Bytes())
+	if err != nil {
+		t.Fatalf("decoding goroutine profile: %v", err)
+	}
+	_, _, total := Aggregate(p, p.DefaultValueIndex())
+	if total < 1 {
+		t.Fatalf("goroutine profile total = %d, want ≥1", total)
+	}
+}

@@ -1,0 +1,388 @@
+package prof
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"time"
+)
+
+// Window is one decoded profile window: the journal record, the API
+// payload, and the flamegraph input. CPU windows cover an actual
+// profiling interval; snapshot kinds (heap, goroutine) are a point-in-
+// time state stamped with the cycle that took them.
+type Window struct {
+	// ID is unique per window ("w-<kind>-<unix-ms>").
+	ID string `json:"id"`
+	// Kind is the profile family: "cpu", "heap", or "goroutine".
+	Kind string `json:"kind"`
+	// Start/End bound the capture (equal for snapshot kinds).
+	Start time.Time `json:"start"`
+	End   time.Time `json:"end"`
+	// Unit is the meaning of the values: "nanoseconds", "bytes", "count".
+	Unit string `json:"unit"`
+	// Total is the sum over every sample in the window (before the
+	// top-N truncation of Functions and Stacks).
+	Total int64 `json:"total"`
+	// Functions is the top-N per-function table, highest flat first.
+	Functions []FuncStat `json:"functions"`
+	// Stacks holds the heaviest folded stacks (root first) for the
+	// flamegraph; KeptValue is their value sum (≤ Total when stacks
+	// were dropped by the bound).
+	Stacks    []Stack `json:"stacks,omitempty"`
+	KeptValue int64   `json:"kept_value,omitempty"`
+}
+
+// DurationSeconds is the covered wall time (0 for snapshot kinds).
+func (w Window) DurationSeconds() float64 { return w.End.Sub(w.Start).Seconds() }
+
+// size estimates the retained bytes of a window (≈ its journal-line
+// cost), used for the store's byte bound.
+func (w Window) size() int64 {
+	n := int64(len(w.ID)+len(w.Kind)+len(w.Unit)) + 160
+	for _, f := range w.Functions {
+		n += int64(len(f.Name)) + 96
+	}
+	for _, s := range w.Stacks {
+		n += 32
+		for _, fr := range s.Frames {
+			n += int64(len(fr)) + 8
+		}
+	}
+	return n
+}
+
+// Share returns the flat share of the named function, 0 when absent.
+func (w Window) Share(fn string) float64 {
+	for _, f := range w.Functions {
+		if f.Name == fn {
+			return f.FlatShare
+		}
+	}
+	return 0
+}
+
+// StoreOptions configures a window Store.
+type StoreOptions struct {
+	// Path is the JSON-lines journal file; required.
+	Path string
+	// Retention drops windows older than this relative to the newest
+	// (default 2h; negative disables the age bound).
+	Retention time.Duration
+	// MaxWindows bounds retained windows across all kinds (default 360;
+	// negative disables).
+	MaxWindows int
+	// MaxBytes bounds the estimated retained bytes (default 64 MiB;
+	// negative disables).
+	MaxBytes int64
+}
+
+func (o *StoreOptions) applyDefaults() {
+	if o.Retention == 0 {
+		o.Retention = 2 * time.Hour
+	}
+	if o.MaxWindows == 0 {
+		o.MaxWindows = 360
+	}
+	if o.MaxBytes == 0 {
+		o.MaxBytes = 64 << 20
+	}
+}
+
+// Store is the journaled, retention-bounded profile window store:
+// windows append to a JSON-lines journal under the service data dir
+// (same replay/compaction discipline as the semantic cache journal), so
+// a restarted process keeps its profile history. All methods are safe
+// for concurrent use and safe on a nil receiver.
+type Store struct {
+	mu   sync.Mutex
+	opts StoreOptions
+	file *os.File
+	wins []storedWindow // oldest first
+	size int64
+	// lines counts journal records since the last compaction; evictions
+	// are not journaled, so compaction triggers when dead lines
+	// outnumber live windows.
+	lines   int
+	evicted int64
+}
+
+type storedWindow struct {
+	w    Window
+	size int64
+}
+
+// OpenStore loads (or creates) the journal at opts.Path, replaying it
+// with the bounds enforced. Unreadable lines — including a torn final
+// write from a crash — are skipped, never fatal.
+func OpenStore(opts StoreOptions) (*Store, error) {
+	if opts.Path == "" {
+		return nil, fmt.Errorf("prof: StoreOptions.Path is required")
+	}
+	opts.applyDefaults()
+	if err := os.MkdirAll(filepath.Dir(opts.Path), 0o755); err != nil {
+		return nil, fmt.Errorf("prof: %w", err)
+	}
+	st := &Store{opts: opts}
+	if err := st.replay(); err != nil {
+		return nil, err
+	}
+	f, err := os.OpenFile(opts.Path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("prof: %w", err)
+	}
+	// A crash can leave the journal without a final newline; terminate
+	// the torn line so the next append starts a fresh record instead of
+	// concatenating onto garbage.
+	if info, err := f.Stat(); err == nil && info.Size() > 0 {
+		tail := make([]byte, 1)
+		if rf, err := os.Open(opts.Path); err == nil {
+			if _, err := rf.ReadAt(tail, info.Size()-1); err == nil && tail[0] != '\n' {
+				f.Write([]byte{'\n'})
+			}
+			rf.Close()
+		}
+	}
+	st.file = f
+	return st, nil
+}
+
+// replay loads the journal into memory, oldest first.
+func (st *Store) replay() error {
+	f, err := os.Open(st.opts.Path)
+	if os.IsNotExist(err) {
+		return nil
+	}
+	if err != nil {
+		return fmt.Errorf("prof: %w", err)
+	}
+	defer f.Close()
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 64<<10), 8<<20)
+	for sc.Scan() {
+		st.lines++
+		line := sc.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		var w Window
+		if err := json.Unmarshal(line, &w); err != nil {
+			continue
+		}
+		if w.ID == "" || w.Kind == "" {
+			continue
+		}
+		st.insertLocked(w)
+	}
+	// Scanner errors (a torn oversized tail) degrade to a partial load,
+	// same policy as unreadable lines.
+	return nil
+}
+
+// insertLocked appends a window and applies the bounds. A re-written
+// ID (same window journaled twice) supersedes the earlier record.
+func (st *Store) insertLocked(w Window) {
+	for i := range st.wins {
+		if st.wins[i].w.ID == w.ID {
+			st.size -= st.wins[i].size
+			st.wins = append(st.wins[:i], st.wins[i+1:]...)
+			break
+		}
+	}
+	sw := storedWindow{w: w, size: w.size()}
+	st.wins = append(st.wins, sw)
+	st.size += sw.size
+	st.evictLocked(w.End)
+}
+
+// evictLocked drops oldest-first until the age, count, and byte bounds
+// hold, keeping at least the newest window.
+func (st *Store) evictLocked(now time.Time) {
+	cutoff := time.Time{}
+	if st.opts.Retention > 0 {
+		cutoff = now.Add(-st.opts.Retention)
+	}
+	for len(st.wins) > 1 {
+		victim := st.wins[0]
+		over := (st.opts.MaxWindows > 0 && len(st.wins) > st.opts.MaxWindows) ||
+			(st.opts.MaxBytes > 0 && st.size > st.opts.MaxBytes) ||
+			(!cutoff.IsZero() && victim.w.End.Before(cutoff))
+		if !over {
+			return
+		}
+		st.size -= victim.size
+		st.wins = st.wins[1:]
+		st.evicted++
+	}
+}
+
+// Add journals and retains one window.
+func (st *Store) Add(w Window) error {
+	if st == nil {
+		return nil
+	}
+	if w.ID == "" || w.Kind == "" {
+		return fmt.Errorf("prof: window needs an id and a kind")
+	}
+	line, err := json.Marshal(w)
+	if err != nil {
+		return fmt.Errorf("prof: %w", err)
+	}
+	line = append(line, '\n')
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if st.file != nil {
+		if _, err := st.file.Write(line); err != nil {
+			return fmt.Errorf("prof: journaling window: %w", err)
+		}
+		st.lines++
+	}
+	st.insertLocked(w)
+	st.compactLocked()
+	return nil
+}
+
+// compactLocked rewrites the journal when evicted lines outnumber live
+// windows, via temp file + rename so a crash mid-compact leaves the
+// old journal intact.
+func (st *Store) compactLocked() {
+	if st.file == nil || st.lines <= 2*len(st.wins)+16 {
+		return
+	}
+	tmp := st.opts.Path + ".tmp"
+	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	if err != nil {
+		return
+	}
+	w := bufio.NewWriter(f)
+	n := 0
+	for _, sw := range st.wins {
+		line, err := json.Marshal(sw.w)
+		if err != nil {
+			continue
+		}
+		line = append(line, '\n')
+		if _, err := w.Write(line); err != nil {
+			f.Close()
+			os.Remove(tmp)
+			return
+		}
+		n++
+	}
+	if err := w.Flush(); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return
+	}
+	if err := os.Rename(tmp, st.opts.Path); err != nil {
+		os.Remove(tmp)
+		return
+	}
+	old := st.file
+	nf, err := os.OpenFile(st.opts.Path, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		// Keep appending to the renamed-over handle; only post-compaction
+		// writes are lost on this degenerate path.
+		return
+	}
+	old.Close()
+	st.file = nf
+	st.lines = n
+}
+
+// Windows returns retained windows newest first, filtered by kind
+// (empty matches all) and bounded by limit (≤0 means all).
+func (st *Store) Windows(kind string, limit int) []Window {
+	if st == nil {
+		return nil
+	}
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	out := make([]Window, 0, len(st.wins))
+	for i := len(st.wins) - 1; i >= 0; i-- {
+		if kind != "" && st.wins[i].w.Kind != kind {
+			continue
+		}
+		out = append(out, st.wins[i].w)
+		if limit > 0 && len(out) >= limit {
+			break
+		}
+	}
+	return out
+}
+
+// Get returns one window by id.
+func (st *Store) Get(id string) (Window, bool) {
+	if st == nil {
+		return Window{}, false
+	}
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	for i := len(st.wins) - 1; i >= 0; i-- {
+		if st.wins[i].w.ID == id {
+			return st.wins[i].w, true
+		}
+	}
+	return Window{}, false
+}
+
+// Latest returns the newest window of the given kind.
+func (st *Store) Latest(kind string) (Window, bool) {
+	ws := st.Windows(kind, 1)
+	if len(ws) == 0 {
+		return Window{}, false
+	}
+	return ws[0], true
+}
+
+// Len returns the number of retained windows (all kinds).
+func (st *Store) Len() int {
+	if st == nil {
+		return 0
+	}
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return len(st.wins)
+}
+
+// Bytes returns the estimated retained bytes.
+func (st *Store) Bytes() int64 {
+	if st == nil {
+		return 0
+	}
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return st.size
+}
+
+// Evicted returns how many windows retention has dropped.
+func (st *Store) Evicted() int64 {
+	if st == nil {
+		return 0
+	}
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return st.evicted
+}
+
+// Close flushes and closes the journal.
+func (st *Store) Close() error {
+	if st == nil {
+		return nil
+	}
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if st.file == nil {
+		return nil
+	}
+	err := st.file.Close()
+	st.file = nil
+	return err
+}

@@ -292,7 +292,8 @@ func DefaultRules() []Rule {
   {"name": "AnalyzeP95Slow",      "expr": "p95(ion_pipeline_stage_seconds{stage=\"analyze\"}) > 60", "for": "2m", "severity": "warn"},
   {"name": "SemcacheHitRatioCollapsed", "expr": "ion_semcache_hit_ratio < 0.05", "for": "2m", "severity": "warn"},
   {"name": "HeapLarge",           "expr": "ion_go_heap_bytes > 4e+09", "for": "2m", "severity": "warn"},
-  {"name": "GoroutineLeak",       "expr": "ion_go_goroutines > 5000", "for": "2m", "severity": "warn"}
+  {"name": "GoroutineLeak",       "expr": "ion_go_goroutines > 5000", "for": "2m", "severity": "warn"},
+  {"name": "HotFunctionRegression", "expr": "max(ion_prof_hot_function_delta) > 0.25", "for": "2m", "severity": "warn"}
 ]`))
 }
 

@@ -153,6 +153,7 @@ type Store struct {
 	stale   bool                  // order needs rebuild
 	dropped int64                 // series rejected by MaxSeries
 	scrapes int64
+	lastAt  time.Time // stamp of the most recent scrape
 	warned  bool
 
 	stopOnce sync.Once
@@ -199,6 +200,14 @@ func (s *Store) Interval() time.Duration { return s.opts.Interval }
 
 // Retention returns the configured history window.
 func (s *Store) Retention() time.Duration { return s.opts.Retention }
+
+// LastScrape returns the stamp of the most recent scrape (zero before
+// the first), so dashboards can surface staleness.
+func (s *Store) LastScrape() time.Time {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.lastAt
+}
 
 // Start launches the scrape loop. Stop it with Stop; calling Start
 // twice is a no-op, and Start after Stop exits immediately.
@@ -250,6 +259,9 @@ func (s *Store) Scrape(now time.Time) {
 
 	s.mu.Lock()
 	s.scrapes++
+	if now.After(s.lastAt) {
+		s.lastAt = now
+	}
 	for _, sm := range samples {
 		key := sm.SeriesKey()
 		m, ok := s.series[key]

@@ -208,6 +208,7 @@ func dashboardPanels() []dashPanel {
 		{title: "Heap", unit: "B", queries: []series.Query{q("ion_go_heap_bytes", nil)}},
 		{title: "Goroutines", queries: []series.Query{q("ion_go_goroutines", nil)}},
 		{title: "GC pause", unit: "s/s", queries: []series.Query{q("ion_go_gc_pause_seconds_total", nil)}},
+		{title: "Hot function max Δshare", unit: "%", queries: []series.Query{q("ion_prof_max_share_delta", nil)}},
 		{title: "Alerts firing", queries: []series.Query{q("ion_alerts_firing", nil)}},
 	}
 }
@@ -248,6 +249,7 @@ func (s *JobServer) handleDashboard(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 	st := s.svc.Stats()
+	fmt.Fprintf(&b, `<p class="meta">%s</p>`, html.EscapeString(buildInfo().String()))
 	fmt.Fprintf(&b, `<p class="meta">window %s &middot; refresh %ds &middot; %d series retained &middot; queue %d/%d &middot; workers busy %d/%d &middot; `,
 		window, refresh, s.series.SeriesCount(), st.QueueDepth, st.QueueCapacity, st.Busy, st.Workers)
 	if firing > 0 {
@@ -255,9 +257,17 @@ func (s *JobServer) handleDashboard(w http.ResponseWriter, r *http.Request) {
 	} else {
 		b.WriteString(`<span class="ok">no alerts firing</span>`)
 	}
+	// Watchdog lights: how fresh the scrape loop and the profiler are.
+	fmt.Fprintf(&b, ` &middot; %s`, staleSpan("scraped", s.series.LastScrape(), 2*s.series.Interval()))
+	if s.prof != nil {
+		fmt.Fprintf(&b, ` &middot; %s`, staleSpan("profile window", s.prof.LastWindowTime(), 2*s.prof.Interval()))
+	}
 	b.WriteString(` &middot; <a href="/api/alerts">alerts JSON</a>`)
 	if s.flight != nil {
 		fmt.Fprintf(&b, ` &middot; <a href="/api/incidents">%d incident(s)</a>`, len(s.flight.List()))
+	}
+	if s.prof != nil {
+		b.WriteString(` &middot; <a href="/dashboard/profile">profiling</a>`)
 	}
 	b.WriteString(` &middot; <a href="/metrics">metrics</a> &middot; <a href="/">jobs</a></p>`)
 
@@ -455,6 +465,7 @@ h1 { margin-bottom: 0.25rem }
 .legend { margin: 0.1rem 0 0; font-size: 0.75rem }
 .nodata { color: #999; font-style: italic }
 .ok { color: #059669 }
+.stale { color: #d97706; font-weight: 600 }
 .firing, .state-firing { color: #dc2626; font-weight: 600 }
 .state-pending { color: #d97706 }
 .state-resolved { color: #2563eb }

@@ -19,6 +19,7 @@ import (
 	"ion/internal/llm"
 	"ion/internal/obs"
 	"ion/internal/obs/flight"
+	"ion/internal/obs/prof"
 	"ion/internal/obs/series"
 	"ion/internal/report"
 	"ion/internal/semcache"
@@ -37,6 +38,7 @@ type JobServer struct {
 	log    *slog.Logger
 	series *series.Store    // nil disables /dashboard and the query/alerts APIs
 	flight *flight.Recorder // nil disables the incident APIs
+	prof   *prof.Profiler   // nil disables /dashboard/profile and the prof APIs
 	reqSeq atomic.Int64     // request-id source for latency exemplars
 
 	mu       sync.Mutex
@@ -109,7 +111,10 @@ func (s *JobServer) WithFlight(rec *flight.Recorder) *JobServer {
 //	GET  /api/incidents        flight-recorder bundle manifests (JSON)
 //	GET  /api/incidents/{id}/download  one incident bundle (tar.gz)
 //	POST /api/debug/capture    capture an on-demand incident bundle
+//	GET  /api/prof/windows     decoded profile windows (JSON; ?kind=&limit=)
+//	GET  /api/prof/flamegraph  one window as an SVG flamegraph (?window=)
 //	GET  /dashboard            live self-observation page (HTML, inline SVG)
+//	GET  /dashboard/profile    continuous-profiling page (flamegraph, hot functions)
 //	GET  /healthz              liveness probe (always 200 while serving)
 //	GET  /readyz               readiness probe (503 while paused or draining)
 //	GET  /metrics              Prometheus text exposition (gzip-aware)
@@ -136,7 +141,10 @@ func (s *JobServer) Handler() http.Handler {
 	handle("GET /api/incidents", s.handleIncidents)
 	handle("GET /api/incidents/{id}/download", s.handleIncidentDownload)
 	handle("POST /api/debug/capture", s.handleDebugCapture)
+	handle("GET /api/prof/windows", s.handleProfWindows)
+	handle("GET /api/prof/flamegraph", s.handleProfFlamegraph)
 	handle("GET /dashboard", s.handleDashboard)
+	handle("GET /dashboard/profile", s.handleProfileDashboard)
 	handle("GET /metrics", withGzip(s.obs.Handler()).ServeHTTP)
 	// Probes bypass the instrument middleware: they are hit every few
 	// seconds by orchestrators and would dominate the request metrics.
