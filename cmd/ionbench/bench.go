@@ -17,8 +17,9 @@ import (
 )
 
 // benchSchema versions the -bench-out JSON so future PRs can diff
-// BENCH_*.json files against each other.
-const benchSchema = "ionbench/stages/v1"
+// BENCH_*.json files against each other. v2 adds the parse_workers
+// sweep and the stream_ingest stage.
+const benchSchema = "ionbench/stages/v2"
 
 // stageResult is one stage benchmark in the trajectory file.
 type stageResult struct {
@@ -28,6 +29,9 @@ type stageResult struct {
 	BytesPerOp  int64   `json:"bytes_per_op"`
 	AllocsPerOp int64   `json:"allocs_per_op"`
 	MBPerS      float64 `json:"mb_per_s,omitempty"`
+	// ParseWorkers is set on parse_sharded stages: the shard pool size
+	// that stage ran with.
+	ParseWorkers int `json:"parse_workers,omitempty"`
 }
 
 // benchFile is the on-disk shape of BENCH_<n>.json.
@@ -36,6 +40,48 @@ type benchFile struct {
 	Go       string        `json:"go"`
 	Workload string        `json:"workload"`
 	Stages   []stageResult `json:"stages"`
+}
+
+// tileTrace repeats a rendered trace until it reaches minBytes, so the
+// sharded parser has enough input to cut real shards.
+func tileTrace(text []byte, minBytes int) []byte {
+	big := make([]byte, 0, minBytes+len(text))
+	for len(big) < minBytes {
+		big = append(big, text...)
+	}
+	return big
+}
+
+// workerSweep returns the deduplicated shard-pool sizes the trajectory
+// file records: 1, 2, 4, and whatever GOMAXPROCS is here.
+func workerSweep() []int {
+	sweep := []int{1, 2, 4, runtime.GOMAXPROCS(0)}
+	seen := map[int]bool{}
+	out := sweep[:0]
+	for _, w := range sweep {
+		if !seen[w] {
+			seen[w] = true
+			out = append(out, w)
+		}
+	}
+	return out
+}
+
+// streamOnce pushes the body through a StreamParser in 64 KiB writes,
+// the same cadence the HTTP handler reads a chunked upload at.
+func streamOnce(body []byte) error {
+	sp := darshan.NewStreamParser(darshan.StreamOptions{})
+	for off := 0; off < len(body); off += 64 << 10 {
+		end := off + 64<<10
+		if end > len(body) {
+			end = len(body)
+		}
+		if _, err := sp.Write(body[off:end]); err != nil {
+			break
+		}
+	}
+	_, _, err := sp.Finish()
+	return err
 }
 
 // runBenchOut measures the ingestion stages — text parse, in-memory
@@ -81,6 +127,37 @@ func runBenchOut(path string) error {
 	record("parse", int64(text.Len()), func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
 			if _, err := darshan.ParseText(bytes.NewReader(text.Bytes())); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+
+	// The sharded sweep and the streaming stage need a body big enough
+	// to cut several shards; tile the rendered trace past 8 MiB
+	// (repeated counter lines overwrite, DXT events accumulate — still
+	// a valid log, and identical work for every worker count).
+	big := tileTrace(text.Bytes(), 8<<20)
+	record("parse_seq_8mb", int64(len(big)), func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := darshan.ParseText(bytes.NewReader(big)); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	for _, workers := range workerSweep() {
+		w := workers
+		record(fmt.Sprintf("parse_sharded_w%d", w), int64(len(big)), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := darshan.ParseTextParallel(big, w); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		out.Stages[len(out.Stages)-1].ParseWorkers = w
+	}
+	record("stream_ingest", int64(len(big)), func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if err := streamOnce(big); err != nil {
 				b.Fatal(err)
 			}
 		}

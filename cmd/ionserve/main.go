@@ -42,24 +42,26 @@ import (
 
 func main() {
 	var (
-		logPath    = flag.String("log", "", "Darshan log to submit as the first job")
-		reportPath = flag.String("report", "", "serve a previously saved report JSON instead of running the service")
-		dataDir    = flag.String("data", "", "service data directory for jobs, traces, and reports (default: <log>.ionserve or ./ionserve-data)")
-		workdir    = flag.String("workdir", "", "deprecated alias for -data")
-		addr       = flag.String("addr", "127.0.0.1:8080", "listen address")
-		htmlOut    = flag.String("html", "", "write the report page to this file and exit (no server)")
-		workers    = flag.Int("workers", 2, "analysis worker pool size")
-		queueDepth = flag.Int("queue", 16, "queued-job bound; submissions beyond it get HTTP 429")
-		jobTimeout = flag.Duration("job-timeout", 5*time.Minute, "per-attempt analysis timeout")
-		retries    = flag.Int("retries", 3, "max analysis attempts per job (first run included)")
-		logLevel   = flag.String("log-level", "info", "structured log level: debug, info, warn, or error")
-		debugAddr  = flag.String("debug-addr", "", "serve net/http/pprof on this address (separate listener, never the public one)")
-		scrapeInt  = flag.Duration("scrape-interval", 5*time.Second, "self-observation scrape cadence (0 disables the series store, dashboard, and alerting)")
-		retention  = flag.Duration("retention", 15*time.Minute, "how much series history the in-process store keeps")
-		rulesPath  = flag.String("rules", "", "JSON alert-rules file (default: built-in SLO rules)")
-		incDir     = flag.String("incident-dir", "", "directory for flight-recorder incident bundles (default: <data>/incidents; \"none\" disables the recorder)")
-		incKeep    = flag.Int("incident-retention", 16, "incident bundles kept on disk (oldest deleted first)")
-		captureCPU = flag.Int("capture-cpu-seconds", 5, "CPU-profile length inside an incident capture (0 skips the CPU profile)")
+		logPath      = flag.String("log", "", "Darshan log to submit as the first job")
+		reportPath   = flag.String("report", "", "serve a previously saved report JSON instead of running the service")
+		dataDir      = flag.String("data", "", "service data directory for jobs, traces, and reports (default: <log>.ionserve or ./ionserve-data)")
+		workdir      = flag.String("workdir", "", "deprecated alias for -data")
+		addr         = flag.String("addr", "127.0.0.1:8080", "listen address")
+		htmlOut      = flag.String("html", "", "write the report page to this file and exit (no server)")
+		workers      = flag.Int("workers", 2, "analysis worker pool size")
+		queueDepth   = flag.Int("queue", 16, "queued-job bound; submissions beyond it get HTTP 429")
+		parseWorkers = flag.Int("parse-workers", 0, "trace-parse shard pool size (0 = GOMAXPROCS)")
+		streamMaxBuf = flag.Int64("stream-max-buffer", 256<<20, "total bytes buffered across in-flight streaming uploads before 429 (negative = unlimited)")
+		jobTimeout   = flag.Duration("job-timeout", 5*time.Minute, "per-attempt analysis timeout")
+		retries      = flag.Int("retries", 3, "max analysis attempts per job (first run included)")
+		logLevel     = flag.String("log-level", "info", "structured log level: debug, info, warn, or error")
+		debugAddr    = flag.String("debug-addr", "", "serve net/http/pprof on this address (separate listener, never the public one)")
+		scrapeInt    = flag.Duration("scrape-interval", 5*time.Second, "self-observation scrape cadence (0 disables the series store, dashboard, and alerting)")
+		retention    = flag.Duration("retention", 15*time.Minute, "how much series history the in-process store keeps")
+		rulesPath    = flag.String("rules", "", "JSON alert-rules file (default: built-in SLO rules)")
+		incDir       = flag.String("incident-dir", "", "directory for flight-recorder incident bundles (default: <data>/incidents; \"none\" disables the recorder)")
+		incKeep      = flag.Int("incident-retention", 16, "incident bundles kept on disk (oldest deleted first)")
+		captureCPU   = flag.Int("capture-cpu-seconds", 5, "CPU-profile length inside an incident capture (0 skips the CPU profile)")
 
 		profInterval  = flag.Duration("prof-interval", time.Minute, "continuous-profiler duty cycle: one CPU window plus heap/goroutine snapshots per interval (0 disables)")
 		profWindow    = flag.Duration("prof-window", 10*time.Second, "CPU-profile length inside each continuous-profiler cycle (clamped to half the interval)")
@@ -213,6 +215,8 @@ func main() {
 		Client:                client,
 		Workers:               *workers,
 		QueueDepth:            *queueDepth,
+		ParseWorkers:          *parseWorkers,
+		StreamMaxBuffer:       *streamMaxBuf,
 		JobTimeout:            *jobTimeout,
 		MaxAttempts:           *retries,
 		Obs:                   reg,

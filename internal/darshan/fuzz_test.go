@@ -21,11 +21,14 @@ func render(tb testing.TB, l *Log) []byte {
 	return buf.Bytes()
 }
 
-// FuzzParseText asserts two properties over arbitrary input: ParseText
-// never panics, and any log it accepts round-trips through the text
-// writer — parse(render(log)) renders back byte-identically once the
-// first render has normalized formatting (rounded timestamps,
-// truncated comma-bearing names in DXT comments).
+// FuzzParseText asserts three properties over arbitrary input:
+// ParseText never panics; any log it accepts round-trips through the
+// text writer — parse(render(log)) renders back byte-identically once
+// the first render has normalized formatting (rounded timestamps,
+// truncated comma-bearing names in DXT comments); and the sharded
+// parser agrees with the sequential one — same rendered log on
+// success, same positioned error on failure — even when forced to cut
+// tiny inputs into many shards.
 func FuzzParseText(f *testing.F) {
 	if data, err := os.ReadFile("testdata/real_sample.txt"); err == nil {
 		f.Add(data)
@@ -36,11 +39,38 @@ func FuzzParseText(f *testing.F) {
 	}
 	f.Add([]byte("# darshan log version: 3.41\n# nprocs: 2\nPOSIX\t0\t42\tPOSIX_OPENS\t3\t/f\t/\ttmpfs\n"))
 	f.Add([]byte("# DXT, file_id: 9, file_name: /d\n# DXT, rank: 0, hostname: n1\nX_POSIX 0 write 0 0 8 0.1 0.2 [0,1]\n"))
+	// Splitter exercise: interleaved counter lines and a DXT block long
+	// enough that small-chunk shards cut through the event rows, the
+	// rank header, and the block header.
+	f.Add([]byte("# nprocs: 2\n" +
+		"POSIX\t0\t7\tPOSIX_OPENS\t1\t/a\t/\ttmpfs\n" +
+		"POSIX\t1\t7\tPOSIX_OPENS\t2\t/a\t/\ttmpfs\n" +
+		"# DXT, file_id: 7, file_name: /a\n" +
+		"# DXT, rank: 0, hostname: n1\n" +
+		"# DXT, write_count: 3, read_count: 1\n" +
+		" X_POSIX 0 write 0 0 8 0.1 0.2\n" +
+		" X_POSIX 0 write 1 8 8 0.2 0.3\n" +
+		" X_POSIX 0 write 2 16 8 0.3 0.4\n" +
+		" X_POSIX 0 read 0 0 8 0.4 0.5\n" +
+		"# DXT, rank: 1, hostname: n2\n" +
+		" X_POSIX 1 write 0 0 8 0.5 0.6\n"))
 
 	f.Fuzz(func(t *testing.T, data []byte) {
 		log, err := ParseText(bytes.NewReader(data))
-		if err != nil {
+		plog, perr := ParseTextParallelOpts(data, ParallelOptions{Workers: 4, minChunkBytes: 24})
+		switch {
+		case err == nil && perr != nil:
+			t.Fatalf("sequential accepted what sharded rejected: %v", perr)
+		case err != nil && perr == nil:
+			t.Fatalf("sharded accepted what sequential rejected: %v", err)
+		case err != nil:
+			if err.Error() != perr.Error() {
+				t.Fatalf("error divergence:\nsequential: %v\nsharded:    %v", err, perr)
+			}
 			return // rejected input is fine; panicking is not
+		}
+		if sr, pr := render(t, log), render(t, plog); !bytes.Equal(sr, pr) {
+			t.Fatalf("sharded parse diverged from sequential:\n--- sequential ---\n%s\n--- sharded ---\n%s", sr, pr)
 		}
 		r1 := render(t, log)
 		log2, err := ParseText(bytes.NewReader(r1))

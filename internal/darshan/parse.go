@@ -3,6 +3,7 @@ package darshan
 import (
 	"bufio"
 	"bytes"
+	"errors"
 	"fmt"
 	"io"
 	"strconv"
@@ -15,10 +16,58 @@ import (
 // fall back to append growth past this point.
 const maxDXTPrealloc = 1 << 15
 
+// maxLineBytes bounds a single input line; anything longer is rejected
+// with a positioned error rather than buffering without limit.
+const maxLineBytes = 16 * 1024 * 1024
+
+// ParseError locates a parse failure in the input: Line is 1-based,
+// Offset is the byte offset of the start of the offending line. All
+// errors returned by ParseText, ParseTextParallel, and the streaming
+// parser carry a *ParseError in their chain.
+type ParseError struct {
+	Line   int
+	Offset int64
+	Err    error
+}
+
+func (e *ParseError) Error() string {
+	return fmt.Sprintf("darshan: line %d (byte %d): %v", e.Line, e.Offset, e.Err)
+}
+
+func (e *ParseError) Unwrap() error { return e.Err }
+
+func posErr(line int, off int64, err error) error {
+	return &ParseError{Line: line, Offset: off, Err: err}
+}
+
+// errOrphanEvent mirrors the sequential parser's message for a DXT
+// event row seen before any "# DXT, file_id" header established the
+// current file trace.
+var errOrphanEvent = errors.New("DXT event before DXT file header")
+
+// Header-field assignment bits. A shard records which header fields its
+// chunk explicitly set so the merge can replay last-writer-wins
+// semantics without confusing defaults for assignments.
+const (
+	hdrVersion = 1 << iota
+	hdrExe
+	hdrUID
+	hdrJobID
+	hdrStartTime
+	hdrEndTime
+	hdrNProcs
+	hdrRunTime
+)
+
 // parser carries the per-parse state that lets ParseText run without
 // allocating per line: an intern table for repeated names, a mount-point
 // set replacing the old O(mounts) scan, an index over DXT file traces,
 // field-cut scratch buffers, and an arena for OST lists.
+//
+// The same machine parses one shard of a sharded or streamed parse; the
+// extra bookkeeping below (headerSet, mountKind, hostSet, orphan state)
+// records exactly the facts the deterministic merge in shard.go needs
+// to replay sequential semantics across chunk boundaries.
 type parser struct {
 	log      *Log
 	interns  map[string]string
@@ -32,62 +81,152 @@ type parser struct {
 	lastMod *Module
 	lastRec *Record
 
+	headerSet uint32          // hdr* bits for fields this chunk assigned
+	mountKind []bool          // parallel to log.Mounts; true = explicit "# mount entry:"
+	hostSet   map[uint64]bool // file ids whose Hostname this chunk assigned
+
+	// Orphan state: a shard other than the first may legally open with
+	// DXT event rows (and a rank/hostname header) that belong to a file
+	// trace declared in an earlier chunk. They are collected here and
+	// reattached during merge; only if no earlier chunk has a current
+	// trace does the merge report errOrphanEvent at orphanLine/orphanOff.
+	allowOrphan   bool
+	orphans       []DXTEvent
+	orphanLine    int
+	orphanOff     int64
+	orphanHost    string
+	orphanHostSet bool
+
 	fields   [][]byte // tab/space field-cut scratch
 	kvKeys   [][]byte // DXT comment attribute scratch
 	kvVals   [][]byte
 	ostArena []int // backing storage for DXTEvent.OSTs slices
 }
 
+func newParser(allowOrphan bool) *parser {
+	return &parser{
+		log:         NewLog(),
+		interns:     make(map[string]string, 128),
+		mounts:      make(map[string]struct{}, 8),
+		dxtIdx:      make(map[uint64]*DXTFileTrace, 8),
+		hostSet:     make(map[uint64]bool, 4),
+		allowOrphan: allowOrphan,
+	}
+}
+
 // ParseText reads a log in the darshan-parser text format produced by
 // WriteText, optionally followed by a darshan-dxt-parser section as
 // produced by WriteDXTText, and reconstructs the Log. Unknown counters
 // are preserved verbatim; unknown comment lines are ignored, matching
-// the tolerance of the reference tooling.
+// the tolerance of the reference tooling. Errors carry a *ParseError
+// with the 1-based line number and byte offset of the failing line.
 func ParseText(r io.Reader) (*Log, error) {
-	p := &parser{
-		log:     NewLog(),
-		interns: make(map[string]string, 128),
-		mounts:  make(map[string]struct{}, 8),
-		dxtIdx:  make(map[uint64]*DXTFileTrace, 8),
-	}
-	sc := bufio.NewScanner(r)
-	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
-
-	var lineno int
-	for sc.Scan() {
+	p := newParser(false)
+	br := bufio.NewReaderSize(r, 64*1024)
+	var (
+		off    int64
+		lineno int
+		spill  []byte // reassembly buffer for lines longer than the reader
+	)
+	for {
+		raw, err := br.ReadSlice('\n')
+		if len(raw) == 0 && err == io.EOF {
+			break
+		}
 		lineno++
-		line := bytes.TrimSpace(sc.Bytes())
-		if len(line) == 0 {
-			continue
-		}
-		if line[0] == '#' {
-			if err := p.parseComment(line); err != nil {
-				return nil, fmt.Errorf("darshan: line %d: %w", lineno, err)
+		lineStart := off
+		line := raw
+		if err == bufio.ErrBufferFull {
+			spill = append(spill[:0], raw...)
+			for err == bufio.ErrBufferFull {
+				if len(spill) > maxLineBytes {
+					return nil, posErr(lineno, lineStart, errors.New("line too long"))
+				}
+				raw, err = br.ReadSlice('\n')
+				spill = append(spill, raw...)
 			}
-			continue
+			line = spill
 		}
-		// Data row: either a counter record line (tab separated) or a
-		// DXT event line (space aligned, module starts with "X_").
-		if len(line) >= 2 && line[0] == 'X' && line[1] == '_' {
-			if p.dxtTrace == nil {
-				return nil, fmt.Errorf("darshan: line %d: DXT event before DXT file header", lineno)
-			}
-			if err := p.parseDXTEventLine(line); err != nil {
-				return nil, fmt.Errorf("darshan: line %d: %w", lineno, err)
-			}
-			continue
+		off += int64(len(line))
+		if err != nil && err != io.EOF {
+			return nil, fmt.Errorf("darshan: reading log: %w", err)
 		}
-		if err := p.parseCounterLine(line); err != nil {
-			return nil, fmt.Errorf("darshan: line %d: %w", lineno, err)
+		if perr := p.parseLine(line, lineno, lineStart); perr != nil {
+			return nil, perr
+		}
+		if err == io.EOF {
+			break
 		}
 	}
-	if err := sc.Err(); err != nil {
-		return nil, fmt.Errorf("darshan: scanning log: %w", err)
-	}
+	return p.finish(), nil
+}
+
+// finish applies the end-of-parse pass (event ordering) and returns the
+// log. Shard parses must not call this: merged traces are sorted once
+// after concatenation so ties keep their input order.
+func (p *parser) finish() *Log {
 	for _, t := range p.log.DXT {
 		t.SortByStart()
 	}
-	return p.log, nil
+	return p.log
+}
+
+// parseLine dispatches one raw line (trailing newline optional). lineno
+// and off locate the line within this parser's input for error reports;
+// shard parses use chunk-local positions that the merge rebases.
+func (p *parser) parseLine(raw []byte, lineno int, off int64) error {
+	line := bytes.TrimSpace(raw)
+	if len(line) == 0 {
+		return nil
+	}
+	if line[0] == '#' {
+		if err := p.parseComment(line); err != nil {
+			return posErr(lineno, off, err)
+		}
+		return nil
+	}
+	// Data row: either a counter record line (tab separated) or a
+	// DXT event line (space aligned, module starts with "X_").
+	if len(line) >= 2 && line[0] == 'X' && line[1] == '_' {
+		if p.dxtTrace == nil {
+			if !p.allowOrphan {
+				return posErr(lineno, off, errOrphanEvent)
+			}
+			if len(p.orphans) == 0 {
+				p.orphanLine, p.orphanOff = lineno, off
+			}
+		}
+		if err := p.parseDXTEventLine(line); err != nil {
+			return posErr(lineno, off, err)
+		}
+		return nil
+	}
+	if err := p.parseCounterLine(line); err != nil {
+		return posErr(lineno, off, err)
+	}
+	return nil
+}
+
+// parseChunk feeds every line of data to parseLine using chunk-local
+// positions starting at line 1, offset 0. It returns the number of
+// lines consumed (newline-terminated segments plus any unterminated
+// tail), which the merge uses to rebase later shards' positions.
+func (p *parser) parseChunk(data []byte) (lines int, err error) {
+	var pos int
+	for pos < len(data) {
+		raw := data[pos:]
+		advance := len(raw)
+		if i := bytes.IndexByte(raw, '\n'); i >= 0 {
+			raw = raw[:i]
+			advance = i + 1
+		}
+		lines++
+		if err := p.parseLine(raw, lines, int64(pos)); err != nil {
+			return lines, err
+		}
+		pos += advance
+	}
+	return lines, nil
 }
 
 // bstr views b as a string without copying. The result aliases the
@@ -131,14 +270,16 @@ func (p *parser) setName(id uint64, name []byte) {
 	p.log.Names[id] = string(name)
 }
 
-// addMount appends a mount entry unless its mount point was already
-// captured, using the set instead of scanning the slice per line.
+// addMount appends an implicit mount entry (from a counter or DXT line)
+// unless its mount point was already captured, using the set instead of
+// scanning the slice per line.
 func (p *parser) addMount(point, fsType []byte) {
 	if _, dup := p.mounts[string(point)]; dup {
 		return
 	}
 	pt := string(point)
 	p.log.Mounts = append(p.log.Mounts, Mount{Point: pt, FSType: string(fsType)})
+	p.mountKind = append(p.mountKind, false)
 	p.mounts[pt] = struct{}{}
 }
 
@@ -158,10 +299,12 @@ func (p *parser) parseComment(line []byte) error {
 	body := bytes.TrimSpace(line[1:])
 	if rest, ok := cutPrefix(body, "darshan log version:"); ok {
 		l.Header.Version = string(bytes.TrimSpace(rest))
+		p.headerSet |= hdrVersion
 		return nil
 	}
 	if rest, ok := cutPrefix(body, "exe:"); ok {
 		l.Header.Exe = string(bytes.TrimSpace(rest))
+		p.headerSet |= hdrExe
 		return nil
 	}
 	if rest, ok := cutPrefix(body, "uid:"); ok {
@@ -170,6 +313,7 @@ func (p *parser) parseComment(line []byte) error {
 			return fmt.Errorf("bad uid: %w", err)
 		}
 		l.Header.UID = v
+		p.headerSet |= hdrUID
 		return nil
 	}
 	if rest, ok := cutPrefix(body, "jobid:"); ok {
@@ -178,6 +322,7 @@ func (p *parser) parseComment(line []byte) error {
 			return fmt.Errorf("bad jobid: %w", err)
 		}
 		l.Header.JobID = v
+		p.headerSet |= hdrJobID
 		return nil
 	}
 	if rest, ok := cutPrefix(body, "start_time:"); ok {
@@ -186,6 +331,7 @@ func (p *parser) parseComment(line []byte) error {
 			return fmt.Errorf("bad start_time: %w", err)
 		}
 		l.Header.StartTime = v
+		p.headerSet |= hdrStartTime
 		return nil
 	}
 	if rest, ok := cutPrefix(body, "end_time:"); ok {
@@ -194,6 +340,7 @@ func (p *parser) parseComment(line []byte) error {
 			return fmt.Errorf("bad end_time: %w", err)
 		}
 		l.Header.EndTime = v
+		p.headerSet |= hdrEndTime
 		return nil
 	}
 	if rest, ok := cutPrefix(body, "nprocs:"); ok {
@@ -202,6 +349,7 @@ func (p *parser) parseComment(line []byte) error {
 			return fmt.Errorf("bad nprocs: %w", err)
 		}
 		l.Header.NProcs = v
+		p.headerSet |= hdrNProcs
 		return nil
 	}
 	if rest, ok := cutPrefix(body, "run time:"); ok {
@@ -210,6 +358,7 @@ func (p *parser) parseComment(line []byte) error {
 			return fmt.Errorf("bad run time: %w", err)
 		}
 		l.Header.RunTime = v
+		p.headerSet |= hdrRunTime
 		return nil
 	}
 	if rest, ok := cutPrefix(body, "metadata:"); ok {
@@ -227,6 +376,7 @@ func (p *parser) parseComment(line []byte) error {
 			// set consulted by counter and DXT lines.
 			pt := string(p.fields[0])
 			l.Mounts = append(l.Mounts, Mount{Point: pt, FSType: string(p.fields[1])})
+			p.mountKind = append(p.mountKind, true)
 			p.mounts[pt] = struct{}{}
 		}
 		return nil
@@ -274,9 +424,18 @@ func (p *parser) parseDXTComment(rest []byte) error {
 			return fmt.Errorf("bad DXT rank: %w", err)
 		}
 		p.dxtRank = r
-		if hb, ok := p.attr("hostname"); ok && p.dxtTrace != nil {
-			if p.dxtTrace.Hostname != string(hb) {
-				p.dxtTrace.Hostname = string(hb)
+		if hb, ok := p.attr("hostname"); ok {
+			switch {
+			case p.dxtTrace != nil:
+				if p.dxtTrace.Hostname != string(hb) {
+					p.dxtTrace.Hostname = string(hb)
+				}
+				p.hostSet[p.dxtTrace.FileID] = true
+			case p.allowOrphan:
+				// Rank header for a file trace opened in an earlier
+				// chunk; the merge applies it to that trace.
+				p.orphanHost = string(hb)
+				p.orphanHostSet = true
 			}
 		}
 	}
@@ -449,7 +608,11 @@ func (p *parser) parseDXTEventLine(line []byte) error {
 			ev.OSTs = p.ostArena[start:end:end]
 		}
 	}
-	p.dxtTrace.Events = append(p.dxtTrace.Events, ev)
+	if p.dxtTrace != nil {
+		p.dxtTrace.Events = append(p.dxtTrace.Events, ev)
+	} else {
+		p.orphans = append(p.orphans, ev)
+	}
 	return nil
 }
 

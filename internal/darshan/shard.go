@@ -1,0 +1,352 @@
+package darshan
+
+import (
+	"bytes"
+	"errors"
+	"runtime"
+	"sync"
+)
+
+// Sharded text parsing.
+//
+// ParseTextParallel splits the input at line boundaries into roughly
+// equal chunks, parses each chunk with an independent parser (its own
+// intern table, scratch buffers, and dedup sets), and merges the
+// results into a log indistinguishable from a sequential ParseText of
+// the same bytes.
+//
+// Correctness does not depend on where the cuts land: any line
+// boundary is valid. A chunk that opens inside a DXT block collects
+// the headerless event rows (and any rank-header hostname) as orphan
+// state, and the merge reattaches them to the file trace left open by
+// the previous chunk — or reports the same positioned error the
+// sequential parser would if no such trace exists. The splitter merely
+// *prefers* cuts at self-contained region starts (a counter line or a
+// "# DXT, file_id" block header) so orphan carry-over stays rare.
+
+// minShardBytes is the input size below which ParseTextParallel does
+// not bother splitting: chunk setup and merge overhead would exceed
+// the parse cost itself.
+const minShardBytes = 256 << 10
+
+// seekWindow bounds how far past the naive cut point the splitter
+// scans for a self-contained region start before settling for the
+// plain line boundary.
+const seekWindow = 64 << 10
+
+// ParallelOptions configures ParseTextParallelOpts.
+type ParallelOptions struct {
+	// Workers bounds parse concurrency; <= 0 means GOMAXPROCS.
+	Workers int
+	// OnShard, when non-nil, is called as each shard begins parsing and
+	// returns a completion callback invoked with the shard's error (nil
+	// on success). Callers hang per-shard tracing spans off it.
+	OnShard func(shard int, chunk []byte) func(error)
+
+	// minChunkBytes overrides minShardBytes so tests can force
+	// multi-shard parses of small inputs.
+	minChunkBytes int
+}
+
+// ParseTextParallel parses a darshan-parser text log using up to
+// workers goroutines (<= 0 means GOMAXPROCS). The result is
+// byte-identical — under the render/parse fixed point — to
+// ParseText(bytes.NewReader(data)), including error positions.
+func ParseTextParallel(data []byte, workers int) (*Log, error) {
+	return ParseTextParallelOpts(data, ParallelOptions{Workers: workers})
+}
+
+// ParseTextParallelOpts is ParseTextParallel with shard callbacks and
+// test knobs.
+func ParseTextParallelOpts(data []byte, opts ParallelOptions) (*Log, error) {
+	workers := opts.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	minChunk := opts.minChunkBytes
+	if minChunk <= 0 {
+		minChunk = minShardBytes
+	}
+	n := len(data) / minChunk
+	if n > workers {
+		n = workers
+	}
+	if n < 1 {
+		n = 1
+	}
+	chunks := splitChunks(data, n)
+	shards := make([]*shardResult, len(chunks))
+	if len(chunks) == 1 {
+		shards[0] = parseShard(0, chunks[0], false, opts.OnShard)
+	} else {
+		var wg sync.WaitGroup
+		for i, c := range chunks {
+			wg.Add(1)
+			go func(i int, c []byte) {
+				defer wg.Done()
+				shards[i] = parseShard(i, c, i > 0, opts.OnShard)
+			}(i, c)
+		}
+		wg.Wait()
+	}
+	return mergeShards(shards)
+}
+
+// shardResult is one chunk's parse outcome: the parser (whose log,
+// orphan state, and bookkeeping feed the merge), the chunk bytes (for
+// offset rebasing), the consumed line count, and any chunk-local error.
+type shardResult struct {
+	p     *parser
+	chunk []byte
+	lines int
+	err   error
+}
+
+func parseShard(i int, chunk []byte, allowOrphan bool, onShard func(int, []byte) func(error)) *shardResult {
+	var done func(error)
+	if onShard != nil {
+		done = onShard(i, chunk)
+	}
+	p := newParser(allowOrphan)
+	lines, err := p.parseChunk(chunk)
+	if done != nil {
+		done(err)
+	}
+	return &shardResult{p: p, chunk: chunk, lines: lines, err: err}
+}
+
+// splitChunks cuts data into at most n chunks, each ending on a line
+// boundary, with cut points nudged forward (bounded by seekWindow) to
+// the next self-contained region start.
+func splitChunks(data []byte, n int) [][]byte {
+	if n <= 1 || len(data) == 0 {
+		return [][]byte{data}
+	}
+	chunks := make([][]byte, 0, n)
+	start := 0
+	for i := 1; i < n; i++ {
+		cut := len(data) * i / n
+		if cut <= start {
+			continue
+		}
+		cut = nextLineStart(data, cut)
+		cut = seekRegionStart(data, cut)
+		if cut >= len(data) {
+			break
+		}
+		if cut <= start {
+			continue
+		}
+		chunks = append(chunks, data[start:cut])
+		start = cut
+	}
+	if start < len(data) || len(chunks) == 0 {
+		chunks = append(chunks, data[start:])
+	}
+	return chunks
+}
+
+// nextLineStart returns the offset just past the next '\n' at or after
+// pos, or len(data) when no newline remains.
+func nextLineStart(data []byte, pos int) int {
+	if i := bytes.IndexByte(data[pos:], '\n'); i >= 0 {
+		return pos + i + 1
+	}
+	return len(data)
+}
+
+// seekRegionStart advances a line-start cut to the first line within
+// seekWindow that opens a self-contained region: a counter record line
+// (shards never need prior state for those) or a "# DXT, file_id"
+// block header (which re-establishes the current file trace). DXT
+// event rows, rank headers, and other comments are skipped. If the
+// window runs out, the original cut stands — the orphan carry-over in
+// the merge keeps any line boundary correct.
+func seekRegionStart(data []byte, cut int) int {
+	limit := cut + seekWindow
+	if limit > len(data) {
+		limit = len(data)
+	}
+	for pos := cut; pos < limit; {
+		next := nextLineStart(data, pos)
+		line := bytes.TrimSpace(data[pos:next])
+		switch {
+		case len(line) == 0:
+			// blank: keep scanning
+		case line[0] == '#':
+			body := bytes.TrimSpace(line[1:])
+			if rest, ok := cutPrefix(body, "DXT,"); ok && bytes.Contains(rest, []byte("file_id")) {
+				return pos
+			}
+		case len(line) >= 2 && line[0] == 'X' && line[1] == '_':
+			// headerless event row: keep scanning
+		default:
+			return pos // counter record line
+		}
+		pos = next
+	}
+	return cut
+}
+
+// mergeShards combines per-chunk parse results, in chunk order, into a
+// single log with sequential semantics. See the package comment at the
+// top of this file for the invariants; DESIGN.md §15 documents them in
+// full.
+func mergeShards(shards []*shardResult) (*Log, error) {
+	if len(shards) == 0 {
+		return NewLog(), nil
+	}
+
+	// Error resolution first: sequential parsing stops at the first
+	// failing line, so report the earliest-positioned failure — either
+	// a shard's own parse error or an orphan DXT event row that no
+	// earlier chunk left an open file trace for. Positions are rebased
+	// from chunk-local to whole-input coordinates; shards preceding the
+	// failure completed fully, so their line counts are exact.
+	baseLine, baseOff := 0, int64(0)
+	haveTrace := false
+	for _, sh := range shards {
+		if len(sh.p.orphans) > 0 && !haveTrace {
+			return nil, posErr(baseLine+sh.p.orphanLine, baseOff+sh.p.orphanOff, errOrphanEvent)
+		}
+		if sh.err != nil {
+			var pe *ParseError
+			if errors.As(sh.err, &pe) {
+				return nil, posErr(baseLine+pe.Line, baseOff+pe.Offset, pe.Err)
+			}
+			return nil, sh.err
+		}
+		if sh.p.dxtTrace != nil {
+			haveTrace = true
+		}
+		baseLine += sh.lines
+		baseOff += int64(len(sh.chunk))
+	}
+
+	// Adopt the first shard's log wholesale and fold the rest in.
+	merged := shards[0].p.log
+	mountSet := make(map[string]struct{}, len(merged.Mounts)+4)
+	for _, m := range merged.Mounts {
+		mountSet[m.Point] = struct{}{}
+	}
+	dxtIdx := make(map[uint64]*DXTFileTrace, len(merged.DXT)+4)
+	for _, t := range merged.DXT {
+		dxtIdx[t.FileID] = t
+	}
+	cur := shards[0].p.dxtTrace
+
+	for _, sh := range shards[1:] {
+		sp := sh.p
+		sl := sp.log
+
+		// Orphan DXT state belongs to the trace the previous chunks
+		// left open. Events keep their row order: after everything the
+		// earlier chunks appended, before anything this chunk's own
+		// headers append.
+		if len(sp.orphans) > 0 {
+			cur.Events = append(cur.Events, sp.orphans...)
+		}
+		if sp.orphanHostSet && cur != nil {
+			cur.Hostname = sp.orphanHost
+		}
+
+		// Header: later chunks overwrite only the fields they
+		// explicitly assigned (the bitmask distinguishes assignment
+		// from defaults); metadata and names are last-writer-wins maps.
+		if sp.headerSet&hdrVersion != 0 {
+			merged.Header.Version = sl.Header.Version
+		}
+		if sp.headerSet&hdrExe != 0 {
+			merged.Header.Exe = sl.Header.Exe
+		}
+		if sp.headerSet&hdrUID != 0 {
+			merged.Header.UID = sl.Header.UID
+		}
+		if sp.headerSet&hdrJobID != 0 {
+			merged.Header.JobID = sl.Header.JobID
+		}
+		if sp.headerSet&hdrStartTime != 0 {
+			merged.Header.StartTime = sl.Header.StartTime
+		}
+		if sp.headerSet&hdrEndTime != 0 {
+			merged.Header.EndTime = sl.Header.EndTime
+		}
+		if sp.headerSet&hdrNProcs != 0 {
+			merged.Header.NProcs = sl.Header.NProcs
+		}
+		if sp.headerSet&hdrRunTime != 0 {
+			merged.Header.RunTime = sl.Header.RunTime
+		}
+		for k, v := range sl.Header.Metadata {
+			merged.Header.Metadata[k] = v
+		}
+		for id, name := range sl.Names {
+			merged.Names[id] = name
+		}
+
+		// Mounts keep concatenated chunk order: explicit "# mount
+		// entry:" rows append unconditionally (historical behavior),
+		// implicit rows only while their point is unseen globally.
+		for mi, m := range sl.Mounts {
+			if !sp.mountKind[mi] {
+				if _, dup := mountSet[m.Point]; dup {
+					continue
+				}
+			}
+			merged.Mounts = append(merged.Mounts, m)
+			mountSet[m.Point] = struct{}{}
+		}
+
+		// Modules: adopt record pointers for unseen (file, rank) keys;
+		// only records split across a cut — at most one per module per
+		// boundary — pay a counter-map copy, with later chunks
+		// overwriting like sequential re-assignment does.
+		for name, sm := range sl.Modules {
+			mm, ok := merged.Modules[name]
+			if !ok {
+				merged.Modules[name] = sm
+				continue
+			}
+			for _, r := range sm.Records {
+				dst := mm.lookup(r.FileID, r.Rank)
+				if dst == nil {
+					mm.Records = append(mm.Records, r)
+					mm.index[recordKey{r.FileID, r.Rank}] = r
+					continue
+				}
+				for k, v := range r.Counters {
+					dst.Counters[k] = v
+				}
+				for k, v := range r.FCounters {
+					dst.FCounters[k] = v
+				}
+			}
+		}
+
+		// DXT file traces in shard insertion order; hostnames only
+		// overwrite when this chunk actually assigned one.
+		for _, t := range sl.DXT {
+			mt, ok := dxtIdx[t.FileID]
+			if !ok {
+				merged.DXT = append(merged.DXT, t)
+				dxtIdx[t.FileID] = t
+				continue
+			}
+			mt.Events = append(mt.Events, t.Events...)
+			if sp.hostSet[t.FileID] {
+				mt.Hostname = t.Hostname
+			}
+		}
+		if sp.dxtTrace != nil {
+			cur = dxtIdx[sp.dxtTrace.FileID]
+		}
+	}
+
+	// Event ordering is applied once, after all chunks contributed, so
+	// SortByStart's stable tie-breaking sees the same insertion order a
+	// sequential parse would have produced.
+	for _, t := range merged.DXT {
+		t.SortByStart()
+	}
+	return merged, nil
+}

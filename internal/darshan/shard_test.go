@@ -1,0 +1,240 @@
+package darshan
+
+import (
+	"bytes"
+	"errors"
+	"os"
+	"strings"
+	"sync/atomic"
+	"testing"
+)
+
+// parallelAt parses data as shards cut at exactly the given byte
+// offsets, bypassing the splitter, so tests control where boundaries
+// land. Offsets must be increasing positions within data.
+func parallelAt(data []byte, cuts ...int) (*Log, error) {
+	var shards []*shardResult
+	prev := 0
+	for _, c := range append(cuts, len(data)) {
+		shards = append(shards, parseShard(len(shards), data[prev:c], len(shards) > 0, nil))
+		prev = c
+	}
+	return mergeShards(shards)
+}
+
+// mustRenderEqual asserts that par parses data into a log that renders
+// byte-identically to the sequential parse — the fixed-point property
+// the merge guarantees.
+func mustRenderEqual(t *testing.T, data []byte, par func() (*Log, error)) {
+	t.Helper()
+	seq, err := ParseText(bytes.NewReader(data))
+	if err != nil {
+		t.Fatalf("sequential parse: %v", err)
+	}
+	got, err := par()
+	if err != nil {
+		t.Fatalf("parallel parse: %v", err)
+	}
+	want, have := render(t, seq), render(t, got)
+	if !bytes.Equal(want, have) {
+		t.Fatalf("parallel parse diverged from sequential:\n--- sequential ---\n%.2000s\n--- parallel ---\n%.2000s", want, have)
+	}
+}
+
+// lineStart returns the offset of the line beginning with marker,
+// which must occur in data.
+func lineStart(t *testing.T, data []byte, marker string) int {
+	t.Helper()
+	i := bytes.Index(data, []byte(marker))
+	if i < 0 {
+		t.Fatalf("marker %q not found", marker)
+	}
+	return i
+}
+
+func TestParseTextParallelMatchesSequential(t *testing.T) {
+	text, _ := syntheticText(t, 40)
+	for _, workers := range []int{1, 2, 3, 4, 8} {
+		mustRenderEqual(t, text, func() (*Log, error) {
+			return ParseTextParallelOpts(text, ParallelOptions{Workers: workers, minChunkBytes: 512})
+		})
+	}
+	// Default minimum chunk size: an input this small takes the
+	// single-shard path, which must behave identically.
+	mustRenderEqual(t, text, func() (*Log, error) {
+		return ParseTextParallel(text, 8)
+	})
+}
+
+func TestParseTextParallelRealSample(t *testing.T) {
+	data, err := os.ReadFile("testdata/real_sample.txt")
+	if err != nil {
+		t.Skip("no testdata sample")
+	}
+	for _, minChunk := range []int{64, 256, 1024, 8192} {
+		mustRenderEqual(t, data, func() (*Log, error) {
+			return ParseTextParallelOpts(data, ParallelOptions{Workers: 4, minChunkBytes: minChunk})
+		})
+	}
+}
+
+// TestParseTextParallelBoundaryEdges pins the exact boundary cases the
+// merge must survive: a module table header exactly at a cut, a DXT
+// block header exactly at a cut, a DXT block (and its rank header)
+// split mid-block across shards, and a trailing record with no
+// newline.
+func TestParseTextParallelBoundaryEdges(t *testing.T) {
+	text, _ := syntheticText(t, 12)
+
+	t.Run("module header at boundary", func(t *testing.T) {
+		cut := lineStart(t, text, "# POSIX module data")
+		mustRenderEqual(t, text, func() (*Log, error) { return parallelAt(text, cut) })
+	})
+	t.Run("dxt header at boundary", func(t *testing.T) {
+		cut := lineStart(t, text, "# DXT, file_id:")
+		mustRenderEqual(t, text, func() (*Log, error) { return parallelAt(text, cut) })
+	})
+	t.Run("dxt block spans shards", func(t *testing.T) {
+		// Cut in the middle of the event rows: the second shard opens
+		// with headerless X_ rows that merge as orphans.
+		first := lineStart(t, text, " X_POSIX")
+		cut := first + bytes.Index(text[first:], []byte("\n X_POSIX")) + 1
+		mid := cut + bytes.Index(text[cut:], []byte("\n X_POSIX")) + 1
+		mustRenderEqual(t, text, func() (*Log, error) { return parallelAt(text, cut, mid) })
+	})
+	t.Run("rank header at boundary", func(t *testing.T) {
+		cut := lineStart(t, text, "# DXT, rank:")
+		mustRenderEqual(t, text, func() (*Log, error) { return parallelAt(text, cut) })
+	})
+	t.Run("trailing record no newline", func(t *testing.T) {
+		trimmed := bytes.TrimRight(text, "\n")
+		cut := lineStart(t, trimmed, "# DXT, file_id:")
+		mustRenderEqual(t, trimmed, func() (*Log, error) { return parallelAt(trimmed, cut) })
+	})
+	t.Run("every small boundary", func(t *testing.T) {
+		// Sweep a single cut across an interesting region (the
+		// counter/DXT transition) line by line.
+		region := lineStart(t, text, "# DXT_POSIX module data")
+		for cut := region; cut < len(text) && cut < region+2000; cut = nextLineStart(text, cut) {
+			mustRenderEqual(t, text, func() (*Log, error) { return parallelAt(text, cut) })
+		}
+	})
+}
+
+func TestSplitChunksReassembles(t *testing.T) {
+	text, _ := syntheticText(t, 20)
+	for n := 1; n <= 9; n++ {
+		chunks := splitChunks(text, n)
+		if len(chunks) > n {
+			t.Fatalf("splitChunks(%d) returned %d chunks", n, len(chunks))
+		}
+		var joined []byte
+		for i, c := range chunks {
+			if len(c) == 0 {
+				t.Fatalf("splitChunks(%d): empty chunk %d", n, i)
+			}
+			if i > 0 && joined[len(joined)-1] != '\n' {
+				t.Fatalf("splitChunks(%d): chunk %d does not start on a line boundary", n, i)
+			}
+			joined = append(joined, c...)
+		}
+		if !bytes.Equal(joined, text) {
+			t.Fatalf("splitChunks(%d) lost bytes: %d != %d", n, len(joined), len(text))
+		}
+	}
+}
+
+// TestParseErrorPosition pins the structured error contract: every
+// parse failure carries a *ParseError locating the offending line by
+// 1-based line number and byte offset.
+func TestParseErrorPosition(t *testing.T) {
+	input := "# nprocs: 2\nPOSIX\t0\t42\tPOSIX_OPENS\t3\t/f\t/\ttmpfs\nPOSIX\tbad\t42\tPOSIX_OPENS\t3\t/f\t/\ttmpfs\n"
+	_, err := ParseText(strings.NewReader(input))
+	if err == nil {
+		t.Fatal("want error for bad rank")
+	}
+	var pe *ParseError
+	if !errors.As(err, &pe) {
+		t.Fatalf("error %v does not carry a *ParseError", err)
+	}
+	wantOff := int64(len("# nprocs: 2\nPOSIX\t0\t42\tPOSIX_OPENS\t3\t/f\t/\ttmpfs\n"))
+	if pe.Line != 3 || pe.Offset != wantOff {
+		t.Fatalf("ParseError = line %d offset %d, want line 3 offset %d", pe.Line, pe.Offset, wantOff)
+	}
+	if !strings.Contains(err.Error(), "line 3") {
+		t.Fatalf("error text %q lacks position", err)
+	}
+}
+
+// TestParseTextParallelErrorPositions asserts sharded parses report the
+// same first error, at the same rebased position, as sequential ones.
+func TestParseTextParallelErrorPositions(t *testing.T) {
+	good, _ := syntheticText(t, 8)
+	cases := map[string][]byte{
+		"bad line in later shard": append(append([]byte{}, good...), []byte("POSIX\tbad\t42\tPOSIX_OPENS\t3\t/f\t/\ttmpfs\n")...),
+		"orphan event at start":   []byte(" X_POSIX 0 write 0 0 8 0.1 0.2\nPOSIX\t0\t42\tPOSIX_OPENS\t3\t/f\t/\ttmpfs\n" + string(good)),
+	}
+	for name, data := range cases {
+		t.Run(name, func(t *testing.T) {
+			_, seqErr := ParseText(bytes.NewReader(data))
+			if seqErr == nil {
+				t.Fatal("sequential parse unexpectedly succeeded")
+			}
+			_, parErr := ParseTextParallelOpts(data, ParallelOptions{Workers: 4, minChunkBytes: 256})
+			if parErr == nil {
+				t.Fatal("parallel parse unexpectedly succeeded")
+			}
+			if seqErr.Error() != parErr.Error() {
+				t.Fatalf("error mismatch:\nsequential: %v\nparallel:   %v", seqErr, parErr)
+			}
+		})
+	}
+}
+
+// TestParseTextParallelAllocBound holds the sharded path to no more
+// than twice the sequential parser's per-line allocation budget (0.5):
+// per-shard intern tables and scratch duplicate fixed costs, but the
+// per-line fast path must stay allocation-free.
+func TestParseTextParallelAllocBound(t *testing.T) {
+	if testing.Short() {
+		t.Skip("allocation measurement")
+	}
+	text, lines := syntheticText(t, 200)
+	avg := testing.AllocsPerRun(5, func() {
+		if _, err := ParseTextParallelOpts(text, ParallelOptions{Workers: 4, minChunkBytes: 1}); err != nil {
+			t.Fatal(err)
+		}
+	})
+	perLine := avg / float64(lines)
+	t.Logf("ParseTextParallel(4): %.0f allocs over %d lines (%.3f allocs/line)", avg, lines, perLine)
+	if perLine > 1.0 {
+		t.Errorf("sharded parse allocates %.3f per line (%.0f total), want ≤ 1.0 (2× sequential budget)", perLine, avg)
+	}
+}
+
+func TestParseTextParallelOnShard(t *testing.T) {
+	text, _ := syntheticText(t, 40)
+	var started, finished atomic.Int32
+	_, err := ParseTextParallelOpts(text, ParallelOptions{
+		Workers:       2,
+		minChunkBytes: 1024,
+		OnShard: func(shard int, chunk []byte) func(error) {
+			started.Add(1)
+			if len(chunk) == 0 {
+				t.Errorf("shard %d got empty chunk", shard)
+			}
+			return func(err error) {
+				if err != nil {
+					t.Errorf("shard %d: %v", shard, err)
+				}
+				finished.Add(1)
+			}
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if started.Load() != 2 || finished.Load() != 2 {
+		t.Fatalf("OnShard fired %d/%d times, want 2/2", started.Load(), finished.Load())
+	}
+}

@@ -1,0 +1,128 @@
+package darshan
+
+import (
+	"bytes"
+	"testing"
+)
+
+// feedStream writes data to a StreamParser in uneven pieces so cuts
+// land at arbitrary positions relative to lines and chunk boundaries.
+func feedStream(t *testing.T, sp *StreamParser, data []byte, piece int) {
+	t.Helper()
+	for off := 0; off < len(data); off += piece {
+		end := off + piece
+		if end > len(data) {
+			end = len(data)
+		}
+		if _, err := sp.Write(data[off:end]); err != nil {
+			t.Fatalf("Write at %d: %v", off, err)
+		}
+	}
+}
+
+func TestStreamParserMatchesSequential(t *testing.T) {
+	text, _ := syntheticText(t, 60)
+	seq, err := ParseText(bytes.NewReader(text))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, piece := range []int{7, 1021, 64 << 10} {
+		sp := NewStreamParser(StreamOptions{Workers: 3, ChunkBytes: 8 << 10})
+		feedStream(t, sp, text, piece)
+		log, data, err := sp.Finish()
+		if err != nil {
+			t.Fatalf("piece %d: %v", piece, err)
+		}
+		if !bytes.Equal(data, text) {
+			t.Fatalf("piece %d: reassembled body differs (%d vs %d bytes)", piece, len(data), len(text))
+		}
+		if got, want := render(t, log), render(t, seq); !bytes.Equal(got, want) {
+			t.Fatalf("piece %d: streamed parse diverged from sequential", piece)
+		}
+		if sp.Shards() < 2 {
+			t.Fatalf("piece %d: expected multiple shards, got %d", piece, sp.Shards())
+		}
+		if sp.EarlyShards() == 0 {
+			t.Fatalf("piece %d: no shard was dispatched during upload", piece)
+		}
+		if sp.BytesIn() != int64(len(text)) {
+			t.Fatalf("piece %d: BytesIn = %d, want %d", piece, sp.BytesIn(), len(text))
+		}
+	}
+}
+
+func TestStreamParserErrorMatchesSequential(t *testing.T) {
+	good, _ := syntheticText(t, 20)
+	data := append(append([]byte{}, good...), []byte("POSIX\tbad\t42\tPOSIX_OPENS\t3\t/f\t/\ttmpfs\n")...)
+	_, seqErr := ParseText(bytes.NewReader(data))
+	if seqErr == nil {
+		t.Fatal("sequential parse unexpectedly succeeded")
+	}
+	sp := NewStreamParser(StreamOptions{Workers: 2, ChunkBytes: 4 << 10})
+	for off := 0; off < len(data); off += 911 {
+		end := off + 911
+		if end > len(data) {
+			end = len(data)
+		}
+		if _, err := sp.Write(data[off:end]); err != nil {
+			break // early failure notice is allowed; Finish has the real error
+		}
+	}
+	_, body, err := sp.Finish()
+	if err == nil {
+		t.Fatal("streamed parse unexpectedly succeeded")
+	}
+	if err.Error() != seqErr.Error() {
+		t.Fatalf("error mismatch:\nsequential: %v\nstreamed:   %v", seqErr, err)
+	}
+	if !bytes.Equal(body, data) {
+		t.Fatal("Finish did not return the full body alongside the error")
+	}
+}
+
+func TestStreamParserEmpty(t *testing.T) {
+	sp := NewStreamParser(StreamOptions{})
+	log, data, err := sp.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(data) != 0 || len(log.Modules) != 0 || len(log.DXT) != 0 {
+		t.Fatalf("empty stream produced data=%d modules=%d dxt=%d", len(data), len(log.Modules), len(log.DXT))
+	}
+}
+
+// TestStreamParserBackpressure forces the single parse worker to stall
+// until the backpressure hook fires, proving Write blocks — and
+// reports it — when parsing falls behind the upload.
+func TestStreamParserBackpressure(t *testing.T) {
+	text, _ := syntheticText(t, 40)
+	gate := make(chan struct{})
+	var stalls int
+	sp := NewStreamParser(StreamOptions{
+		Workers:    1,
+		ChunkBytes: 2 << 10,
+		OnShard: func(shard int, chunk []byte) func(error) {
+			if shard == 0 {
+				<-gate // hold the only worker until backpressure is observed
+			}
+			return nil
+		},
+		OnBackpressure: func() {
+			if stalls == 0 {
+				close(gate)
+			}
+			stalls++
+		},
+	})
+	feedStream(t, sp, text, 4<<10)
+	log, _, err := sp.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stalls == 0 {
+		t.Fatal("backpressure hook never fired")
+	}
+	if len(log.Modules) == 0 {
+		t.Fatal("parse produced no modules")
+	}
+}

@@ -79,6 +79,30 @@ const (
 	ReuseConditioned = "conditioned"
 )
 
+// Ingest records how a job's trace entered the service — whole-body
+// POST or the chunked streaming path — the provenance surfaced on job
+// pages and in /api/jobs/{id} as "ingest".
+type Ingest struct {
+	// Mode is IngestBody (buffered whole-body upload) or IngestStream
+	// (chunked streaming upload parsed incrementally).
+	Mode string `json:"mode"`
+	// Bytes is the trace body size.
+	Bytes int64 `json:"bytes"`
+	// Shards is how many parse shards the body was cut into (streaming
+	// ingestion only).
+	Shards int `json:"shards,omitempty"`
+	// ParseOverlapped reports that at least one shard finished parsing
+	// while the client was still uploading — the property the streaming
+	// path exists for.
+	ParseOverlapped bool `json:"parse_overlapped,omitempty"`
+}
+
+// Ingest mode labels.
+const (
+	IngestBody   = "body"
+	IngestStream = "stream"
+)
+
 // Job is one analysis request: a Darshan trace submitted for diagnosis.
 // The service hands out copies; the canonical record lives in the
 // Service and is persisted through the Store on every state change.
@@ -99,6 +123,9 @@ type Job struct {
 	// diagnosis was served from (or conditioned on) a similar prior
 	// job.
 	ReusedFrom *Reuse `json:"reused_from,omitempty"`
+	// Ingest records how the trace entered the service (whole-body vs
+	// streamed) and how much parsing overlapped the upload.
+	Ingest *Ingest `json:"ingest,omitempty"`
 	// SubmittedAt/StartedAt/FinishedAt are lifecycle timestamps.
 	SubmittedAt time.Time `json:"submitted_at"`
 	StartedAt   time.Time `json:"started_at"`
@@ -120,6 +147,10 @@ var (
 	// ErrNotDone is returned when a report is requested for a job that
 	// has not completed successfully.
 	ErrNotDone = errors.New("jobs: job has not completed")
+	// ErrStreamBusy is returned by SubmitStream when the in-flight
+	// streaming-buffer budget is exhausted; the HTTP layer maps it to
+	// 429 with a Retry-After hint.
+	ErrStreamBusy = errors.New("jobs: streaming buffer budget exhausted")
 )
 
 // Stats is a snapshot of the service counters for /api/stats.

@@ -10,9 +10,11 @@ import (
 	"fmt"
 	"log/slog"
 	mathrand "math/rand"
+	"runtime"
 	"sort"
 	"strconv"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"ion/internal/darshan"
@@ -52,6 +54,14 @@ type Config struct {
 	RetryDelay time.Duration
 	// MaxRetryDelay caps the backoff; 0 means the default (10s).
 	MaxRetryDelay time.Duration
+	// ParseWorkers bounds the shard count when parsing trace text in
+	// parallel (both the whole-body and streaming paths); 0 or negative
+	// means GOMAXPROCS.
+	ParseWorkers int
+	// StreamMaxBuffer bounds the total bytes buffered across all
+	// in-flight streaming uploads; SubmitStream sheds load with
+	// ErrStreamBusy beyond it. 0 means the default (256 MiB).
+	StreamMaxBuffer int64
 	// ExtractCacheBytes bounds the LRU cache of extraction outputs
 	// keyed by trace content hash; a re-submitted or re-queued trace
 	// whose extraction is cached skips parse+extract entirely. 0 means
@@ -110,6 +120,12 @@ func (c *Config) applyDefaults() {
 	if c.MaxRetryDelay <= 0 {
 		c.MaxRetryDelay = 10 * time.Second
 	}
+	if c.ParseWorkers <= 0 {
+		c.ParseWorkers = runtime.GOMAXPROCS(0)
+	}
+	if c.StreamMaxBuffer == 0 {
+		c.StreamMaxBuffer = defaultStreamMaxBuffer
+	}
 	if c.ExtractCacheBytes == 0 {
 		c.ExtractCacheBytes = defaultExtractCacheBytes
 	}
@@ -147,6 +163,15 @@ type Service struct {
 	queue   chan string   // job ids awaiting a worker
 	wg      sync.WaitGroup
 
+	// Parse/stream instrumentation (see registerMetrics).
+	parseShards    *obs.Counter
+	parseMBps      *obs.Gauge
+	streamSubs     *obs.Counter
+	streamBytes    *obs.Counter
+	streamStalls   *obs.Counter
+	streamRejected *obs.Counter
+	streamInflight atomic.Int64 // bytes reserved by in-flight streams
+
 	mu     sync.Mutex
 	jobs   map[string]*Job
 	done   map[string]chan struct{} // closed when the job reaches a terminal state
@@ -154,9 +179,21 @@ type Service struct {
 	closed bool
 	busy   int
 
+	// preParsed hands logs parsed during streamed ingestion to the
+	// worker that runs the job, so the parse that overlapped the upload
+	// is not repeated. Bounded FIFO keyed by trace hash.
+	preParsed      map[string]*darshan.Log
+	preParsedOrder []string
+
 	submitted, completed, failed, retried, cacheHits, recovered int64
 	semHits, semConditioned                                     int64
 }
+
+// defaultStreamMaxBuffer bounds in-flight streaming-upload memory.
+const defaultStreamMaxBuffer = 256 << 20
+
+// maxPreParsed bounds how many streamed parses wait for their worker.
+const maxPreParsed = 8
 
 // Open starts a Service over cfg.Dir, recovering any jobs a previous
 // process left queued or in flight (they restart as queued).
@@ -205,10 +242,11 @@ func Open(cfg Config) (*Service, error) {
 		abort:   cancel,
 		stop:    make(chan struct{}),
 		// Recovered jobs must all fit alongside a full queue.
-		queue:  make(chan string, cfg.QueueDepth+len(pending)),
-		jobs:   make(map[string]*Job, len(existing)),
-		done:   make(map[string]chan struct{}, len(existing)),
-		byHash: make(map[string]string, len(existing)),
+		queue:     make(chan string, cfg.QueueDepth+len(pending)),
+		jobs:      make(map[string]*Job, len(existing)),
+		done:      make(map[string]chan struct{}, len(existing)),
+		byHash:    make(map[string]string, len(existing)),
+		preParsed: make(map[string]*darshan.Log),
 	}
 	for _, j := range existing {
 		s.jobs[j.ID] = j
@@ -303,6 +341,23 @@ func (s *Service) registerMetrics() {
 	s.obs.GaugeFunc("ion_extract_cache_entries", "Extraction outputs currently cached.",
 		func() float64 { return float64(s.cache.len()) })
 
+	s.parseShards = s.obs.Counter("ion_parse_shards_total",
+		"Trace-parse shards dispatched to the parallel parser.")
+	s.parseMBps = s.obs.Gauge("ion_parse_mb_per_s",
+		"Throughput of the most recent trace parse, in MB/s.")
+	s.obs.GaugeFunc("ion_parse_workers", "Configured parse-shard concurrency bound.",
+		func() float64 { return float64(s.cfg.ParseWorkers) })
+	s.streamSubs = s.obs.Counter("ion_stream_submissions_total",
+		"Streaming uploads accepted for incremental parsing.")
+	s.streamBytes = s.obs.Counter("ion_stream_bytes_total",
+		"Body bytes received over the streaming ingestion path.")
+	s.streamStalls = s.obs.Counter("ion_stream_backpressure_total",
+		"Times a streaming upload blocked waiting for a parse worker.")
+	s.streamRejected = s.obs.Counter("ion_stream_rejected_total",
+		"Streaming uploads shed because the buffer budget was exhausted.")
+	s.obs.GaugeFunc("ion_stream_inflight_bytes", "Bytes currently reserved by in-flight streaming uploads.",
+		func() float64 { return float64(s.streamInflight.Load()) })
+
 	if s.sem != nil {
 		s.obs.CounterFunc("ion_semcache_hits_total", "Jobs served verbatim from the semantic cache (zero LLM calls).",
 			func() float64 { return float64(s.sem.Stats().Hits) })
@@ -353,11 +408,19 @@ func (s *Service) Draining() bool {
 // capacity, ErrBadTrace when the bytes do not parse, ErrClosed after
 // shutdown has begun.
 func (s *Service) Submit(name string, trace []byte) (Job, bool, error) {
-	if _, err := ParseTrace(trace); err != nil {
+	if _, err := s.parseTrace(context.Background(), trace); err != nil {
 		return Job{}, false, err
 	}
 	sum := sha256.Sum256(trace)
 	hash := hex.EncodeToString(sum[:])
+	ingest := &Ingest{Mode: IngestBody, Bytes: int64(len(trace))}
+	return s.admit(name, hash, trace, ingest)
+}
+
+// admit runs the post-validation half of a submission — dedup lookup,
+// queue admission, persistence, enqueue — shared by the whole-body and
+// streaming paths. hash is the hex SHA-256 of trace.
+func (s *Service) admit(name, hash string, trace []byte, ingest *Ingest) (Job, bool, error) {
 	if name == "" {
 		name = "trace-" + hash[:8]
 	}
@@ -384,6 +447,7 @@ func (s *Service) Submit(name string, trace []byte) (Job, bool, error) {
 		Trace:       name,
 		Hash:        hash,
 		State:       StateQueued,
+		Ingest:      ingest,
 		SubmittedAt: time.Now().UTC(),
 	}
 	if err := s.store.PutTrace(j.ID, trace); err != nil {
@@ -590,10 +654,18 @@ func (s *Service) run(id string) {
 	trace, err := s.store.Trace(id)
 	if err == nil {
 		var log *darshan.Log
-		_, span := obs.StartSpan(ctx, "parse")
-		log, err = ParseTrace(trace)
-		span.SetError(err)
-		span.End()
+		if pre := s.takePreParsed(hash); pre != nil {
+			// Streamed ingestion already parsed this trace while the
+			// body was uploading; don't repeat the work.
+			root.Annotate("parse", "streamed")
+			logger.Info("using parse from streamed ingestion", "hash", hash[:12])
+			log = pre
+		} else {
+			pctx, span := obs.StartSpan(ctx, "parse")
+			log, err = s.parseTrace(pctx, trace)
+			span.SetError(err)
+			span.End()
+		}
 		if err == nil {
 			ectx, espan := obs.StartSpan(ctx, "extract")
 			out, eerr := extractor.ExtractToDirContext(ectx, log, s.store.WorkDir(id))
@@ -796,15 +868,60 @@ func backoff(base, max time.Duration, attempt int) time.Duration {
 }
 
 // ParseTrace decodes trace bytes as a Darshan log, accepting the binary
-// container format and falling back to darshan-parser text.
+// container format and falling back to darshan-parser text (parsed in
+// shards up to GOMAXPROCS wide).
 func ParseTrace(data []byte) (*darshan.Log, error) {
+	return parseTraceOpts(data, darshan.ParallelOptions{})
+}
+
+// parseTrace is ParseTrace bounded by the configured shard concurrency,
+// with per-shard spans and throughput metrics.
+func (s *Service) parseTrace(ctx context.Context, data []byte) (*darshan.Log, error) {
+	opts := darshan.ParallelOptions{
+		Workers: s.cfg.ParseWorkers,
+		OnShard: s.shardHook(ctx),
+	}
+	start := time.Now()
+	log, err := parseTraceOpts(data, opts)
+	if err == nil {
+		s.recordParseRate(int64(len(data)), time.Since(start))
+	}
+	return log, err
+}
+
+// shardHook returns a ParallelOptions.OnShard callback that opens one
+// span per parse shard under ctx and counts shards. Safe under
+// concurrent shard starts; no-op spans when ctx has no tracer.
+func (s *Service) shardHook(ctx context.Context) func(int, []byte) func(error) {
+	return func(shard int, chunk []byte) func(error) {
+		s.parseShards.Inc()
+		_, span := obs.StartSpan(ctx, "parse_shard",
+			obs.L("shard", strconv.Itoa(shard)),
+			obs.L("bytes", strconv.Itoa(len(chunk))))
+		return func(err error) {
+			span.SetError(err)
+			span.End()
+		}
+	}
+}
+
+// recordParseRate publishes the most recent parse throughput.
+func (s *Service) recordParseRate(bytes int64, elapsed time.Duration) {
+	if secs := elapsed.Seconds(); secs > 0 {
+		s.parseMBps.Set(float64(bytes) / 1e6 / secs)
+	}
+}
+
+// parseTraceOpts decodes trace bytes as a Darshan log, accepting the
+// binary container format and falling back to sharded text parsing.
+func parseTraceOpts(data []byte, opts darshan.ParallelOptions) (*darshan.Log, error) {
 	if len(data) == 0 {
 		return nil, fmt.Errorf("%w: empty body", ErrBadTrace)
 	}
 	log, binErr := darshan.ReadBinary(bytes.NewReader(data))
 	if binErr != nil {
 		var txtErr error
-		log, txtErr = darshan.ParseText(bytes.NewReader(data))
+		log, txtErr = darshan.ParseTextParallelOpts(data, opts)
 		if txtErr != nil {
 			return nil, fmt.Errorf("%w: %v", ErrBadTrace, txtErr)
 		}
@@ -813,6 +930,40 @@ func ParseTrace(data []byte) (*darshan.Log, error) {
 		return nil, fmt.Errorf("%w: no module records", ErrBadTrace)
 	}
 	return log, nil
+}
+
+// putPreParsed stores a streamed upload's parsed log for the worker
+// that will run its job, bounded FIFO so abandoned entries cannot
+// accumulate. Caller must hold s.mu.
+func (s *Service) putPreParsedLocked(hash string, log *darshan.Log) {
+	if _, ok := s.preParsed[hash]; !ok {
+		s.preParsedOrder = append(s.preParsedOrder, hash)
+	}
+	s.preParsed[hash] = log
+	for len(s.preParsedOrder) > maxPreParsed {
+		evict := s.preParsedOrder[0]
+		s.preParsedOrder = s.preParsedOrder[1:]
+		delete(s.preParsed, evict)
+	}
+}
+
+// takePreParsed removes and returns the pre-parsed log for hash, if a
+// streamed upload left one.
+func (s *Service) takePreParsed(hash string) *darshan.Log {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	log, ok := s.preParsed[hash]
+	if !ok {
+		return nil
+	}
+	delete(s.preParsed, hash)
+	for i, h := range s.preParsedOrder {
+		if h == hash {
+			s.preParsedOrder = append(s.preParsedOrder[:i], s.preParsedOrder[i+1:]...)
+			break
+		}
+	}
+	return log
 }
 
 // newID returns a fresh job id: "j-" + 12 random hex chars.

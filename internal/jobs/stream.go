@@ -1,0 +1,143 @@
+package jobs
+
+import (
+	"bytes"
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"io"
+	"time"
+
+	"ion/internal/darshan"
+)
+
+// SubmitStream accepts a Darshan trace as a byte stream (typically a
+// chunked-transfer POST body) and parses it incrementally while it
+// uploads: completed segments are cut at line boundaries and handed to
+// the parse pool, so by the time the last byte arrives most of the
+// trace is already parsed, and the worker running the job skips the
+// parse stage entirely.
+//
+// The content hash is computed incrementally over the same bytes, so
+// dedup and semantic-cache keying behave exactly as with Submit.
+// Returns ErrStreamBusy when the service-wide streaming buffer budget
+// (Config.StreamMaxBuffer) is exhausted — the HTTP layer maps it to
+// 429 + Retry-After — and otherwise the same results and errors as
+// Submit.
+func (s *Service) SubmitStream(name string, r io.Reader) (Job, bool, error) {
+	if s.Draining() {
+		return Job{}, false, ErrClosed
+	}
+	s.streamSubs.Inc()
+
+	sp := darshan.NewStreamParser(darshan.StreamOptions{
+		Workers:        s.cfg.ParseWorkers,
+		OnShard:        s.shardHook(context.Background()),
+		OnBackpressure: func() { s.streamStalls.Inc() },
+	})
+	hasher := sha256.New()
+	var reserved int64
+	defer func() {
+		if reserved > 0 {
+			s.streamInflight.Add(-reserved)
+		}
+	}()
+
+	buf := make([]byte, 64<<10)
+	start := time.Now()
+	var readErr error
+	for {
+		n, err := r.Read(buf)
+		if n > 0 {
+			if !s.reserveStream(int64(n)) {
+				s.streamRejected.Inc()
+				sp.Finish() // drain the pool; the body is abandoned
+				s.log.Warn("streaming upload shed: buffer budget exhausted",
+					"trace", name, "inflight_bytes", s.streamInflight.Load())
+				return Job{}, false, ErrStreamBusy
+			}
+			reserved += int64(n)
+			s.streamBytes.Add(float64(n))
+			hasher.Write(buf[:n])
+			if _, werr := sp.Write(buf[:n]); werr != nil {
+				// A shard already failed; stop uploading. Finish below
+				// reports the canonical positioned error.
+				break
+			}
+		}
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			readErr = err
+			break
+		}
+	}
+
+	log, data, perr := sp.Finish()
+	if perr == nil && readErr == nil {
+		// Upload and parse overlapped, so this is end-to-end ingest
+		// throughput: bytes from first read to merged log.
+		s.recordParseRate(int64(len(data)), time.Since(start))
+	}
+	if readErr != nil {
+		return Job{}, false, fmt.Errorf("jobs: reading stream: %w", readErr)
+	}
+	if len(data) == 0 {
+		return Job{}, false, fmt.Errorf("%w: empty body", ErrBadTrace)
+	}
+	if perr != nil {
+		// Not darshan-parser text; a streamed binary container still
+		// works through the buffered decoder.
+		blog, berr := darshan.ReadBinary(bytes.NewReader(data))
+		if berr != nil {
+			return Job{}, false, fmt.Errorf("%w: %v", ErrBadTrace, perr)
+		}
+		log = blog
+	}
+	if len(log.Modules) == 0 && len(log.DXT) == 0 {
+		return Job{}, false, fmt.Errorf("%w: no module records", ErrBadTrace)
+	}
+
+	hash := hex.EncodeToString(hasher.Sum(nil))
+	ingest := &Ingest{
+		Mode:            IngestStream,
+		Bytes:           int64(len(data)),
+		Shards:          sp.Shards(),
+		ParseOverlapped: sp.EarlyShards() > 0,
+	}
+	// Park the parsed log for the worker before the job becomes
+	// runnable, so the overlapped parse is never repeated.
+	s.mu.Lock()
+	s.putPreParsedLocked(hash, log)
+	s.mu.Unlock()
+	job, dedup, err := s.admit(name, hash, data, ingest)
+	if err != nil || dedup {
+		s.takePreParsed(hash)
+	}
+	if err == nil && !dedup {
+		s.log.Info("streamed submission parsed during upload",
+			"job", job.ID, "shards", sp.Shards(), "early_shards", sp.EarlyShards(),
+			"bytes", len(data))
+	}
+	return job, dedup, err
+}
+
+// reserveStream takes n bytes from the streaming buffer budget,
+// refusing when the budget would be exceeded. A negative budget
+// disables the bound.
+func (s *Service) reserveStream(n int64) bool {
+	if s.cfg.StreamMaxBuffer < 0 {
+		return true
+	}
+	for {
+		cur := s.streamInflight.Load()
+		if cur+n > s.cfg.StreamMaxBuffer {
+			return false
+		}
+		if s.streamInflight.CompareAndSwap(cur, cur+n) {
+			return true
+		}
+	}
+}

@@ -99,6 +99,7 @@ func (s *JobServer) WithFlight(rec *flight.Recorder) *JobServer {
 //	GET  /                     the job list page (HTML)
 //	GET  /jobs/{id}            a finished job's diagnosis page (HTML)
 //	POST /api/jobs             submit a trace (raw Darshan bytes; ?name=)
+//	POST /api/jobs/stream      submit a trace as a chunked stream, parsed during upload
 //	GET  /api/jobs             list jobs (JSON)
 //	GET  /api/jobs/{id}        one job's status (JSON)
 //	GET  /api/jobs/{id}/report the finished report (JSON)
@@ -129,6 +130,7 @@ func (s *JobServer) Handler() http.Handler {
 	handle("GET /{$}", s.handleIndex)
 	handle("GET /jobs/{id}", s.handleJobPage)
 	handle("POST /api/jobs", s.handleSubmit)
+	handle("POST /api/jobs/stream", s.handleSubmitStream)
 	handle("GET /api/jobs", s.handleList)
 	handle("GET /api/jobs/{id}", s.handleJob)
 	handle("GET /api/jobs/{id}/report", s.handleJobReport)
@@ -217,6 +219,40 @@ func (s *JobServer) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	case errors.Is(err, jobs.ErrQueueFull):
 		w.Header().Set("Retry-After", "5")
 		http.Error(w, "queue is full, retry later", http.StatusTooManyRequests)
+		return
+	case errors.Is(err, jobs.ErrBadTrace):
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	case errors.Is(err, jobs.ErrClosed):
+		http.Error(w, "service is shutting down", http.StatusServiceUnavailable)
+		return
+	case err != nil:
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	status := http.StatusAccepted
+	if dedup {
+		status = http.StatusOK
+	}
+	s.writeJSON(w, status, submitResponse{Job: job, Dedup: dedup})
+}
+
+// handleSubmitStream is the chunked-upload twin of handleSubmit: the
+// body is handed to the service as a stream and parsed shard by shard
+// while it is still arriving, instead of being buffered whole first.
+// Same responses as POST /api/jobs, plus 429 + Retry-After when the
+// service-wide streaming buffer budget is exhausted.
+func (s *JobServer) handleSubmitStream(w http.ResponseWriter, r *http.Request) {
+	body := http.MaxBytesReader(w, r.Body, maxTraceBody)
+	job, dedup, err := s.svc.SubmitStream(r.URL.Query().Get("name"), body)
+	var tooBig *http.MaxBytesError
+	switch {
+	case errors.As(err, &tooBig):
+		http.Error(w, "trace too large", http.StatusRequestEntityTooLarge)
+		return
+	case errors.Is(err, jobs.ErrStreamBusy), errors.Is(err, jobs.ErrQueueFull):
+		w.Header().Set("Retry-After", "5")
+		http.Error(w, err.Error()+", retry later", http.StatusTooManyRequests)
 		return
 	case errors.Is(err, jobs.ErrBadTrace):
 		http.Error(w, err.Error(), http.StatusBadRequest)
@@ -376,8 +412,26 @@ func (s *JobServer) handleJobPage(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, err.Error(), http.StatusInternalServerError)
 		return
 	}
-	widget := reuseBanner(job) + navLink + chatWidgetFor("/api/jobs/"+job.ID+"/ask")
+	widget := ingestBanner(job) + reuseBanner(job) + navLink + chatWidgetFor("/api/jobs/"+job.ID+"/ask")
 	fmt.Fprint(w, strings.Replace(page.String(), "</body>", widget+"</body>", 1))
+}
+
+// ingestBanner renders how the trace entered the service when it came
+// through the streaming path: body size, how many parse shards it was
+// cut into, and whether parsing overlapped the upload. Empty for
+// whole-body submissions, which are the unremarkable default.
+func ingestBanner(job jobs.Job) string {
+	in := job.Ingest
+	if in == nil || in.Mode != jobs.IngestStream {
+		return ""
+	}
+	overlap := "parsed after upload completed"
+	if in.ParseOverlapped {
+		overlap = "parsing overlapped the upload"
+	}
+	return fmt.Sprintf(`<div style="margin-top:2rem;padding:0.75rem 1rem;border:1px solid #059669;border-radius:6px;background:#ecfdf5">
+<strong>Streamed ingestion:</strong> %.1f MiB uploaded in chunks, cut into %d parse shard(s); %s.</div>`,
+		float64(in.Bytes)/(1<<20), in.Shards, overlap)
 }
 
 // reuseBanner renders the semantic-cache provenance of a job: where
