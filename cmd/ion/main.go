@@ -9,6 +9,8 @@
 //	ion -log trace.darshan
 //	ion -log trace.darshan -interactive
 //	ion -log trace.darshan -backend openai -base-url http://localhost:8000/v1
+//	ion -log trace.darshan -ledger calls.jsonl -ledger-capture-text
+//	ion -log trace.darshan -replay-ledger calls.jsonl
 package main
 
 import (
@@ -31,6 +33,7 @@ import (
 	"ion/internal/issue"
 	"ion/internal/knowledge"
 	"ion/internal/llm"
+	"ion/internal/llm/ledger"
 	"ion/internal/obs"
 	"ion/internal/rag"
 	"ion/internal/report"
@@ -47,6 +50,10 @@ func main() {
 		model       = flag.String("model", "gpt-4-1106-preview", "model name (backend=openai)")
 		record      = flag.String("record", "", "record completions into this directory")
 		replay      = flag.String("replay", "", "replay completions from this directory")
+		ledgerPath  = flag.String("ledger", "", "append every LLM call to this audit-ledger journal (JSONL)")
+		ledgerText  = flag.Bool("ledger-capture-text", false, "store raw prompt/response text in the ledger (default: prompt hashes and accounting only)")
+		priceTable  = flag.String("llm-price-table", "", "JSON per-model price table overriding the built-in rates (USD per 1M tokens)")
+		replayLed   = flag.String("replay-ledger", "", "re-run the recorded prompt set from this ledger journal deterministically (needs -ledger-capture-text at record time); overrides -backend")
 		interactive = flag.Bool("interactive", false, "open the Q&A interface after the diagnosis")
 		showCode    = flag.Bool("code", false, "show the generated analysis code")
 		hideSteps   = flag.Bool("no-steps", false, "hide the chain-of-thought steps")
@@ -81,8 +88,41 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	// Instrument outermost, after record/replay composition, so the
-	// telemetry measures what the pipeline actually waited on.
+	if *replayLed != "" {
+		// Deterministic re-run: every prompt must resolve from the
+		// recorded set — no fallback, so drift fails loudly instead of
+		// silently burning tokens.
+		rp, err := ledger.NewReplay(*replayLed, nil)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "ion: replaying %d recorded completion(s) from %s\n", rp.Len(), *replayLed)
+		client = rp
+	}
+	if *ledgerPath != "" {
+		prices := ledger.DefaultPrices()
+		if *priceTable != "" {
+			data, err := os.ReadFile(*priceTable)
+			if err != nil {
+				fatal(err)
+			}
+			if prices, err = ledger.ParsePriceTable(data); err != nil {
+				fatal(err)
+			}
+		}
+		lst, err := ledger.Open(ledger.StoreOptions{Path: *ledgerPath})
+		if err != nil {
+			fatal(err)
+		}
+		defer lst.Close()
+		client = ledger.Wrap(client, lst, ledger.WrapOptions{
+			Prices:      prices,
+			CaptureText: *ledgerText,
+			Registry:    reg,
+		})
+	}
+	// Instrument outermost, after record/replay/ledger composition, so
+	// the telemetry measures what the pipeline actually waited on.
 	client = llm.Instrument(client, reg)
 
 	var issues []issue.ID

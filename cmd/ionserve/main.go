@@ -32,6 +32,7 @@ import (
 	"ion/internal/ion"
 	"ion/internal/jobs"
 	"ion/internal/llm"
+	"ion/internal/llm/ledger"
 	"ion/internal/obs"
 	"ion/internal/obs/flight"
 	"ion/internal/obs/prof"
@@ -67,6 +68,10 @@ func main() {
 		profWindow    = flag.Duration("prof-window", 10*time.Second, "CPU-profile length inside each continuous-profiler cycle (clamped to half the interval)")
 		profRetention = flag.Duration("prof-retention", 2*time.Hour, "how long decoded profile windows are retained in <data>/prof")
 
+		ledgerPath = flag.String("ledger", "", "LLM audit-ledger journal (default: <data>/llm/ledger.jsonl; \"none\" disables)")
+		ledgerText = flag.Bool("ledger-capture-text", false, "store raw prompt/response text in the ledger (default: prompt hashes and accounting only)")
+		priceTable = flag.String("llm-price-table", "", "JSON per-model price table overriding the built-in rates (USD per 1M tokens)")
+
 		semCache      = flag.Bool("sem-cache", true, "semantic diagnosis cache: reuse prior diagnoses of similar traces")
 		semReuse      = flag.Float64("sem-reuse-threshold", 0.995, "signature similarity at or above which a prior diagnosis is served verbatim (>1 disables the verbatim tier)")
 		semCondition  = flag.Float64("sem-condition-threshold", 0.90, "signature similarity at or above which the analysis is conditioned on a prior diagnosis (>1 disables conditioning)")
@@ -87,9 +92,11 @@ func main() {
 	// ion_build_info joins every scrape, profile window, and incident
 	// bundle to the binary that produced it.
 	obs.RegisterBuildInfo(reg)
-	// Instrument the client once, at the edge, so both the analysis
-	// workers and the chat sessions report into the same registry.
-	client := llm.Instrument(expertsim.New(), reg)
+	// Instrument the client at the edge, so both the analysis workers
+	// and the chat sessions report into the same registry. The service
+	// path recomposes this below with the audit ledger in the middle.
+	base := expertsim.New()
+	client := llm.Instrument(base, reg)
 
 	if *debugAddr != "" {
 		serveDebug(*debugAddr, logger)
@@ -194,6 +201,47 @@ func main() {
 		}
 	}
 
+	// LLM audit ledger: one journaled entry per completion (prompt hash,
+	// tokens, latency, outcome, estimated cost), replayed across
+	// restarts like the other journals. The recording wrapper sits
+	// between the backend and the instrumentation so the telemetry
+	// measures ledger overhead too; it also maintains the rolling
+	// per-backend health score the LLMBackendDegraded rule watches.
+	var ledgerStore *ledger.Store
+	var ledgerClient *ledger.Client
+	if *ledgerPath != "none" {
+		path := *ledgerPath
+		if path == "" {
+			path = filepath.Join(dir, "llm", "ledger.jsonl")
+		}
+		prices := ledger.DefaultPrices()
+		if *priceTable != "" {
+			data, err := os.ReadFile(*priceTable)
+			if err != nil {
+				fatal(err)
+			}
+			if prices, err = ledger.ParsePriceTable(data); err != nil {
+				fatal(err)
+			}
+		}
+		ledgerStore, err = ledger.Open(ledger.StoreOptions{Path: path})
+		if err != nil {
+			fatal(err)
+		}
+		defer ledgerStore.Close()
+		ledgerClient = ledger.Wrap(base, ledgerStore, ledger.WrapOptions{
+			Prices:      prices,
+			CaptureText: *ledgerText,
+			Registry:    reg,
+		})
+		client = llm.Instrument(ledgerClient, reg)
+		if rec != nil {
+			// Incident bundles carry the recent LLM calls — hashes and
+			// accounting only, so the bundle stays shareable.
+			rec.SetLedgerTailFn(func() any { return ledgerStore.Tail(50) })
+		}
+	}
+
 	// Semantic diagnosis cache: one journaled signature entry per
 	// completed diagnosis, consulted before every fresh analysis. Opened
 	// under the data dir so it survives restarts with the job store.
@@ -224,6 +272,7 @@ func main() {
 		SemCache:              sem,
 		SemReuseThreshold:     *semReuse,
 		SemConditionThreshold: *semCondition,
+		Ledger:                ledgerStore,
 	}
 	if rec != nil {
 		// Completed job timelines feed the recorder's tail-sampler, so
@@ -284,6 +333,10 @@ func main() {
 	js.WithObs(reg, logger)
 	if rec != nil {
 		js.WithFlight(rec)
+	}
+	if ledgerClient != nil {
+		js.WithLLMLedger(ledgerClient)
+		fmt.Printf("ionserve: LLM audit ledger at http://%s/dashboard/llm\n", *addr)
 	}
 	if profiler != nil {
 		js.WithProf(profiler)

@@ -103,6 +103,22 @@ const (
 	IngestStream = "stream"
 )
 
+// Cost is the per-job LLM cost attribution, summed from the audit
+// ledger's entries for this job: calls made, tokens moved, estimated
+// dollars, and how much of the diagnosis was served without fresh LLM
+// calls. Surfaced on job pages and in /api/jobs/{id} as "cost".
+type Cost struct {
+	Calls     int     `json:"calls"`
+	TokensIn  int     `json:"tokens_in"`
+	TokensOut int     `json:"tokens_out"`
+	EstUSD    float64 `json:"est_usd"`
+	// ReusedRatio is the fraction of the diagnosis answered from prior
+	// work instead of fresh LLM calls: 1.0 for a verbatim semantic hit
+	// (zero calls), adopted/(adopted+fresh) for a conditioned run, 0 for
+	// a full analysis.
+	ReusedRatio float64 `json:"reused_ratio"`
+}
+
 // Job is one analysis request: a Darshan trace submitted for diagnosis.
 // The service hands out copies; the canonical record lives in the
 // Service and is persisted through the Store on every state change.
@@ -126,6 +142,9 @@ type Job struct {
 	// Ingest records how the trace entered the service (whole-body vs
 	// streamed) and how much parsing overlapped the upload.
 	Ingest *Ingest `json:"ingest,omitempty"`
+	// Cost is the job's LLM cost attribution from the audit ledger,
+	// attached when the job settles (nil when no ledger is configured).
+	Cost *Cost `json:"cost,omitempty"`
 	// SubmittedAt/StartedAt/FinishedAt are lifecycle timestamps.
 	SubmittedAt time.Time `json:"submitted_at"`
 	StartedAt   time.Time `json:"started_at"`
@@ -180,6 +199,14 @@ type Stats struct {
 	// a similar prior diagnosis.
 	SemanticHits int64 `json:"semantic_hits"`
 	Conditioned  int64 `json:"conditioned"`
+	// LLMCalls/LLMTokensIn/LLMTokensOut/LLMCostUSD are the cumulative
+	// LLM accounting from the audit ledger (zero when no ledger is
+	// configured). These survive restarts to the extent the ledger
+	// journal retained them.
+	LLMCalls     int64   `json:"llm_calls"`
+	LLMTokensIn  int64   `json:"llm_tokens_in"`
+	LLMTokensOut int64   `json:"llm_tokens_out"`
+	LLMCostUSD   float64 `json:"llm_cost_usd"`
 }
 
 // CacheHitRate is CacheHits / Submitted (0 when nothing submitted).

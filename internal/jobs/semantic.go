@@ -10,6 +10,7 @@ import (
 	"ion/internal/extractor"
 	"ion/internal/ion"
 	"ion/internal/issue"
+	"ion/internal/llm/ledger"
 	"ion/internal/obs"
 	"ion/internal/rag"
 	"ion/internal/semcache"
@@ -45,6 +46,7 @@ const (
 func (s *Service) diagnose(ctx context.Context, id, hash string, out *extractor.Output) (State, error) {
 	if s.sem == nil {
 		state, _, cause := s.attempts(ctx, id, out, ion.AnalyzeOptions{})
+		s.attachCost(id, 0, false)
 		return state, cause
 	}
 	logger := obs.LoggerFrom(ctx)
@@ -64,6 +66,7 @@ func (s *Service) diagnose(ctx context.Context, id, hash string, out *extractor.
 			s.mu.Lock()
 			s.semHits++
 			s.mu.Unlock()
+			s.attachCost(id, 0, true)
 			return StateReused, nil
 		} else {
 			logger.Warn("semantic hit unusable, falling back",
@@ -101,6 +104,7 @@ func (s *Service) diagnose(ctx context.Context, id, hash string, out *extractor.
 	}
 
 	state, rep, cause := s.attempts(ctx, id, out, opts)
+	s.attachCost(id, len(opts.Adopted), false)
 	if state == StateDone && rep != nil {
 		outcome := "full"
 		if conditioned {
@@ -208,4 +212,41 @@ func (s *Service) setReuse(id string, r *Reuse) {
 	if j, ok := s.jobs[id]; ok {
 		j.ReusedFrom = r
 	}
+}
+
+// attachCost sums the job's ledger entries into Job.Cost, so the
+// snapshot finish persists carries the attribution. adopted is how many
+// verdicts a conditioned run adopted without fresh LLM calls; verbatim
+// marks a semantic hit served with zero calls. No-op without a ledger.
+func (s *Service) attachCost(id string, adopted int, verbatim bool) {
+	if s.ledger == nil {
+		return
+	}
+	sum := s.ledger.SumJob(id)
+	c := &Cost{
+		Calls:     sum.Calls,
+		TokensIn:  sum.TokensIn,
+		TokensOut: sum.TokensOut,
+		EstUSD:    sum.CostUSD,
+	}
+	switch {
+	case verbatim:
+		c.ReusedRatio = 1
+	case adopted > 0:
+		// Fresh diagnosis calls only: the summary call happens either
+		// way, so the ratio measures how much of the per-issue fan-out
+		// the conditioning avoided.
+		fresh := 0
+		for _, e := range s.ledger.Entries(ledger.Filter{Job: id}) {
+			if e.Template == "diagnosis" {
+				fresh++
+			}
+		}
+		c.ReusedRatio = float64(adopted) / float64(adopted+fresh)
+	}
+	s.mu.Lock()
+	if j, ok := s.jobs[id]; ok {
+		j.Cost = c
+	}
+	s.mu.Unlock()
 }

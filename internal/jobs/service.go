@@ -21,6 +21,7 @@ import (
 	"ion/internal/extractor"
 	"ion/internal/ion"
 	"ion/internal/llm"
+	"ion/internal/llm/ledger"
 	"ion/internal/obs"
 	"ion/internal/semcache"
 )
@@ -82,6 +83,11 @@ type Config struct {
 	// a neighbor's conclusions condition the LLM prompts; 0 means the
 	// default (0.90). Set above 1 to disable the conditioning tier.
 	SemConditionThreshold float64
+	// Ledger, when non-nil, is the LLM audit ledger the service reads
+	// for per-job cost attribution (Job.Cost) and cumulative LLM totals
+	// in Stats. The ledger is written by the ledger.Wrap client, which
+	// must wrap the same Client analyses run against.
+	Ledger *ledger.Store
 	// Obs receives the service's metrics: queue/worker gauges, outcome
 	// counters, and per-stage pipeline latency histograms. nil uses a
 	// private registry (instrumentation always runs, nothing is
@@ -153,6 +159,9 @@ type Service struct {
 	log   *slog.Logger
 	cache *extractCache   // nil when disabled
 	sem   *semcache.Store // nil when semantic reuse is disabled
+	// ledger is the LLM audit store cost attribution reads from (nil
+	// when no ledger is configured).
+	ledger *ledger.Store
 	// semSim observes the best-match cosine similarity of every
 	// semantic lookup (nil when semantic reuse is disabled).
 	semSim *obs.Histogram
@@ -238,6 +247,7 @@ func Open(cfg Config) (*Service, error) {
 		log:     cfg.Logger,
 		cache:   newExtractCache(cfg.ExtractCacheBytes),
 		sem:     cfg.SemCache,
+		ledger:  cfg.Ledger,
 		baseCtx: ctx,
 		abort:   cancel,
 		stop:    make(chan struct{}),
@@ -538,7 +548,7 @@ func (s *Service) Wait(ctx context.Context, id string) (Job, error) {
 func (s *Service) Stats() Stats {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	return Stats{
+	st := Stats{
 		Workers:       s.cfg.Workers,
 		Busy:          s.busy,
 		QueueDepth:    len(s.queue),
@@ -553,11 +563,22 @@ func (s *Service) Stats() Stats {
 		SemanticHits:  s.semHits,
 		Conditioned:   s.semConditioned,
 	}
+	if tot := s.ledger.Totals(); tot.Calls > 0 {
+		st.LLMCalls = tot.Calls
+		st.LLMTokensIn = tot.TokensIn
+		st.LLMTokensOut = tot.TokensOut
+		st.LLMCostUSD = tot.CostUSD
+	}
+	return st
 }
 
 // SemCache exposes the semantic cache (nil when disabled); read-only
 // use by the web layer.
 func (s *Service) SemCache() *semcache.Store { return s.sem }
+
+// Ledger exposes the LLM audit ledger (nil when disabled); read-only
+// use by the web layer.
+func (s *Service) Ledger() *ledger.Store { return s.ledger }
 
 // SemThresholds returns the reuse and conditioning similarity
 // thresholds in effect.
@@ -641,6 +662,9 @@ func (s *Service) run(id string) {
 	tracer := obs.NewTracer()
 	logger := s.log.With("job", id)
 	ctx := obs.WithLogger(obs.WithTracer(s.baseCtx, tracer), logger)
+	// Stamp the analysis context so every LLM call made on this job's
+	// behalf is attributed to it in the audit ledger.
+	ctx = llm.WithJobID(ctx, id)
 	ctx, root := obs.StartSpan(ctx, "job", obs.L("job", id))
 
 	if out, ok := s.cache.get(hash); ok {
@@ -723,6 +747,7 @@ func (s *Service) attempts(ctx context.Context, id string, out *extractor.Output
 		s.transition(id, StateRunning, attempt, "")
 		logger.Info("analysis attempt starting", "attempt", attempt)
 		actx, span := obs.StartSpan(ctx, "attempt", obs.L("n", strconv.Itoa(attempt)))
+		actx = llm.WithAttempt(actx, attempt)
 		tctx, cancel := context.WithTimeout(actx, s.cfg.JobTimeout)
 		name := s.snapshotName(id)
 		start := time.Now()

@@ -35,10 +35,10 @@ func (i *instrumented) Complete(ctx context.Context, req Request) (Completion, e
 	span.SetError(err)
 	span.End()
 
-	outcome := "ok"
-	if err != nil {
-		outcome = "error"
-	}
+	// Outcome classification is shared with the audit ledger, so the
+	// request counter, the ledger entries, and the backend health score
+	// can never disagree on what a call was.
+	outcome := Outcome(err, req, comp)
 	i.reg.Counter("ion_llm_requests_total",
 		"LLM completion requests by backend and outcome.",
 		backend, obs.L("outcome", outcome)).Inc()

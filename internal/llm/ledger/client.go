@@ -1,0 +1,168 @@
+package ledger
+
+import (
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"strings"
+	"time"
+
+	"ion/internal/llm"
+	"ion/internal/obs"
+	"ion/internal/prompt"
+)
+
+// PromptHash is the audit identity of a prompt: hex SHA-256 over the
+// model and messages only. Unlike llm.Fingerprint it excludes files and
+// metadata (which carry workdir-dependent paths), so the same prompt
+// text hashes identically across machines and replays.
+func PromptHash(req llm.Request) string {
+	var b strings.Builder
+	b.WriteString(req.Model)
+	b.WriteByte(0)
+	for _, m := range req.Messages {
+		b.WriteString(string(m.Role))
+		b.WriteByte(0)
+		b.WriteString(m.Content)
+		b.WriteByte(0)
+	}
+	sum := sha256.Sum256([]byte(b.String()))
+	return hex.EncodeToString(sum[:])
+}
+
+// WrapOptions configures the recording wrapper.
+type WrapOptions struct {
+	// Prices converts tokens to estimated USD (DefaultPrices when nil).
+	Prices PriceTable
+	// CaptureText opts into storing raw prompt and response text in the
+	// ledger. Off by default: the journal then holds only hashes and
+	// accounting, safe to ship in incident bundles.
+	CaptureText bool
+	// Registry receives ion_llm_cost_usd_total, ion_llm_backend_health,
+	// and ion_llm_ledger_{entries,bytes}; nil disables metrics.
+	Registry *obs.Registry
+}
+
+// Wrap returns a Client that records every Complete call into the
+// store and feeds the per-backend health scorer. Compose it inside
+// llm.Instrument (ledger wraps the backend, instrumentation wraps the
+// ledger) so both layers see the same backend name.
+func Wrap(inner llm.Client, store *Store, opts WrapOptions) *Client {
+	if opts.Prices == nil {
+		opts.Prices = DefaultPrices()
+	}
+	return &Client{inner: inner, store: store, opts: opts, health: newHealthScorer()}
+}
+
+// Client is the recording wrapper; it satisfies llm.Client and exposes
+// the health snapshot for the dashboard and status APIs.
+type Client struct {
+	inner  llm.Client
+	store  *Store
+	opts   WrapOptions
+	health *healthScorer
+}
+
+// Name reports the wrapped backend's name, keeping metric labels and
+// ledger entries consistent through the wrapper.
+func (c *Client) Name() string { return c.inner.Name() }
+
+// Health returns the current per-backend health snapshot.
+func (c *Client) Health() []BackendHealth {
+	return c.health.Snapshot(time.Now().UTC())
+}
+
+// Store returns the underlying audit store.
+func (c *Client) Store() *Store { return c.store }
+
+// Complete forwards to the wrapped backend, then journals the call.
+// Recording failures never fail the completion — an audit hiccup must
+// not take the diagnosis pipeline down with it.
+func (c *Client) Complete(ctx context.Context, req llm.Request) (llm.Completion, error) {
+	start := time.Now()
+	comp, err := c.inner.Complete(ctx, req)
+	latency := time.Since(start)
+	c.record(ctx, req, comp, err, latency)
+	return comp, err
+}
+
+func (c *Client) record(ctx context.Context, req llm.Request, comp llm.Completion, err error, latency time.Duration) {
+	backend := c.inner.Name()
+	outcome := llm.Outcome(err, req, comp)
+	now := time.Now().UTC()
+
+	tokensIn, tokensOut := comp.Usage.PromptTokens, comp.Usage.CompletionTokens
+	if err == nil && tokensIn == 0 {
+		tokensIn = llm.PromptTokens(req)
+	}
+	if err != nil {
+		// A failed call still spent the prompt upstream; bill the input.
+		tokensIn, tokensOut = llm.PromptTokens(req), 0
+	}
+	model := comp.Model
+	if model == "" {
+		model = req.Model
+	}
+	cost := c.opts.Prices.Estimate(model, tokensIn, tokensOut)
+
+	e := Entry{
+		Time:      now,
+		Job:       llm.JobIDFrom(ctx),
+		Template:  req.Metadata[prompt.MetaKind],
+		Issue:     req.Metadata[prompt.MetaIssue],
+		PromptSHA: PromptHash(req),
+		Backend:   backend,
+		Model:     model,
+		TokensIn:  tokensIn,
+		TokensOut: tokensOut,
+		LatencyMS: float64(latency.Microseconds()) / 1000,
+		Outcome:   outcome,
+		Attempt:   llm.AttemptFrom(ctx),
+		CostUSD:   cost,
+	}
+	if err != nil {
+		e.Error = truncateErr(err.Error())
+	}
+	if c.opts.CaptureText {
+		e.PromptText = promptText(req)
+		e.ResponseText = comp.Content
+	}
+	c.store.Append(e) // error intentionally dropped; see Complete doc
+
+	score := c.health.observe(backend, latency.Seconds(), outcome, now)
+	if reg := c.opts.Registry; reg != nil {
+		bl := obs.L("backend", backend)
+		reg.Counter("ion_llm_cost_usd_total",
+			"Estimated cumulative LLM spend in USD by backend.", bl).Add(cost)
+		reg.Gauge("ion_llm_backend_health",
+			"Rolling LLM backend health score (1 healthy, <0.5 degraded).", bl).Set(score)
+		if c.store != nil {
+			reg.Gauge("ion_llm_ledger_entries",
+				"LLM audit ledger entries retained.").Set(float64(c.store.Len()))
+			reg.Gauge("ion_llm_ledger_bytes",
+				"Estimated bytes retained by the LLM audit ledger.").Set(float64(c.store.Bytes()))
+		}
+	}
+}
+
+// promptText flattens a request's messages for text capture.
+func promptText(req llm.Request) string {
+	var b strings.Builder
+	for i, m := range req.Messages {
+		if i > 0 {
+			b.WriteByte('\n')
+		}
+		b.WriteString(string(m.Role))
+		b.WriteString(": ")
+		b.WriteString(m.Content)
+	}
+	return b.String()
+}
+
+func truncateErr(s string) string {
+	const max = 256
+	if len(s) > max {
+		return s[:max]
+	}
+	return s
+}

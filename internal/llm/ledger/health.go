@@ -1,0 +1,178 @@
+package ledger
+
+import (
+	"sort"
+	"sync"
+	"time"
+)
+
+// healthWindow is how many recent calls the per-backend health score
+// considers; small enough to react within minutes of a degradation,
+// large enough that one flaky call doesn't swing the score.
+const healthWindow = 128
+
+// healthMinSamples is the observation floor below which a backend is
+// reported perfectly healthy — too little data to accuse anyone.
+const healthMinSamples = 5
+
+// BackendHealth is a point-in-time health snapshot for one backend.
+// Score is in [0, 1]: 1 is healthy, values below 0.5 trip the built-in
+// LLMBackendDegraded alert rule.
+type BackendHealth struct {
+	Backend     string  `json:"backend"`
+	Score       float64 `json:"score"`
+	Calls       int     `json:"calls"`
+	ErrorRate   float64 `json:"error_rate"`
+	TimeoutRate float64 `json:"timeout_rate"`
+	// P95Latency is the p95 over the newer half of the window;
+	// BaselineP95 is the p95 over the older half — the trailing
+	// baseline the latency penalty compares against. Seconds.
+	P95Latency  float64 `json:"p95_latency_s"`
+	BaselineP95 float64 `json:"baseline_p95_s"`
+	Updated     time.Time
+}
+
+// healthScorer keeps a rolling window of call records per backend and
+// derives the health score:
+//
+//	score = clamp(1 − 0.7·errRate − 0.7·timeoutRate − 0.3·latPenalty, 0, 1)
+//
+// where latPenalty = clamp((p95_recent − p95_baseline) / (3·p95_baseline), 0, 1),
+// i.e. the penalty saturates when recent p95 reaches 4× the trailing
+// baseline. The 0.7 weights make an all-error (or all-timeout) backend
+// score 0.3 — decisively below the 0.5 alert threshold — while a
+// latency regression alone bottoms out at 0.7 and only degrades the
+// score further when paired with failures.
+type healthScorer struct {
+	mu       sync.Mutex
+	backends map[string]*healthRing
+}
+
+type healthRing struct {
+	recs []healthRec // ring buffer, len ≤ healthWindow
+	next int
+	full bool
+}
+
+type healthRec struct {
+	latency  float64
+	outcome  string
+	observed time.Time
+}
+
+func newHealthScorer() *healthScorer {
+	return &healthScorer{backends: map[string]*healthRing{}}
+}
+
+// observe records one call for backend and returns its fresh score.
+func (h *healthScorer) observe(backend string, latency float64, outcome string, now time.Time) float64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	r := h.backends[backend]
+	if r == nil {
+		r = &healthRing{recs: make([]healthRec, 0, healthWindow)}
+		h.backends[backend] = r
+	}
+	rec := healthRec{latency: latency, outcome: outcome, observed: now}
+	if r.full {
+		r.recs[r.next] = rec
+		r.next = (r.next + 1) % healthWindow
+	} else {
+		r.recs = append(r.recs, rec)
+		if len(r.recs) == healthWindow {
+			r.full = true
+		}
+	}
+	return r.snapshot(backend, now).Score
+}
+
+// Snapshot returns health for every observed backend, sorted by name.
+func (h *healthScorer) Snapshot(now time.Time) []BackendHealth {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	out := make([]BackendHealth, 0, len(h.backends))
+	for name, r := range h.backends {
+		out = append(out, r.snapshot(name, now))
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Backend < out[j].Backend })
+	return out
+}
+
+// ordered returns the ring's records oldest first.
+func (r *healthRing) ordered() []healthRec {
+	if !r.full {
+		return r.recs
+	}
+	out := make([]healthRec, 0, healthWindow)
+	out = append(out, r.recs[r.next:]...)
+	out = append(out, r.recs[:r.next]...)
+	return out
+}
+
+func (r *healthRing) snapshot(backend string, now time.Time) BackendHealth {
+	recs := r.ordered()
+	bh := BackendHealth{Backend: backend, Score: 1, Calls: len(recs), Updated: now}
+	if len(recs) < healthMinSamples {
+		return bh
+	}
+	var errs, timeouts int
+	for _, rec := range recs {
+		switch rec.outcome {
+		case "error":
+			errs++
+		case "timeout":
+			timeouts++
+		}
+	}
+	bh.ErrorRate = float64(errs) / float64(len(recs))
+	bh.TimeoutRate = float64(timeouts) / float64(len(recs))
+
+	// Split the window in half: the older half is the trailing baseline
+	// the newer half is judged against. Only successful calls carry
+	// meaningful latency (failures are already penalized by rate).
+	half := len(recs) / 2
+	baseline := okLatencies(recs[:half])
+	recent := okLatencies(recs[half:])
+	bh.BaselineP95 = p95(baseline)
+	bh.P95Latency = p95(recent)
+	latPenalty := 0.0
+	if bh.BaselineP95 > 0 && bh.P95Latency > bh.BaselineP95 {
+		latPenalty = (bh.P95Latency - bh.BaselineP95) / (3 * bh.BaselineP95)
+		if latPenalty > 1 {
+			latPenalty = 1
+		}
+	}
+	score := 1 - 0.7*bh.ErrorRate - 0.7*bh.TimeoutRate - 0.3*latPenalty
+	if score < 0 {
+		score = 0
+	}
+	if score > 1 {
+		score = 1
+	}
+	bh.Score = score
+	return bh
+}
+
+func okLatencies(recs []healthRec) []float64 {
+	out := make([]float64, 0, len(recs))
+	for _, rec := range recs {
+		if rec.outcome == "ok" || rec.outcome == "truncated" {
+			out = append(out, rec.latency)
+		}
+	}
+	return out
+}
+
+// p95 returns the 95th-percentile of vals (nearest-rank), 0 when empty.
+func p95(vals []float64) float64 {
+	if len(vals) == 0 {
+		return 0
+	}
+	s := append([]float64(nil), vals...)
+	sort.Float64s(s)
+	idx := int(0.95 * float64(len(s)))
+	if idx >= len(s) {
+		idx = len(s) - 1
+	}
+	return s[idx]
+}

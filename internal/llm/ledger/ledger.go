@@ -1,0 +1,542 @@
+// Package ledger is the LLM interaction audit journal: one JSONL entry
+// per Complete call — job, prompt template, prompt hash, backend,
+// model, tokens, latency, outcome, retry index, and estimated cost —
+// appended to a journal under the service data directory with the same
+// crash discipline as the semantic cache and profile stores: unreadable
+// (torn) lines are skipped on replay, re-journaled ids supersede, and
+// the journal is compacted via temp file + rename when dead lines
+// outnumber live entries. Raw prompt and response text is NOT stored
+// unless capture is explicitly opted into; by default the ledger is an
+// audit trail that can be shared without leaking workload contents.
+//
+// On top of the store, the package provides the price table that turns
+// tokens into estimated dollars, the recording client wrapper that
+// feeds the store, the rolling per-backend health scorer, and a replay
+// client that re-runs a text-captured ledger deterministically.
+package ledger
+
+import (
+	"bufio"
+	"crypto/rand"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Entry is one recorded LLM call.
+type Entry struct {
+	// ID is unique per call ("e-" + 12 hex chars); a re-journaled ID
+	// supersedes the earlier record on replay.
+	ID string `json:"id"`
+	// Time is when the call completed.
+	Time time.Time `json:"t"`
+	// Job is the analysis job the call served ("" for calls outside a
+	// job, e.g. interactive chat).
+	Job string `json:"job,omitempty"`
+	// Template is the prompt-template id ("diagnosis", "summary",
+	// "chat"); Issue is the issue the diagnosis prompt targeted.
+	Template string `json:"template,omitempty"`
+	Issue    string `json:"issue,omitempty"`
+	// PromptSHA is the hex SHA-256 of the prompt (model + messages),
+	// the audit identity of what was asked without storing the text.
+	PromptSHA string `json:"prompt_sha"`
+	// Backend and Model identify who answered.
+	Backend string `json:"backend"`
+	Model   string `json:"model,omitempty"`
+	// TokensIn/TokensOut are the usage counts (estimated when the
+	// backend reports none).
+	TokensIn  int `json:"tokens_in"`
+	TokensOut int `json:"tokens_out"`
+	// LatencyMS is the call's wall time in milliseconds.
+	LatencyMS float64 `json:"latency_ms"`
+	// Outcome is ok, error, timeout, or truncated (llm.Outcome).
+	Outcome string `json:"outcome"`
+	// Attempt is the analysis retry index the call ran under (1 on the
+	// first attempt, 0 outside a job).
+	Attempt int `json:"attempt,omitempty"`
+	// CostUSD is the estimated cost from the price table.
+	CostUSD float64 `json:"cost_usd"`
+	// PromptText/ResponseText are populated only when text capture is
+	// opted into (-ledger-capture-text); empty by default.
+	PromptText   string `json:"prompt_text,omitempty"`
+	ResponseText string `json:"response_text,omitempty"`
+	// Error is the failure message for non-ok outcomes, truncated.
+	Error string `json:"error,omitempty"`
+}
+
+// size estimates the retained bytes of an entry (≈ its journal-line
+// cost), used for the store's byte bound.
+func (e Entry) size() int64 {
+	return int64(len(e.ID)+len(e.Job)+len(e.Template)+len(e.Issue)+
+		len(e.PromptSHA)+len(e.Backend)+len(e.Model)+len(e.Outcome)+
+		len(e.PromptText)+len(e.ResponseText)+len(e.Error)) + 200
+}
+
+// StoreOptions configures a ledger Store.
+type StoreOptions struct {
+	// Path is the JSON-lines journal file; required.
+	Path string
+	// MaxEntries bounds retained entries (default 4096; negative
+	// disables the count bound).
+	MaxEntries int
+	// MaxBytes bounds the estimated retained bytes (default 16 MiB;
+	// negative disables).
+	MaxBytes int64
+	// MaxAge drops entries older than this relative to the newest
+	// (0 or negative disables the age bound; cost audit history is
+	// kept until the count/byte bounds push it out).
+	MaxAge time.Duration
+}
+
+func (o *StoreOptions) applyDefaults() {
+	if o.MaxEntries == 0 {
+		o.MaxEntries = 4096
+	}
+	if o.MaxBytes == 0 {
+		o.MaxBytes = 16 << 20
+	}
+}
+
+// Totals is the store's cumulative accounting: every entry currently
+// retained plus everything retention has dropped since this store was
+// opened (a restart re-seeds from what the journal retained).
+type Totals struct {
+	Calls     int64   `json:"calls"`
+	TokensIn  int64   `json:"tokens_in"`
+	TokensOut int64   `json:"tokens_out"`
+	CostUSD   float64 `json:"cost_usd"`
+	Errors    int64   `json:"errors"`
+	Timeouts  int64   `json:"timeouts"`
+	Entries   int     `json:"entries"`
+	Bytes     int64   `json:"bytes"`
+	Evicted   int64   `json:"evicted"`
+}
+
+// JobSum is the per-job rollup of retained ledger entries.
+type JobSum struct {
+	Job       string  `json:"job"`
+	Calls     int     `json:"calls"`
+	TokensIn  int     `json:"tokens_in"`
+	TokensOut int     `json:"tokens_out"`
+	CostUSD   float64 `json:"cost_usd"`
+}
+
+// Filter selects entries for Entries: zero fields match everything.
+type Filter struct {
+	// Job/Backend filter by exact match when non-empty.
+	Job     string
+	Backend string
+	// Limit bounds the result count (≤0 means all retained).
+	Limit int
+}
+
+// Store is the journaled, retention-bounded audit log. All methods are
+// safe for concurrent use and safe on a nil receiver.
+type Store struct {
+	mu   sync.Mutex
+	opts StoreOptions
+	file *os.File
+	ents []storedEntry // oldest first
+	size int64
+	// lines counts journal records since the last compaction; evictions
+	// are not journaled, so compaction triggers when dead lines
+	// outnumber live entries.
+	lines   int
+	evicted int64
+
+	// Lifetime accounting survives eviction (but not restart beyond
+	// what the journal retained — document, don't pretend otherwise).
+	calls, tokensIn, tokensOut, errors, timeouts int64
+	costUSD                                      float64
+}
+
+type storedEntry struct {
+	e    Entry
+	size int64
+}
+
+// Open loads (or creates) the journal at opts.Path, replaying it with
+// the bounds enforced. Unreadable lines — including a torn final write
+// from a crash — are skipped, never fatal.
+func Open(opts StoreOptions) (*Store, error) {
+	if opts.Path == "" {
+		return nil, fmt.Errorf("ledger: StoreOptions.Path is required")
+	}
+	opts.applyDefaults()
+	if err := os.MkdirAll(filepath.Dir(opts.Path), 0o755); err != nil {
+		return nil, fmt.Errorf("ledger: %w", err)
+	}
+	st := &Store{opts: opts}
+	if err := st.replay(); err != nil {
+		return nil, err
+	}
+	f, err := os.OpenFile(opts.Path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("ledger: %w", err)
+	}
+	// A crash can leave the journal without a final newline; terminate
+	// the torn line so the next append starts a fresh record instead of
+	// concatenating onto garbage.
+	if info, err := f.Stat(); err == nil && info.Size() > 0 {
+		tail := make([]byte, 1)
+		if rf, err := os.Open(opts.Path); err == nil {
+			if _, err := rf.ReadAt(tail, info.Size()-1); err == nil && tail[0] != '\n' {
+				f.Write([]byte{'\n'})
+			}
+			rf.Close()
+		}
+	}
+	st.file = f
+	return st, nil
+}
+
+// replay loads the journal into memory, oldest first, re-seeding the
+// lifetime totals from what survived retention.
+func (st *Store) replay() error {
+	f, err := os.Open(st.opts.Path)
+	if os.IsNotExist(err) {
+		return nil
+	}
+	if err != nil {
+		return fmt.Errorf("ledger: %w", err)
+	}
+	defer f.Close()
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 64<<10), 4<<20)
+	for sc.Scan() {
+		st.lines++
+		line := sc.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		var e Entry
+		if err := json.Unmarshal(line, &e); err != nil {
+			continue
+		}
+		if e.ID == "" || e.Backend == "" {
+			continue
+		}
+		st.insertLocked(e)
+		st.countLocked(e)
+	}
+	// Scanner errors (a torn oversized tail) degrade to a partial load,
+	// same policy as unreadable lines.
+	return nil
+}
+
+// countLocked folds one entry into the lifetime totals.
+func (st *Store) countLocked(e Entry) {
+	st.calls++
+	st.tokensIn += int64(e.TokensIn)
+	st.tokensOut += int64(e.TokensOut)
+	st.costUSD += e.CostUSD
+	switch e.Outcome {
+	case "error":
+		st.errors++
+	case "timeout":
+		st.timeouts++
+	}
+}
+
+// insertLocked appends an entry and applies the bounds. A re-written
+// ID (same entry journaled twice) supersedes the earlier record.
+func (st *Store) insertLocked(e Entry) {
+	for i := range st.ents {
+		if st.ents[i].e.ID == e.ID {
+			st.size -= st.ents[i].size
+			st.ents = append(st.ents[:i], st.ents[i+1:]...)
+			break
+		}
+	}
+	se := storedEntry{e: e, size: e.size()}
+	st.ents = append(st.ents, se)
+	st.size += se.size
+	st.evictLocked(e.Time)
+}
+
+// evictLocked drops oldest-first until the age, count, and byte bounds
+// hold, keeping at least the newest entry.
+func (st *Store) evictLocked(now time.Time) {
+	cutoff := time.Time{}
+	if st.opts.MaxAge > 0 {
+		cutoff = now.Add(-st.opts.MaxAge)
+	}
+	for len(st.ents) > 1 {
+		victim := st.ents[0]
+		over := (st.opts.MaxEntries > 0 && len(st.ents) > st.opts.MaxEntries) ||
+			(st.opts.MaxBytes > 0 && st.size > st.opts.MaxBytes) ||
+			(!cutoff.IsZero() && victim.e.Time.Before(cutoff))
+		if !over {
+			return
+		}
+		st.size -= victim.size
+		st.ents = st.ents[1:]
+		st.evicted++
+	}
+}
+
+// Append journals and retains one entry, assigning an ID if empty.
+func (st *Store) Append(e Entry) error {
+	if st == nil {
+		return nil
+	}
+	if e.ID == "" {
+		e.ID = newEntryID()
+	}
+	if e.Backend == "" {
+		return fmt.Errorf("ledger: entry needs a backend")
+	}
+	if e.Time.IsZero() {
+		e.Time = time.Now().UTC()
+	}
+	line, err := json.Marshal(e)
+	if err != nil {
+		return fmt.Errorf("ledger: %w", err)
+	}
+	line = append(line, '\n')
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if st.file != nil {
+		if _, err := st.file.Write(line); err != nil {
+			return fmt.Errorf("ledger: journaling entry: %w", err)
+		}
+		st.lines++
+	}
+	st.insertLocked(e)
+	st.countLocked(e)
+	st.compactLocked()
+	return nil
+}
+
+// compactLocked rewrites the journal when evicted lines outnumber live
+// entries, via temp file + rename so a crash mid-compact leaves the
+// old journal intact.
+func (st *Store) compactLocked() {
+	if st.file == nil || st.lines <= 2*len(st.ents)+16 {
+		return
+	}
+	tmp := st.opts.Path + ".tmp"
+	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	if err != nil {
+		return
+	}
+	w := bufio.NewWriter(f)
+	n := 0
+	for _, se := range st.ents {
+		line, err := json.Marshal(se.e)
+		if err != nil {
+			continue
+		}
+		line = append(line, '\n')
+		if _, err := w.Write(line); err != nil {
+			f.Close()
+			os.Remove(tmp)
+			return
+		}
+		n++
+	}
+	if err := w.Flush(); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return
+	}
+	if err := os.Rename(tmp, st.opts.Path); err != nil {
+		os.Remove(tmp)
+		return
+	}
+	old := st.file
+	nf, err := os.OpenFile(st.opts.Path, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		// Keep appending to the renamed-over handle; only post-compaction
+		// writes are lost on this degenerate path.
+		return
+	}
+	old.Close()
+	st.file = nf
+	st.lines = n
+}
+
+// Entries returns retained entries newest first, filtered.
+func (st *Store) Entries(f Filter) []Entry {
+	if st == nil {
+		return nil
+	}
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	out := make([]Entry, 0, len(st.ents))
+	for i := len(st.ents) - 1; i >= 0; i-- {
+		e := st.ents[i].e
+		if f.Job != "" && e.Job != f.Job {
+			continue
+		}
+		if f.Backend != "" && e.Backend != f.Backend {
+			continue
+		}
+		out = append(out, e)
+		if f.Limit > 0 && len(out) >= f.Limit {
+			break
+		}
+	}
+	return out
+}
+
+// Tail returns the newest n entries, oldest first — the shape an
+// incident bundle wants (read top to bottom like a log).
+func (st *Store) Tail(n int) []Entry {
+	ents := st.Entries(Filter{Limit: n})
+	for i, j := 0, len(ents)-1; i < j; i, j = i+1, j-1 {
+		ents[i], ents[j] = ents[j], ents[i]
+	}
+	return ents
+}
+
+// SumJob rolls up the retained entries of one job.
+func (st *Store) SumJob(job string) JobSum {
+	sum := JobSum{Job: job}
+	if st == nil {
+		return sum
+	}
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	for _, se := range st.ents {
+		if se.e.Job != job {
+			continue
+		}
+		sum.Calls++
+		sum.TokensIn += se.e.TokensIn
+		sum.TokensOut += se.e.TokensOut
+		sum.CostUSD += se.e.CostUSD
+	}
+	return sum
+}
+
+// JobSums rolls up every job present in the retained entries, most
+// expensive first, bounded by limit (≤0 means all).
+func (st *Store) JobSums(limit int) []JobSum {
+	if st == nil {
+		return nil
+	}
+	st.mu.Lock()
+	byJob := map[string]*JobSum{}
+	for _, se := range st.ents {
+		if se.e.Job == "" {
+			continue
+		}
+		s := byJob[se.e.Job]
+		if s == nil {
+			s = &JobSum{Job: se.e.Job}
+			byJob[se.e.Job] = s
+		}
+		s.Calls++
+		s.TokensIn += se.e.TokensIn
+		s.TokensOut += se.e.TokensOut
+		s.CostUSD += se.e.CostUSD
+	}
+	st.mu.Unlock()
+	out := make([]JobSum, 0, len(byJob))
+	for _, s := range byJob {
+		out = append(out, *s)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].CostUSD != out[j].CostUSD {
+			return out[i].CostUSD > out[j].CostUSD
+		}
+		return out[i].Job < out[j].Job
+	})
+	if limit > 0 && len(out) > limit {
+		out = out[:limit]
+	}
+	return out
+}
+
+// TemplateTokens sums tokens by prompt template over the retained
+// entries, for the per-template histogram on /dashboard/llm.
+func (st *Store) TemplateTokens() map[string]int64 {
+	if st == nil {
+		return nil
+	}
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	out := map[string]int64{}
+	for _, se := range st.ents {
+		t := se.e.Template
+		if t == "" {
+			t = "other"
+		}
+		out[t] += int64(se.e.TokensIn + se.e.TokensOut)
+	}
+	return out
+}
+
+// Totals returns the cumulative accounting snapshot.
+func (st *Store) Totals() Totals {
+	if st == nil {
+		return Totals{}
+	}
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return Totals{
+		Calls:     st.calls,
+		TokensIn:  st.tokensIn,
+		TokensOut: st.tokensOut,
+		CostUSD:   st.costUSD,
+		Errors:    st.errors,
+		Timeouts:  st.timeouts,
+		Entries:   len(st.ents),
+		Bytes:     st.size,
+		Evicted:   st.evicted,
+	}
+}
+
+// Len returns the number of retained entries.
+func (st *Store) Len() int {
+	if st == nil {
+		return 0
+	}
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return len(st.ents)
+}
+
+// Bytes returns the estimated retained bytes.
+func (st *Store) Bytes() int64 {
+	if st == nil {
+		return 0
+	}
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return st.size
+}
+
+// Close flushes and closes the journal.
+func (st *Store) Close() error {
+	if st == nil {
+		return nil
+	}
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if st.file == nil {
+		return nil
+	}
+	err := st.file.Close()
+	st.file = nil
+	return err
+}
+
+// newEntryID returns a fresh entry id: "e-" + 12 random hex chars.
+func newEntryID() string {
+	var b [6]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		return fmt.Sprintf("e-%012x", time.Now().UnixNano()&0xffffffffffff)
+	}
+	return "e-" + hex.EncodeToString(b[:])
+}

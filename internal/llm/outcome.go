@@ -1,0 +1,75 @@
+package llm
+
+import (
+	"context"
+	"errors"
+	"net"
+)
+
+// Call outcome labels shared by the instrumentation wrapper, the audit
+// ledger, and the backend health scorer, so every consumer classifies a
+// completion the same way.
+const (
+	OutcomeOK        = "ok"
+	OutcomeError     = "error"
+	OutcomeTimeout   = "timeout"
+	OutcomeTruncated = "truncated"
+)
+
+// Outcome classifies one completed Complete call:
+//
+//   - "timeout" when the error is a context deadline or a network
+//     timeout — the backend was too slow, not wrong;
+//   - "error" for every other failure;
+//   - "truncated" when the call succeeded but the response ran into the
+//     request's MaxTokens cap — the content is usable but incomplete;
+//   - "ok" otherwise.
+func Outcome(err error, req Request, comp Completion) string {
+	if err != nil {
+		if errors.Is(err, context.DeadlineExceeded) {
+			return OutcomeTimeout
+		}
+		var ne net.Error
+		if errors.As(err, &ne) && ne.Timeout() {
+			return OutcomeTimeout
+		}
+		return OutcomeError
+	}
+	if req.MaxTokens > 0 && comp.Usage.CompletionTokens >= req.MaxTokens {
+		return OutcomeTruncated
+	}
+	return OutcomeOK
+}
+
+// Context keys for per-call provenance. The jobs service stamps the
+// analysis context with the job id and attempt number; the audit ledger
+// reads them back so every recorded LLM call names the job (and retry)
+// it served. Unexported key types keep collisions impossible.
+type (
+	jobIDKey   struct{}
+	attemptKey struct{}
+)
+
+// WithJobID returns a context carrying the job id LLM calls under it
+// should be attributed to.
+func WithJobID(ctx context.Context, id string) context.Context {
+	return context.WithValue(ctx, jobIDKey{}, id)
+}
+
+// JobIDFrom returns the job id stamped by WithJobID, or "".
+func JobIDFrom(ctx context.Context) string {
+	id, _ := ctx.Value(jobIDKey{}).(string)
+	return id
+}
+
+// WithAttempt returns a context carrying the analysis attempt number
+// (1 on the first run) LLM calls under it belong to.
+func WithAttempt(ctx context.Context, n int) context.Context {
+	return context.WithValue(ctx, attemptKey{}, n)
+}
+
+// AttemptFrom returns the attempt number stamped by WithAttempt, or 0.
+func AttemptFrom(ctx context.Context) int {
+	n, _ := ctx.Value(attemptKey{}).(int)
+	return n
+}

@@ -163,6 +163,7 @@ type Recorder struct {
 
 	alertsFn      func() any // optional: current alert states for the bundle
 	profWindowsFn func() any // optional: recent profile windows for the bundle
+	ledgerTailFn  func() any // optional: recent LLM ledger entries for the bundle
 
 	mu        sync.Mutex
 	snaps     []metricSnapshot // ring storage
@@ -216,6 +217,13 @@ func (r *Recorder) SetAlertsFunc(fn func() any) { r.alertsFn = fn }
 // CPU and heap went in the minutes before the alert). Call before
 // Start.
 func (r *Recorder) SetProfileWindowsFn(fn func() any) { r.profWindowsFn = fn }
+
+// SetLedgerTailFn installs the callback whose result is marshaled into
+// each bundle's llm_ledger.json (typically the LLM audit ledger's
+// recent tail, so a backend-degradation incident shows exactly which
+// calls failed, how slowly, and what they cost — hashes and accounting
+// only unless text capture was opted into). Call before Start.
+func (r *Recorder) SetLedgerTailFn(fn func() any) { r.ledgerTailFn = fn }
 
 // OfferTimeline feeds one completed span timeline to the tail-sampler.
 func (r *Recorder) OfferTimeline(tl obs.Timeline) { r.spans.Offer(tl) }
@@ -445,6 +453,11 @@ func (r *Recorder) capture(now time.Time, reason string) (Manifest, error) {
 	if r.profWindowsFn != nil {
 		if data, err := json.MarshalIndent(r.profWindowsFn(), "", " "); err == nil {
 			add("profile_windows.json", data)
+		}
+	}
+	if r.ledgerTailFn != nil {
+		if data, err := json.MarshalIndent(r.ledgerTailFn(), "", " "); err == nil {
+			add("llm_ledger.json", data)
 		}
 	}
 	if len(r.opts.Config) > 0 {

@@ -280,8 +280,8 @@ func MustRules(data []byte) []Rule {
 
 // DefaultRules are the built-in SLO rules ionserve evaluates when no
 // -rules file is given: they watch the failure ratio, queue saturation,
-// LLM backend errors, analyze-stage latency, semantic-cache health, and
-// process health. The semcache rule leans on the hit-ratio gauge's own
+// LLM backend errors and the ledger's rolling backend health score,
+// analyze-stage latency, semantic-cache health, and process health. The semcache rule leans on the hit-ratio gauge's own
 // traffic gate (it reports 1.0 until enough lookups have happened), so
 // it only fires when the hit ratio collapses under real traffic.
 func DefaultRules() []Rule {
@@ -293,7 +293,8 @@ func DefaultRules() []Rule {
   {"name": "SemcacheHitRatioCollapsed", "expr": "ion_semcache_hit_ratio < 0.05", "for": "2m", "severity": "warn"},
   {"name": "HeapLarge",           "expr": "ion_go_heap_bytes > 4e+09", "for": "2m", "severity": "warn"},
   {"name": "GoroutineLeak",       "expr": "ion_go_goroutines > 5000", "for": "2m", "severity": "warn"},
-  {"name": "HotFunctionRegression", "expr": "max(ion_prof_hot_function_delta) > 0.25", "for": "2m", "severity": "warn"}
+  {"name": "HotFunctionRegression", "expr": "max(ion_prof_hot_function_delta) > 0.25", "for": "2m", "severity": "warn"},
+  {"name": "LLMBackendDegraded",  "expr": "min(ion_llm_backend_health) < 0.5", "for": "1m", "severity": "page"}
 ]`))
 }
 

@@ -17,6 +17,7 @@ import (
 	"ion/internal/ion"
 	"ion/internal/jobs"
 	"ion/internal/llm"
+	"ion/internal/llm/ledger"
 	"ion/internal/obs"
 	"ion/internal/obs/flight"
 	"ion/internal/obs/prof"
@@ -32,14 +33,15 @@ const maxTraceBody = 64 << 20
 // are uploaded as jobs, polled to completion, and each finished job
 // gets its own report page and chat session.
 type JobServer struct {
-	svc    *jobs.Service
-	client llm.Client
-	obs    *obs.Registry
-	log    *slog.Logger
-	series *series.Store    // nil disables /dashboard and the query/alerts APIs
-	flight *flight.Recorder // nil disables the incident APIs
-	prof   *prof.Profiler   // nil disables /dashboard/profile and the prof APIs
-	reqSeq atomic.Int64     // request-id source for latency exemplars
+	svc       *jobs.Service
+	client    llm.Client
+	obs       *obs.Registry
+	log       *slog.Logger
+	series    *series.Store    // nil disables /dashboard and the query/alerts APIs
+	flight    *flight.Recorder // nil disables the incident APIs
+	prof      *prof.Profiler   // nil disables /dashboard/profile and the prof APIs
+	llmLedger *ledger.Client   // nil disables /dashboard/llm and /api/llm/ledger
+	reqSeq    atomic.Int64     // request-id source for latency exemplars
 
 	mu       sync.Mutex
 	sessions map[string]*ion.Session // job id → chat session
@@ -114,8 +116,10 @@ func (s *JobServer) WithFlight(rec *flight.Recorder) *JobServer {
 //	POST /api/debug/capture    capture an on-demand incident bundle
 //	GET  /api/prof/windows     decoded profile windows (JSON; ?kind=&limit=)
 //	GET  /api/prof/flamegraph  one window as an SVG flamegraph (?window=)
+//	GET  /api/llm/ledger       LLM call audit ledger (JSON; ?limit=&backend=&job=)
 //	GET  /dashboard            live self-observation page (HTML, inline SVG)
 //	GET  /dashboard/profile    continuous-profiling page (flamegraph, hot functions)
+//	GET  /dashboard/llm        LLM cost, token, and backend-health page (XML-clean HTML)
 //	GET  /healthz              liveness probe (always 200 while serving)
 //	GET  /readyz               readiness probe (503 while paused or draining)
 //	GET  /metrics              Prometheus text exposition (gzip-aware)
@@ -145,8 +149,10 @@ func (s *JobServer) Handler() http.Handler {
 	handle("POST /api/debug/capture", s.handleDebugCapture)
 	handle("GET /api/prof/windows", s.handleProfWindows)
 	handle("GET /api/prof/flamegraph", s.handleProfFlamegraph)
+	handle("GET /api/llm/ledger", s.handleLLMLedger)
 	handle("GET /dashboard", s.handleDashboard)
 	handle("GET /dashboard/profile", s.handleProfileDashboard)
+	handle("GET /dashboard/llm", s.handleLLMDashboard)
 	handle("GET /metrics", withGzip(s.obs.Handler()).ServeHTTP)
 	// Probes bypass the instrument middleware: they are hit every few
 	// seconds by orchestrators and would dominate the request metrics.
@@ -412,7 +418,7 @@ func (s *JobServer) handleJobPage(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, err.Error(), http.StatusInternalServerError)
 		return
 	}
-	widget := ingestBanner(job) + reuseBanner(job) + navLink + chatWidgetFor("/api/jobs/"+job.ID+"/ask")
+	widget := ingestBanner(job) + reuseBanner(job) + costBanner(job) + navLink + chatWidgetFor("/api/jobs/"+job.ID+"/ask")
 	fmt.Fprint(w, strings.Replace(page.String(), "</body>", widget+"</body>", 1))
 }
 
@@ -500,7 +506,8 @@ func (s *JobServer) handleIndex(w http.ResponseWriter, r *http.Request) {
 	fmt.Fprintf(w, indexPage, rows.String(),
 		st.QueueDepth, st.QueueCapacity, st.Busy, st.Workers, 100*st.Utilization(),
 		st.Completed, st.Failed, st.Retried, st.CacheHits, 100*st.CacheHitRate(),
-		st.Recovered, st.SemanticHits, st.Conditioned)
+		st.Recovered, st.SemanticHits, st.Conditioned,
+		st.LLMCalls, st.LLMTokensIn, st.LLMTokensOut, st.LLMCostUSD)
 }
 
 // getJob resolves the {id} path value, writing a 404 on miss.
@@ -584,6 +591,8 @@ completed %d &middot; failed %d &middot; retries %d &middot; cache hits %d (%.0f
 &middot; recovered %d &middot; semantic hits %d &middot; conditioned %d
 &middot; <a href="/api/stats">stats JSON</a> &middot; <a href="/api/semcache">semcache</a>
 &middot; <a href="/metrics">metrics</a></p>
+<p style="color:#555">LLM calls %d &middot; tokens %d in / %d out &middot; est. $%.4f
+&middot; <a href="/dashboard/llm">LLM dashboard</a></p>
 <script>
 document.getElementById("upload").addEventListener("click", async function() {
   var f = document.getElementById("trace").files[0];
