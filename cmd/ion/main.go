@@ -68,8 +68,13 @@ func main() {
 		kbDir       = flag.String("kb", "", "directory of JSON knowledge-context overrides")
 		traceOut    = flag.String("trace-out", "", "write the pipeline span timeline as JSON to this path")
 		logLevel    = flag.String("log-level", "warn", "structured log level: debug, info, warn, or error")
+		showVersion = flag.Bool("version", false, "print version and build info, then exit")
 	)
 	flag.Parse()
+	if *showVersion {
+		fmt.Println(obs.GetBuildInfo().String())
+		return
+	}
 	if *logPath == "" {
 		fmt.Fprintln(os.Stderr, "ion: -log is required")
 		flag.Usage()

@@ -37,6 +37,7 @@ import (
 	"ion/internal/obs/flight"
 	"ion/internal/obs/prof"
 	"ion/internal/obs/series"
+	"ion/internal/quality"
 	"ion/internal/semcache"
 	"ion/internal/webui"
 )
@@ -77,8 +78,18 @@ func main() {
 		semCondition  = flag.Float64("sem-condition-threshold", 0.90, "signature similarity at or above which the analysis is conditioned on a prior diagnosis (>1 disables conditioning)")
 		semMaxEntries = flag.Int("sem-max-entries", semcache.DefaultMaxEntries, "semantic-cache entry bound (LRU eviction beyond it; negative disables)")
 		semMaxBytes   = flag.Int64("sem-max-bytes", semcache.DefaultMaxBytes, "semantic-cache journal byte bound (LRU eviction beyond it; negative disables)")
+
+		qualityOn  = flag.Bool("quality", true, "diagnosis quality observatory: score LLM verdicts against deterministic triggers, journal scorecards, and feed the drift alerts")
+		shadowRate = flag.Float64("shadow-sample-rate", 0.05, "fraction of semcache-reused/conditioned jobs re-run in the background to measure verdict flips (0 disables)")
+
+		showVersion = flag.Bool("version", false, "print version and build info, then exit")
 	)
 	flag.Parse()
+
+	if *showVersion {
+		fmt.Println(obs.GetBuildInfo().String())
+		return
+	}
 
 	level, err := obs.ParseLevel(*logLevel)
 	if err != nil {
@@ -258,6 +269,26 @@ func main() {
 		defer sem.Close()
 	}
 
+	// Diagnosis quality observatory: one journaled scorecard per
+	// successful diagnosis (LLM verdicts vs deterministic triggers), a
+	// sampled shadow re-run of reused diagnoses to catch cache decay, and
+	// the agreement/flip gauges the drift rules watch.
+	var qstore *quality.Store
+	if *qualityOn {
+		qstore, err = quality.Open(quality.Options{
+			Path: filepath.Join(dir, "quality.jsonl"),
+		})
+		if err != nil {
+			fatal(err)
+		}
+		defer qstore.Close()
+		if rec != nil {
+			// Drift incidents carry the recent scorecards, so the bundle
+			// shows which issues disagreed without a live service.
+			rec.SetQualityScorecardsFn(func() any { return qstore.Tail(50) })
+		}
+	}
+
 	jobsCfg := jobs.Config{
 		Dir:                   dir,
 		Client:                client,
@@ -273,6 +304,8 @@ func main() {
 		SemReuseThreshold:     *semReuse,
 		SemConditionThreshold: *semCondition,
 		Ledger:                ledgerStore,
+		Quality:               qstore,
+		ShadowSampleRate:      *shadowRate,
 	}
 	if rec != nil {
 		// Completed job timelines feed the recorder's tail-sampler, so
@@ -342,6 +375,11 @@ func main() {
 		js.WithProf(profiler)
 		fmt.Printf("ionserve: continuous profiling at http://%s/dashboard/profile (%s window every %s)\n",
 			*addr, profiler.Window(), profiler.Interval())
+	}
+	if qstore != nil {
+		js.WithQuality(qstore)
+		fmt.Printf("ionserve: diagnosis quality at http://%s/dashboard/quality (shadow sample rate %.2f)\n",
+			*addr, *shadowRate)
 	}
 
 	if *scrapeInt > 0 {

@@ -119,6 +119,25 @@ type Cost struct {
 	ReusedRatio float64 `json:"reused_ratio"`
 }
 
+// Quality is the per-job diagnosis-quality provenance: how well the
+// LLM verdicts agreed with the deterministic Drishti triggers, and
+// whether a background shadow re-run checked (and possibly flipped)
+// a reused or conditioned diagnosis. Surfaced on job pages and in
+// /api/jobs/{id} as "quality"; the full per-issue scorecard lives in
+// the quality store (/api/quality).
+type Quality struct {
+	// Agreement is the fraction of taxonomy issues where the LLM and
+	// Drishti verdicts coincide.
+	Agreement float64 `json:"agreement"`
+	// Disagreements counts the issues where they do not.
+	Disagreements int `json:"disagreements"`
+	// Shadowed reports that a background full fan-out re-ran this job's
+	// diagnosis off the hot path.
+	Shadowed bool `json:"shadowed,omitempty"`
+	// Flips counts the verdicts the shadow re-run changed.
+	Flips int `json:"flips,omitempty"`
+}
+
 // Job is one analysis request: a Darshan trace submitted for diagnosis.
 // The service hands out copies; the canonical record lives in the
 // Service and is persisted through the Store on every state change.
@@ -145,6 +164,10 @@ type Job struct {
 	// Cost is the job's LLM cost attribution from the audit ledger,
 	// attached when the job settles (nil when no ledger is configured).
 	Cost *Cost `json:"cost,omitempty"`
+	// Quality is the diagnosis-quality provenance, attached after a
+	// successful diagnosis is scored against the deterministic baseline
+	// (nil when no quality store is configured).
+	Quality *Quality `json:"quality,omitempty"`
 	// SubmittedAt/StartedAt/FinishedAt are lifecycle timestamps.
 	SubmittedAt time.Time `json:"submitted_at"`
 	StartedAt   time.Time `json:"started_at"`
@@ -196,9 +219,12 @@ type Stats struct {
 	Recovered int64 `json:"recovered"`
 	// SemanticHits counts jobs served verbatim from the semantic
 	// cache; Conditioned counts jobs whose analysis was conditioned on
-	// a similar prior diagnosis.
-	SemanticHits int64 `json:"semantic_hits"`
-	Conditioned  int64 `json:"conditioned"`
+	// a similar prior diagnosis; AdoptedVerdicts counts the per-issue
+	// verdicts conditioned runs adopted from their neighbor without
+	// fresh LLM calls.
+	SemanticHits    int64 `json:"semantic_hits"`
+	Conditioned     int64 `json:"conditioned"`
+	AdoptedVerdicts int64 `json:"adopted_verdicts"`
 	// LLMCalls/LLMTokensIn/LLMTokensOut/LLMCostUSD are the cumulative
 	// LLM accounting from the audit ledger (zero when no ledger is
 	// configured). These survive restarts to the extent the ledger

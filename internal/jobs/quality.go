@@ -1,0 +1,194 @@
+package jobs
+
+import (
+	"context"
+	mathrand "math/rand"
+	"time"
+
+	"ion/internal/drishti"
+	"ion/internal/extractor"
+	"ion/internal/ion"
+	"ion/internal/issue"
+	"ion/internal/llm"
+	"ion/internal/obs"
+	"ion/internal/quality"
+	"ion/internal/workloads"
+)
+
+// Quality-observatory tuning.
+const (
+	// qualityMinSamples is the per-issue comparison count below which
+	// the agreement gauge self-gates to 1.0 (the semcache hit-ratio
+	// policy: no drift alert without enough traffic to judge).
+	qualityMinSamples = 20
+	// shadowPressureMax is the queue utilization at or above which
+	// shadow re-runs are skipped: the background fan-out must never
+	// compete with a backlog of real jobs for LLM capacity.
+	shadowPressureMax = 0.5
+)
+
+// observeQuality scores a successful diagnosis against the
+// deterministic Drishti triggers, journals the scorecard, bumps the
+// disagreement counters, stamps Job.Quality, and republishes the
+// agreement gauges. No-op without a quality store.
+func (s *Service) observeQuality(ctx context.Context, id, hash string, out *extractor.Output, rep *ion.Report, mode quality.Mode) {
+	if s.qual == nil {
+		return
+	}
+	logger := obs.LoggerFrom(ctx)
+	_, span := obs.StartSpan(ctx, "quality_score")
+	defer span.End()
+
+	det, err := drishti.Analyze(out, drishti.DefaultConfig())
+	if err != nil {
+		// A baseline failure degrades the comparison (everything scores
+		// against "not flagged"), it does not block the job.
+		logger.Warn("drishti baseline failed, scoring against empty report", "err", err)
+		det = nil
+	}
+	name := s.snapshotName(id)
+	// iongen traces are named after their workload, whose definition
+	// carries the paper's ground-truth labels (the expertsim evaluation
+	// set); unknown names simply score without labels.
+	var labels []issue.Expectation
+	if w, werr := workloads.ByName(name); werr == nil {
+		labels = w.Truth
+	}
+
+	card := quality.Scorecard{
+		JobID:     id,
+		Trace:     name,
+		TraceHash: hash,
+		Mode:      mode,
+		CreatedAt: time.Now().UTC(),
+		Issues:    quality.Score(rep, det, labels),
+	}
+	card.Summarize()
+	if err := s.qual.Put(card); err != nil {
+		logger.Warn("journaling quality scorecard", "err", err)
+	}
+	for _, sc := range card.Issues {
+		if sc.Kind != "" {
+			s.obs.Counter("ion_verdict_disagreements_total",
+				"Per-issue LLM/Drishti verdict disagreements by kind (llm_only or drishti_only).",
+				obs.L("issue", string(sc.Issue)), obs.L("kind", sc.Kind)).Inc()
+		}
+	}
+	s.setJobQuality(id, func(q *Quality) {
+		q.Agreement = card.Agreement
+		q.Disagreements = card.Disagreements
+	})
+	s.refreshQualityMetrics()
+	if card.Disagreements > 0 {
+		logger.Info("diagnosis disagrees with deterministic baseline",
+			"agreement", card.Agreement, "disagreements", card.Disagreements, "mode", string(mode))
+	}
+}
+
+// maybeShadow samples a reused or conditioned diagnosis for a
+// background full fan-out re-run. Candidates are dropped (never
+// queued) when the sample misses, the job queue is under pressure, or
+// the shadow concurrency bound is reached — the hot path must not feel
+// the observatory.
+func (s *Service) maybeShadow(id string, out *extractor.Output, served *ion.Report, mode quality.Mode, deltas map[string]float64) {
+	if s.qual == nil || s.cfg.ShadowSampleRate <= 0 {
+		return
+	}
+	if mathrand.Float64() >= s.cfg.ShadowSampleRate {
+		return
+	}
+	if s.Stats().QueueUtilization() >= shadowPressureMax {
+		s.shadowSkips.Inc()
+		s.log.Info("skipping shadow re-run under queue pressure", "job", id)
+		return
+	}
+	select {
+	case s.shadowSem <- struct{}{}:
+	default:
+		s.shadowSkips.Inc()
+		s.log.Info("skipping shadow re-run, concurrency bound reached", "job", id)
+		return
+	}
+	s.shadowWG.Add(1)
+	go func() {
+		defer func() {
+			<-s.shadowSem
+			s.shadowWG.Done()
+		}()
+		s.runShadow(id, out, served, mode, deltas)
+	}()
+}
+
+// runShadow re-runs one diagnosis through full fan-out, compares the
+// verdicts against the report that was actually served, records the
+// flips on the job's scorecard (superseding it in the journal so the
+// flip survives restarts), and feeds the reuse-decision deltas back
+// into the semantic cache when verdicts flipped.
+func (s *Service) runShadow(id string, out *extractor.Output, served *ion.Report, mode quality.Mode, deltas map[string]float64) {
+	ctx, cancel := context.WithTimeout(s.shadowCtx, s.cfg.JobTimeout)
+	defer cancel()
+	// Ledger attribution: shadow calls are tagged "<job>-shadow" so the
+	// observatory's spend is visible but never folded into the job's
+	// own Cost.
+	ctx = llm.WithJobID(ctx, id+"-shadow")
+	logger := s.log.With("job", id, "shadow_mode", string(mode))
+
+	name := s.snapshotName(id)
+	start := time.Now()
+	rep, err := s.fw.AnalyzeExtractedOpts(ctx, out, name, ion.AnalyzeOptions{})
+	if err != nil {
+		logger.Warn("shadow re-run failed", "err", err)
+		return
+	}
+	flips := quality.Flips(served, rep)
+	logger.Info("shadow re-run finished", "flips", len(flips),
+		"elapsed", time.Since(start).Round(time.Millisecond).String())
+
+	card, ok := s.qual.Get(id)
+	if !ok {
+		card = quality.Scorecard{JobID: id, Trace: name, Mode: mode, CreatedAt: time.Now().UTC()}
+	}
+	card.Shadow = &quality.Shadow{Checked: len(issue.All), Flips: flips, At: time.Now().UTC()}
+	if err := s.qual.Put(card); err != nil {
+		logger.Warn("journaling shadow result", "err", err)
+	}
+	s.setJobQuality(id, func(q *Quality) {
+		q.Shadowed = true
+		q.Flips = len(flips)
+	})
+	if len(flips) > 0 {
+		// The reuse decision that served (or conditioned) this job
+		// produced wrong verdicts: down-weight the signature dimensions
+		// it diverged along, so similar divergence scores below the
+		// reuse thresholds next time.
+		s.sem.FlipFeedback(deltas)
+		logger.Warn("shadow re-run flipped verdicts; down-weighting signature dimensions",
+			"flips", len(flips), "dimensions", len(deltas))
+	}
+	s.refreshQualityMetrics()
+}
+
+// setJobQuality mutates a job's quality provenance under the lock. For
+// terminal jobs (the shadow path runs after finish) the updated record
+// is persisted immediately; for in-flight jobs the next transition or
+// finish persists it.
+func (s *Service) setJobQuality(id string, update func(*Quality)) {
+	s.mu.Lock()
+	j, ok := s.jobs[id]
+	if !ok {
+		s.mu.Unlock()
+		return
+	}
+	if j.Quality == nil {
+		j.Quality = &Quality{}
+	}
+	update(j.Quality)
+	terminal := j.State.Terminal()
+	snapshot := *j
+	s.mu.Unlock()
+	if terminal {
+		if err := s.store.PutJob(&snapshot); err != nil {
+			s.log.Warn("persisting job quality", "job", id, "err", err)
+		}
+	}
+}

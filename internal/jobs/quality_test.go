@@ -1,0 +1,289 @@
+package jobs
+
+import (
+	"context"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"ion/internal/expertsim"
+	"ion/internal/obs"
+	"ion/internal/quality"
+	"ion/internal/semcache"
+)
+
+func openQualStore(t *testing.T, path string) *quality.Store {
+	t.Helper()
+	st, err := quality.Open(quality.Options{Path: path})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { st.Close() })
+	return st
+}
+
+// gatherGauge returns the value of the named series with the given
+// labels from the registry, failing the test when absent.
+func gatherGauge(t *testing.T, reg *obs.Registry, name string, labels ...obs.Label) float64 {
+	t.Helper()
+	for _, s := range reg.Gather() {
+		if s.Name != name || len(s.Labels) != len(labels) {
+			continue
+		}
+		match := true
+		for i, l := range labels {
+			if s.Labels[i] != l {
+				match = false
+				break
+			}
+		}
+		if match {
+			return s.Value
+		}
+	}
+	t.Fatalf("no sample %s%v in registry", name, labels)
+	return 0
+}
+
+// TestQualityScorecardOnDisagreement is the drift half of the
+// acceptance criteria: a plausible but wrong LLM (expertsim with every
+// verdict rewritten to not-detected) diagnoses a pathological workload
+// that Drishti flags deterministically. The persisted scorecard must
+// record agreement < 1 with drishti_only disagreements, and the job
+// must carry the quality provenance.
+func TestQualityScorecardOnDisagreement(t *testing.T) {
+	reg := obs.NewRegistry()
+	qual := openQualStore(t, filepath.Join(t.TempDir(), "quality.jsonl"))
+	svc := openService(t, Config{
+		Workers:           1,
+		Client:            &expertsim.Contradictor{Inner: expertsim.New()},
+		Quality:           qual,
+		QualityMinSamples: 1,
+		Obs:               reg,
+	})
+
+	j, _, err := svc.Submit("ior-hard", traceBytes(t, "ior-hard"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := waitDone(t, svc, j.ID); got.State != StateDone {
+		t.Fatalf("job state = %s (%s)", got.State, got.Error)
+	}
+
+	card, ok := qual.Get(j.ID)
+	if !ok {
+		t.Fatal("no scorecard persisted for the job")
+	}
+	if card.Mode != quality.ModeFull {
+		t.Errorf("scorecard mode = %q, want full", card.Mode)
+	}
+	if card.Agreement >= 1 || card.Disagreements == 0 {
+		t.Fatalf("contradicting LLM scored agreement=%.3f disagreements=%d, want < 1 with disagreements",
+			card.Agreement, card.Disagreements)
+	}
+	for _, sc := range card.Issues {
+		if !sc.Agree && sc.Kind != quality.KindDrishtiOnly {
+			t.Errorf("issue %s disagreement kind = %q, want drishti_only (LLM forced not-detected)", sc.Issue, sc.Kind)
+		}
+	}
+	if card.Trace != "ior-hard" {
+		t.Errorf("scorecard trace = %q", card.Trace)
+	}
+
+	got, err := svc.Get(j.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Quality == nil || got.Quality.Agreement != card.Agreement || got.Quality.Disagreements != card.Disagreements {
+		t.Fatalf("job quality provenance = %+v, want scorecard's %.3f/%d", got.Quality, card.Agreement, card.Disagreements)
+	}
+
+	// With the min-samples gate at 1, a disagreeing issue's gauge must
+	// fall below 1 so VerdictDriftHigh can see it.
+	var worst *quality.IssueScore
+	for i := range card.Issues {
+		if !card.Issues[i].Agree {
+			worst = &card.Issues[i]
+			break
+		}
+	}
+	v := gatherGauge(t, reg, "ion_verdict_agreement_ratio", obs.L("issue", string(worst.Issue)))
+	if v >= 1 {
+		t.Errorf("agreement gauge for %s = %v, want < 1", worst.Issue, v)
+	}
+}
+
+// TestQualityAgreementSelfGate: below QualityMinSamples comparisons the
+// agreement gauge holds at 1.0 even when every sample disagrees, so the
+// drift alert stays quiet on thin traffic.
+func TestQualityAgreementSelfGate(t *testing.T) {
+	reg := obs.NewRegistry()
+	qual := openQualStore(t, filepath.Join(t.TempDir(), "quality.jsonl"))
+	svc := openService(t, Config{
+		Workers:           1,
+		Client:            &expertsim.Contradictor{Inner: expertsim.New()},
+		Quality:           qual,
+		QualityMinSamples: 100,
+		Obs:               reg,
+	})
+	j, _, err := svc.Submit("ior-hard", traceBytes(t, "ior-hard"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := waitDone(t, svc, j.ID); got.State != StateDone {
+		t.Fatalf("job state = %s (%s)", got.State, got.Error)
+	}
+	card, _ := qual.Get(j.ID)
+	if card.Disagreements == 0 {
+		t.Fatal("test premise broken: contradicting LLM produced no disagreements")
+	}
+	for _, sc := range card.Issues {
+		if v := gatherGauge(t, reg, "ion_verdict_agreement_ratio", obs.L("issue", string(sc.Issue))); v != 1 {
+			t.Errorf("gauge for %s = %v below the sample gate, want 1", sc.Issue, v)
+		}
+	}
+}
+
+// waitShadow polls until the job's scorecard carries a shadow result.
+func waitShadow(t *testing.T, qual *quality.Store, id string) quality.Scorecard {
+	t.Helper()
+	deadline := time.Now().Add(60 * time.Second)
+	for time.Now().Before(deadline) {
+		if card, ok := qual.Get(id); ok && card.Shadow != nil {
+			return card
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	t.Fatalf("job %s was never shadowed", id)
+	return quality.Scorecard{}
+}
+
+// TestShadowFlipSurvivesRestart is the reuse-decay half of the
+// acceptance criteria. Generation 1 (faithful expertsim) indexes a cold
+// diagnosis; generation 2 restarts onto the same journals with a
+// drifted backend (every verdict forced to not-detected) and a 100%
+// shadow sample rate. A perturbed resubmission is served verbatim from
+// the cache, the background shadow re-run contradicts the served
+// verdicts, the flip is journaled, the flip-ratio gauge fires, and a
+// third generation replays it all from disk.
+func TestShadowFlipSurvivesRestart(t *testing.T) {
+	dir := t.TempDir()
+	semPath := filepath.Join(dir, "semcache.jsonl")
+	qualPath := filepath.Join(dir, "quality.jsonl")
+
+	// Generation 1: faithful diagnosis, indexed into the semantic cache.
+	sem1, err := semcache.Open(semcache.Options{Path: semPath})
+	if err != nil {
+		t.Fatal(err)
+	}
+	qual1 := openQualStore(t, qualPath)
+	svc1 := openService(t, Config{Dir: dir, Workers: 1, SemCache: sem1, Quality: qual1})
+	j1, _, err := svc1.Submit("ior-hard-gen1", textTrace(t, "ior-hard", 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := waitDone(t, svc1, j1.ID); got.State != StateDone {
+		t.Fatalf("cold job: %s (%s)", got.State, got.Error)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	svc1.Close(ctx)
+	cancel()
+	sem1.Close()
+	qual1.Close()
+
+	// Generation 2: the backend has drifted; every reused diagnosis is
+	// shadow re-checked.
+	sem2, err := semcache.Open(semcache.Options{Path: semPath})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { sem2.Close() })
+	qual2 := openQualStore(t, qualPath)
+	reg2 := obs.NewRegistry()
+	svc2 := openService(t, Config{
+		Dir:              dir,
+		Workers:          1,
+		Client:           &expertsim.Contradictor{Inner: expertsim.New()},
+		SemCache:         sem2,
+		Quality:          qual2,
+		ShadowSampleRate: 1,
+		Obs:              reg2,
+	})
+	j2, _, err := svc2.Submit("ior-hard-gen2", textTrace(t, "ior-hard", 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got2 := waitDone(t, svc2, j2.ID)
+	if got2.State != StateReused {
+		t.Fatalf("perturbed job state = %s (%s), want reused", got2.State, got2.Error)
+	}
+
+	card := waitShadow(t, qual2, j2.ID)
+	if card.Mode != quality.ModeVerbatim {
+		t.Errorf("shadowed scorecard mode = %q, want verbatim", card.Mode)
+	}
+	if len(card.Shadow.Flips) == 0 {
+		t.Fatal("drifted shadow re-run flipped no verdicts")
+	}
+	jq, err := svc2.Get(j2.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if jq.Quality == nil || !jq.Quality.Shadowed || jq.Quality.Flips != len(card.Shadow.Flips) {
+		t.Fatalf("job shadow provenance = %+v, want shadowed with %d flips", jq.Quality, len(card.Shadow.Flips))
+	}
+	if fs := qual2.FlipStats()[quality.ModeVerbatim]; fs.Shadowed != 1 || fs.Flipped != 1 {
+		t.Fatalf("verbatim flip stats = %+v, want 1/1", fs)
+	}
+	if v := gatherGauge(t, reg2, "ion_semcache_flip_ratio", obs.L("mode", string(quality.ModeVerbatim))); v != 1 {
+		t.Fatalf("ion_semcache_flip_ratio{mode=verbatim} = %v, want 1", v)
+	}
+	ctx, cancel = context.WithTimeout(context.Background(), 10*time.Second)
+	svc2.Close(ctx)
+	cancel()
+	qual2.Close()
+
+	// Generation 3: the flip survives restart via journal replay and the
+	// gauge republishes at Open, before any new traffic.
+	qual3 := openQualStore(t, qualPath)
+	if fs := qual3.FlipStats()[quality.ModeVerbatim]; fs.Ratio() != 1 {
+		t.Fatalf("replayed flip stats = %+v, want ratio 1", fs)
+	}
+	reg3 := obs.NewRegistry()
+	openService(t, Config{Dir: dir, Workers: 1, Quality: qual3, Obs: reg3})
+	if v := gatherGauge(t, reg3, "ion_semcache_flip_ratio", obs.L("mode", string(quality.ModeVerbatim))); v != 1 {
+		t.Fatalf("post-restart flip gauge = %v, want 1", v)
+	}
+}
+
+// TestShadowSkippedWhenDisabled: without a sample rate no shadow runs,
+// and verbatim hits still score quality.
+func TestShadowSkippedWhenDisabled(t *testing.T) {
+	sem := openSemStore(t, semcache.Options{})
+	qual := openQualStore(t, filepath.Join(t.TempDir(), "quality.jsonl"))
+	svc := openService(t, Config{Workers: 1, SemCache: sem, Quality: qual})
+
+	j1, _, err := svc.Submit("ior-1", textTrace(t, "ior-hard", 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitDone(t, svc, j1.ID)
+	j2, _, err := svc.Submit("ior-2", textTrace(t, "ior-hard", 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := waitDone(t, svc, j2.ID)
+	if got.State != StateReused {
+		t.Fatalf("state = %s, want reused", got.State)
+	}
+	card, ok := qual.Get(j2.ID)
+	if !ok {
+		t.Fatal("verbatim hit was not scored")
+	}
+	if card.Mode != quality.ModeVerbatim || card.Shadow != nil {
+		t.Fatalf("scorecard = mode %q shadow %v, want verbatim and no shadow", card.Mode, card.Shadow)
+	}
+	if fs := qual.FlipStats()[quality.ModeVerbatim]; fs.Shadowed != 0 {
+		t.Fatalf("flip stats = %+v, want no shadows", fs)
+	}
+}

@@ -12,6 +12,7 @@ import (
 	"ion/internal/issue"
 	"ion/internal/llm/ledger"
 	"ion/internal/obs"
+	"ion/internal/quality"
 	"ion/internal/rag"
 	"ion/internal/semcache"
 )
@@ -45,8 +46,11 @@ const (
 // is a genuinely new trace.
 func (s *Service) diagnose(ctx context.Context, id, hash string, out *extractor.Output) (State, error) {
 	if s.sem == nil {
-		state, _, cause := s.attempts(ctx, id, out, ion.AnalyzeOptions{})
+		state, rep, cause := s.attempts(ctx, id, out, ion.AnalyzeOptions{})
 		s.attachCost(id, 0, false)
+		if state == StateDone && rep != nil {
+			s.observeQuality(ctx, id, hash, out, rep, quality.ModeFull)
+		}
 		return state, cause
 	}
 	logger := obs.LoggerFrom(ctx)
@@ -59,7 +63,7 @@ func (s *Service) diagnose(ctx context.Context, id, hash string, out *extractor.
 	}
 
 	if ok && match.Entry.JobID != id && match.Similarity >= s.cfg.SemReuseThreshold {
-		if err := s.serveFromNeighbor(id, match); err == nil {
+		if rep, err := s.serveFromNeighbor(id, match); err == nil {
 			logger.Info("semantic hit: serving prior diagnosis verbatim",
 				"neighbor", match.Entry.JobID, "similarity", match.Similarity)
 			s.sem.Note(semcache.OutcomeHit)
@@ -67,6 +71,8 @@ func (s *Service) diagnose(ctx context.Context, id, hash string, out *extractor.
 			s.semHits++
 			s.mu.Unlock()
 			s.attachCost(id, 0, true)
+			s.observeQuality(ctx, id, hash, out, rep, quality.ModeVerbatim)
+			s.maybeShadow(id, out, rep, quality.ModeVerbatim, match.Deltas)
 			return StateReused, nil
 		} else {
 			logger.Warn("semantic hit unusable, falling back",
@@ -92,6 +98,7 @@ func (s *Service) diagnose(ctx context.Context, id, hash string, out *extractor.
 		s.sem.Note(semcache.OutcomeConditioned)
 		s.mu.Lock()
 		s.semConditioned++
+		s.semAdopted += int64(len(opts.Adopted))
 		s.mu.Unlock()
 		s.setReuse(id, &Reuse{
 			Mode:       ReuseConditioned,
@@ -107,26 +114,33 @@ func (s *Service) diagnose(ctx context.Context, id, hash string, out *extractor.
 	s.attachCost(id, len(opts.Adopted), false)
 	if state == StateDone && rep != nil {
 		outcome := "full"
+		mode := quality.ModeFull
 		if conditioned {
 			outcome = semcache.OutcomeConditioned
+			mode = quality.ModeConditioned
 		}
 		s.indexResult(id, hash, sig, rep, outcome)
+		s.observeQuality(ctx, id, hash, out, rep, mode)
+		if conditioned {
+			s.maybeShadow(id, out, rep, quality.ModeConditioned, match.Deltas)
+		}
 	}
 	return state, cause
 }
 
 // serveFromNeighbor copies the neighbor's report onto this job and
-// records the provenance. The report is re-labeled with this job's
+// records the provenance, returning the served report so the caller
+// can score and shadow it. The report is re-labeled with this job's
 // trace name; everything else (diagnoses, summary, model) carries
 // over.
-func (s *Service) serveFromNeighbor(id string, m semcache.Match) error {
+func (s *Service) serveFromNeighbor(id string, m semcache.Match) (*ion.Report, error) {
 	rep, err := s.store.Report(m.Entry.JobID)
 	if err != nil {
-		return fmt.Errorf("loading neighbor report: %w", err)
+		return nil, fmt.Errorf("loading neighbor report: %w", err)
 	}
 	rep.Trace = s.snapshotName(id)
 	if err := s.store.PutReport(id, rep); err != nil {
-		return fmt.Errorf("persisting reused report: %w", err)
+		return nil, fmt.Errorf("persisting reused report: %w", err)
 	}
 	s.setReuse(id, &Reuse{
 		Mode:       ReuseSemanticHit,
@@ -134,7 +148,7 @@ func (s *Service) serveFromNeighbor(id string, m semcache.Match) error {
 		Similarity: m.Similarity,
 		Deltas:     m.Deltas,
 	})
-	return nil
+	return rep, nil
 }
 
 // conditionOn builds the analyze options for the middle band: the

@@ -231,6 +231,9 @@ func TestConditionedRun(t *testing.T) {
 	if sem.Stats().Conditioned != 1 {
 		t.Errorf("store conditioned counter = %d, want 1", sem.Stats().Conditioned)
 	}
+	if st := svc.Stats(); st.Conditioned != 1 || st.AdoptedVerdicts == 0 {
+		t.Errorf("service stats conditioned=%d adopted_verdicts=%d, want 1 and >0", st.Conditioned, st.AdoptedVerdicts)
+	}
 }
 
 // TestSublinearity is the acceptance-criteria end-to-end: N

@@ -20,9 +20,11 @@ import (
 	"ion/internal/darshan"
 	"ion/internal/extractor"
 	"ion/internal/ion"
+	"ion/internal/issue"
 	"ion/internal/llm"
 	"ion/internal/llm/ledger"
 	"ion/internal/obs"
+	"ion/internal/quality"
 	"ion/internal/semcache"
 )
 
@@ -83,6 +85,25 @@ type Config struct {
 	// a neighbor's conclusions condition the LLM prompts; 0 means the
 	// default (0.90). Set above 1 to disable the conditioning tier.
 	SemConditionThreshold float64
+	// Quality, when non-nil, enables the diagnosis-quality observatory:
+	// every successful diagnosis is scored against the deterministic
+	// Drishti triggers (and iongen ground-truth labels when the trace
+	// name identifies a generated workload), the scorecard is journaled
+	// in this store, and the agreement/flip gauges are refreshed.
+	Quality *quality.Store
+	// ShadowSampleRate is the fraction of semcache-reused and
+	// conditioned jobs whose diagnosis is re-run through full fan-out
+	// in the background to measure verdict flips. 0 disables shadow
+	// re-runs; values above 1 shadow everything.
+	ShadowSampleRate float64
+	// ShadowConcurrency bounds concurrent shadow re-runs; further
+	// candidates are skipped, not queued. 0 means the default (1).
+	ShadowConcurrency int
+	// QualityMinSamples is the per-issue sample count below which the
+	// ion_verdict_agreement_ratio gauge self-gates to 1.0 (same policy
+	// as the semcache hit-ratio gauge), keeping the drift alert quiet
+	// until there is enough traffic to judge. 0 means the default (20).
+	QualityMinSamples int
 	// Ledger, when non-nil, is the LLM audit ledger the service reads
 	// for per-job cost attribution (Job.Cost) and cumulative LLM totals
 	// in Stats. The ledger is written by the ledger.Wrap client, which
@@ -141,6 +162,12 @@ func (c *Config) applyDefaults() {
 	if c.SemConditionThreshold == 0 {
 		c.SemConditionThreshold = defaultSemConditionThreshold
 	}
+	if c.ShadowConcurrency <= 0 {
+		c.ShadowConcurrency = 1
+	}
+	if c.QualityMinSamples <= 0 {
+		c.QualityMinSamples = qualityMinSamples
+	}
 	if c.Obs == nil {
 		c.Obs = obs.NewRegistry()
 	}
@@ -165,12 +192,25 @@ type Service struct {
 	// semSim observes the best-match cosine similarity of every
 	// semantic lookup (nil when semantic reuse is disabled).
 	semSim *obs.Histogram
+	// qual persists per-job scorecards (nil when quality tracking is
+	// disabled).
+	qual *quality.Store
 
 	baseCtx context.Context // canceled to abort in-flight analyses
 	abort   context.CancelFunc
 	stop    chan struct{} // closed to tell idle workers to exit
 	queue   chan string   // job ids awaiting a worker
 	wg      sync.WaitGroup
+
+	// Shadow re-run machinery: a non-blocking semaphore bounds
+	// concurrency, a dedicated context cancels in-flight shadows at
+	// Close (they are best-effort), and the WaitGroup lets Close drain
+	// them before the caller closes the stores they write to.
+	shadowSem    chan struct{}
+	shadowCtx    context.Context
+	shadowCancel context.CancelFunc
+	shadowWG     sync.WaitGroup
+	shadowSkips  *obs.Counter
 
 	// Parse/stream instrumentation (see registerMetrics).
 	parseShards    *obs.Counter
@@ -195,7 +235,7 @@ type Service struct {
 	preParsedOrder []string
 
 	submitted, completed, failed, retried, cacheHits, recovered int64
-	semHits, semConditioned                                     int64
+	semHits, semConditioned, semAdopted                         int64
 }
 
 // defaultStreamMaxBuffer bounds in-flight streaming-upload memory.
@@ -248,6 +288,7 @@ func Open(cfg Config) (*Service, error) {
 		cache:   newExtractCache(cfg.ExtractCacheBytes),
 		sem:     cfg.SemCache,
 		ledger:  cfg.Ledger,
+		qual:    cfg.Quality,
 		baseCtx: ctx,
 		abort:   cancel,
 		stop:    make(chan struct{}),
@@ -258,6 +299,8 @@ func Open(cfg Config) (*Service, error) {
 		byHash:    make(map[string]string, len(existing)),
 		preParsed: make(map[string]*darshan.Log),
 	}
+	s.shadowCtx, s.shadowCancel = context.WithCancel(ctx)
+	s.shadowSem = make(chan struct{}, cfg.ShadowConcurrency)
 	for _, j := range existing {
 		s.jobs[j.ID] = j
 		ch := make(chan struct{})
@@ -286,6 +329,10 @@ func Open(cfg Config) (*Service, error) {
 		s.log.Info("recovered interrupted jobs", "count", s.recovered)
 	}
 	s.registerMetrics()
+	// The replayed scorecard journal already carries agreement and flip
+	// history; publish it so the gauges are correct from the first
+	// scrape after a restart.
+	s.refreshQualityMetrics()
 	s.log.Info("job service open", "dir", cfg.Dir, "workers", cfg.Workers,
 		"queue_capacity", cfg.QueueDepth, "jobs", len(existing))
 
@@ -395,6 +442,59 @@ func (s *Service) registerMetrics() {
 		s.semSim = s.obs.Histogram("ion_semcache_similarity",
 			"Best-match cosine similarity per semantic lookup.",
 			[]float64{0.5, 0.6, 0.7, 0.8, 0.85, 0.9, 0.95, 0.98, 0.99, 0.995, 1})
+		s.obs.CounterFunc("ion_semcache_adopted_verdicts_total",
+			"Per-issue verdicts conditioned runs adopted from their neighbor without fresh LLM calls.",
+			stat(func(st Stats) float64 { return float64(st.AdoptedVerdicts) }))
+	}
+
+	if s.qual != nil {
+		// The labeled gauges are created eagerly for every taxonomy
+		// issue and reuse mode (GaugeFunc carries no labels), so the
+		// families appear in /metrics before the first diagnosis;
+		// refreshQualityMetrics re-publishes them after every scorecard
+		// write. Below QualityMinSamples per-issue comparisons the
+		// agreement gauge self-gates to 1.0, like the semcache
+		// hit-ratio gauge, so VerdictDriftHigh stays quiet on idle or
+		// freshly started services.
+		for _, id := range issue.All {
+			s.obs.Gauge("ion_verdict_agreement_ratio",
+				"LLM/Drishti verdict agreement per issue; 1.0 until enough samples to judge.",
+				obs.L("issue", string(id))).Set(1)
+		}
+		for _, m := range []quality.Mode{quality.ModeVerbatim, quality.ModeConditioned} {
+			s.obs.Gauge("ion_semcache_flip_ratio",
+				"Fraction of shadow-rerun reused diagnoses whose verdicts flipped, per reuse mode.",
+				obs.L("mode", string(m))).Set(0)
+		}
+		s.shadowSkips = s.obs.Counter("ion_shadow_skips_total",
+			"Shadow re-run candidates skipped because of queue pressure or the concurrency bound.")
+		s.obs.GaugeFunc("ion_quality_scorecards", "Scorecards currently retained by the quality store.",
+			func() float64 { return float64(s.qual.Len()) })
+	}
+}
+
+// refreshQualityMetrics republishes the aggregate quality gauges from
+// the scorecard store. Called after every scorecard write and once at
+// Open (so replayed history survives restarts).
+func (s *Service) refreshQualityMetrics() {
+	if s.qual == nil {
+		return
+	}
+	ag := s.qual.IssueAgreement()
+	for _, id := range issue.All {
+		v := 1.0
+		if a := ag[id]; a.Total >= s.cfg.QualityMinSamples {
+			v = a.Ratio()
+		}
+		s.obs.Gauge("ion_verdict_agreement_ratio",
+			"LLM/Drishti verdict agreement per issue; 1.0 until enough samples to judge.",
+			obs.L("issue", string(id))).Set(v)
+	}
+	fs := s.qual.FlipStats()
+	for _, m := range []quality.Mode{quality.ModeVerbatim, quality.ModeConditioned} {
+		s.obs.Gauge("ion_semcache_flip_ratio",
+			"Fraction of shadow-rerun reused diagnoses whose verdicts flipped, per reuse mode.",
+			obs.L("mode", string(m))).Set(fs[m].Ratio())
 	}
 }
 
@@ -549,19 +649,20 @@ func (s *Service) Stats() Stats {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	st := Stats{
-		Workers:       s.cfg.Workers,
-		Busy:          s.busy,
-		QueueDepth:    len(s.queue),
-		QueueCapacity: s.cfg.QueueDepth,
-		Jobs:          len(s.jobs),
-		Submitted:     s.submitted,
-		Completed:     s.completed,
-		Failed:        s.failed,
-		Retried:       s.retried,
-		CacheHits:     s.cacheHits,
-		Recovered:     s.recovered,
-		SemanticHits:  s.semHits,
-		Conditioned:   s.semConditioned,
+		Workers:         s.cfg.Workers,
+		Busy:            s.busy,
+		QueueDepth:      len(s.queue),
+		QueueCapacity:   s.cfg.QueueDepth,
+		Jobs:            len(s.jobs),
+		Submitted:       s.submitted,
+		Completed:       s.completed,
+		Failed:          s.failed,
+		Retried:         s.retried,
+		CacheHits:       s.cacheHits,
+		Recovered:       s.recovered,
+		SemanticHits:    s.semHits,
+		Conditioned:     s.semConditioned,
+		AdoptedVerdicts: s.semAdopted,
 	}
 	if tot := s.ledger.Totals(); tot.Calls > 0 {
 		st.LLMCalls = tot.Calls
@@ -580,6 +681,10 @@ func (s *Service) SemCache() *semcache.Store { return s.sem }
 // use by the web layer.
 func (s *Service) Ledger() *ledger.Store { return s.ledger }
 
+// Quality exposes the scorecard store (nil when disabled); read-only
+// use by the web layer.
+func (s *Service) Quality() *quality.Store { return s.qual }
+
 // SemThresholds returns the reuse and conditioning similarity
 // thresholds in effect.
 func (s *Service) SemThresholds() (reuse, condition float64) {
@@ -596,16 +701,22 @@ func (s *Service) Close(ctx context.Context) error {
 	if s.closed {
 		s.mu.Unlock()
 		s.wg.Wait()
+		s.shadowWG.Wait()
 		return nil
 	}
 	s.closed = true
 	s.mu.Unlock()
 	s.log.Info("job service closing, draining workers")
 	close(s.stop)
+	// Shadow re-runs are best-effort: cancel them outright rather than
+	// holding shutdown for a background fan-out, then wait for the
+	// goroutines so nothing writes to the stores after Close returns.
+	s.shadowCancel()
 
 	drained := make(chan struct{})
 	go func() {
 		s.wg.Wait()
+		s.shadowWG.Wait()
 		close(drained)
 	}()
 	select {

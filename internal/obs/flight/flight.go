@@ -164,6 +164,7 @@ type Recorder struct {
 	alertsFn      func() any // optional: current alert states for the bundle
 	profWindowsFn func() any // optional: recent profile windows for the bundle
 	ledgerTailFn  func() any // optional: recent LLM ledger entries for the bundle
+	qualityFn     func() any // optional: recent diagnosis-quality scorecards for the bundle
 
 	mu        sync.Mutex
 	snaps     []metricSnapshot // ring storage
@@ -224,6 +225,13 @@ func (r *Recorder) SetProfileWindowsFn(fn func() any) { r.profWindowsFn = fn }
 // calls failed, how slowly, and what they cost — hashes and accounting
 // only unless text capture was opted into). Call before Start.
 func (r *Recorder) SetLedgerTailFn(fn func() any) { r.ledgerTailFn = fn }
+
+// SetQualityScorecardsFn installs the callback whose result is
+// marshaled into each bundle's quality_scorecards.json (typically the
+// quality store's recent tail, so a verdict-drift or flip-rate
+// incident carries the disagreeing scorecards that drove it). Call
+// before Start.
+func (r *Recorder) SetQualityScorecardsFn(fn func() any) { r.qualityFn = fn }
 
 // OfferTimeline feeds one completed span timeline to the tail-sampler.
 func (r *Recorder) OfferTimeline(tl obs.Timeline) { r.spans.Offer(tl) }
@@ -458,6 +466,11 @@ func (r *Recorder) capture(now time.Time, reason string) (Manifest, error) {
 	if r.ledgerTailFn != nil {
 		if data, err := json.MarshalIndent(r.ledgerTailFn(), "", " "); err == nil {
 			add("llm_ledger.json", data)
+		}
+	}
+	if r.qualityFn != nil {
+		if data, err := json.MarshalIndent(r.qualityFn(), "", " "); err == nil {
+			add("quality_scorecards.json", data)
 		}
 	}
 	if len(r.opts.Config) > 0 {

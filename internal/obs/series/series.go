@@ -383,6 +383,12 @@ type Result struct {
 // each with its in-window points oldest-first (after optional step
 // aggregation). A nil result means nothing matched.
 func (s *Store) Query(q Query) []Result {
+	// A step wider than the whole retention window cannot produce a
+	// meaningful bucket: every retained point would collapse into one
+	// aggregate pretending to be a trend. Return no data instead.
+	if q.Step > 0 && q.Step > s.opts.Retention {
+		return nil
+	}
 	from, to := int64(0), int64(1<<62)
 	if !q.From.IsZero() {
 		from = q.From.UnixMilli()

@@ -270,3 +270,48 @@ func TestStartStop(t *testing.T) {
 	st2 := New(obs.NewRegistry(), Options{})
 	st2.Stop()
 }
+
+func TestQueryStepLargerThanRetention(t *testing.T) {
+	reg := obs.NewRegistry()
+	g := reg.Gauge("ion_test_depth", "d")
+	st := New(reg, Options{Interval: time.Second, Retention: 10 * time.Second})
+	for i := 0; i < 5; i++ {
+		g.Set(float64(i))
+		st.Scrape(at(time.Duration(i) * time.Second))
+	}
+
+	// A step wider than the retention window would collapse every
+	// retained point into one bucket masquerading as a trend; the query
+	// must come back empty instead.
+	res := st.Query(Query{Name: "ion_test_depth", Step: time.Minute})
+	if len(res) != 0 {
+		t.Fatalf("step > retention returned %d series (%v), want none", len(res), res)
+	}
+	// A step inside the retention window still downsamples normally.
+	res = st.Query(Query{Name: "ion_test_depth", Step: 2 * time.Second, Agg: "max"})
+	if len(res) != 1 || len(res[0].Points) == 0 {
+		t.Fatalf("in-retention step query = %v, want points", res)
+	}
+}
+
+func TestQueryWindowEntirelyInFuture(t *testing.T) {
+	reg := obs.NewRegistry()
+	g := reg.Gauge("ion_test_depth", "d")
+	st := New(reg, Options{Interval: time.Second, Retention: 10 * time.Second})
+	for i := 0; i < 5; i++ {
+		g.Set(float64(i))
+		st.Scrape(at(time.Duration(i) * time.Second))
+	}
+
+	// All retained points predate the window: no results, no panic.
+	res := st.Query(Query{Name: "ion_test_depth", From: at(time.Hour), To: at(2 * time.Hour)})
+	if len(res) != 0 {
+		t.Fatalf("future window returned %d series (%v), want none", len(res), res)
+	}
+	// Same with a downsampling step, which exercises the empty-input
+	// path of downsample.
+	res = st.Query(Query{Name: "ion_test_depth", From: at(time.Hour), To: at(2 * time.Hour), Step: 2 * time.Second})
+	if len(res) != 0 {
+		t.Fatalf("future downsampled window returned %d series (%v), want none", len(res), res)
+	}
+}

@@ -1,0 +1,272 @@
+package quality
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"ion/internal/drishti"
+	"ion/internal/ion"
+	"ion/internal/issue"
+)
+
+func openStore(t *testing.T, opts Options) *Store {
+	t.Helper()
+	st, err := Open(opts)
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	t.Cleanup(func() { st.Close() })
+	return st
+}
+
+func card(job string, at time.Time, agree bool) Scorecard {
+	c := Scorecard{
+		JobID:     job,
+		Trace:     "trace-" + job,
+		Mode:      ModeFull,
+		CreatedAt: at,
+	}
+	s := IssueScore{Issue: issue.SmallIO, Verdict: issue.VerdictDetected, Drishti: agree, Agree: agree}
+	if !agree {
+		s.Kind = KindLLMOnly
+	}
+	c.Issues = []IssueScore{s}
+	c.Summarize()
+	return c
+}
+
+func TestStorePutGetSupersede(t *testing.T) {
+	st := openStore(t, Options{Path: filepath.Join(t.TempDir(), "q.jsonl")})
+	t0 := time.Unix(1719000000, 0).UTC()
+	if err := st.Put(card("j-1", t0, true)); err != nil {
+		t.Fatalf("Put: %v", err)
+	}
+	if err := st.Put(card("j-2", t0.Add(time.Second), false)); err != nil {
+		t.Fatalf("Put: %v", err)
+	}
+	if st.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", st.Len())
+	}
+	// Superseding j-1 with a shadow result keeps one record per job.
+	c, _ := st.Get("j-1")
+	c.Shadow = &Shadow{Checked: 9, Flips: []issue.ID{issue.SmallIO}, At: t0.Add(time.Minute)}
+	if err := st.Put(c); err != nil {
+		t.Fatalf("Put shadow: %v", err)
+	}
+	if st.Len() != 2 {
+		t.Fatalf("Len after supersede = %d, want 2", st.Len())
+	}
+	got, ok := st.Get("j-1")
+	if !ok || got.Shadow == nil || len(got.Shadow.Flips) != 1 {
+		t.Fatalf("Get j-1 = %+v, %v; want shadow with one flip", got, ok)
+	}
+	if ents := st.Entries(); len(ents) != 2 || ents[0].JobID != "j-2" {
+		t.Fatalf("Entries = %+v, want j-2 first (newest)", ents)
+	}
+	if tail := st.Tail(1); len(tail) != 1 || tail[0].JobID != "j-2" {
+		t.Fatalf("Tail(1) = %+v", tail)
+	}
+}
+
+func TestStoreReplaySupersedeAndTombstone(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "q.jsonl")
+	st := openStore(t, Options{Path: path})
+	t0 := time.Unix(1719000000, 0).UTC()
+	for _, j := range []string{"j-1", "j-2", "j-3"} {
+		if err := st.Put(card(j, t0, false)); err != nil {
+			t.Fatalf("Put: %v", err)
+		}
+	}
+	c, _ := st.Get("j-2")
+	c.Shadow = &Shadow{Checked: 9, At: t0}
+	if err := st.Put(c); err != nil {
+		t.Fatalf("Put: %v", err)
+	}
+	if err := st.Delete("j-3"); err != nil {
+		t.Fatalf("Delete: %v", err)
+	}
+	st.Close()
+
+	st2 := openStore(t, Options{Path: path})
+	if st2.Len() != 2 {
+		t.Fatalf("replayed Len = %d, want 2", st2.Len())
+	}
+	if _, ok := st2.Get("j-3"); ok {
+		t.Fatal("tombstoned j-3 survived replay")
+	}
+	if got, ok := st2.Get("j-2"); !ok || got.Shadow == nil {
+		t.Fatalf("superseded j-2 lost its shadow on replay: %+v %v", got, ok)
+	}
+	ag := st2.IssueAgreement()
+	if a := ag[issue.SmallIO]; a.Total != 2 || a.LLMOnly != 2 {
+		t.Fatalf("IssueAgreement = %+v, want 2 llm_only of 2", a)
+	}
+	fs := st2.FlipStats()
+	if f := fs[ModeFull]; f.Shadowed != 1 || f.Flipped != 0 {
+		t.Fatalf("FlipStats = %+v", f)
+	}
+}
+
+func TestStoreTornTailAndGarbage(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "q.jsonl")
+	st := openStore(t, Options{Path: path})
+	if err := st.Put(card("j-1", time.Unix(1719000000, 0), true)); err != nil {
+		t.Fatalf("Put: %v", err)
+	}
+	st.Close()
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.WriteString("not json\n{\"job\":\"j-torn")
+	f.Close()
+
+	st2 := openStore(t, Options{Path: path})
+	if st2.Len() != 1 {
+		t.Fatalf("Len after torn tail = %d, want 1", st2.Len())
+	}
+	if _, ok := st2.Get("j-1"); !ok {
+		t.Fatal("good record lost behind torn tail")
+	}
+}
+
+func TestStoreEviction(t *testing.T) {
+	st := openStore(t, Options{Path: filepath.Join(t.TempDir(), "q.jsonl"), MaxEntries: 2})
+	t0 := time.Unix(1719000000, 0)
+	for i, j := range []string{"j-1", "j-2", "j-3"} {
+		if err := st.Put(card(j, t0.Add(time.Duration(i)*time.Second), true)); err != nil {
+			t.Fatalf("Put: %v", err)
+		}
+	}
+	if st.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", st.Len())
+	}
+	if _, ok := st.Get("j-1"); ok {
+		t.Fatal("oldest entry not evicted")
+	}
+	if s := st.Stats(); s.Evictions != 1 || s.Puts != 3 {
+		t.Fatalf("Stats = %+v", s)
+	}
+}
+
+func TestStoreCompaction(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "q.jsonl")
+	st := openStore(t, Options{Path: path})
+	t0 := time.Unix(1719000000, 0)
+	// Rewrite the same job far past the 2*live+16 threshold so the
+	// journal compacts down to the live set.
+	for i := 0; i < 60; i++ {
+		if err := st.Put(card("j-1", t0, true)); err != nil {
+			t.Fatalf("Put: %v", err)
+		}
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := strings.Count(string(data), "\n"); n > 20 {
+		t.Fatalf("journal holds %d lines after 60 rewrites of one job; compaction did not run", n)
+	}
+	st.Close()
+	st2 := openStore(t, Options{Path: path})
+	if st2.Len() != 1 {
+		t.Fatalf("Len after compacted replay = %d, want 1", st2.Len())
+	}
+}
+
+func TestStoreNilReceiver(t *testing.T) {
+	var st *Store
+	if err := st.Put(Scorecard{JobID: "j"}); err != nil {
+		t.Fatalf("nil Put: %v", err)
+	}
+	if err := st.Delete("j"); err != nil {
+		t.Fatalf("nil Delete: %v", err)
+	}
+	if _, ok := st.Get("j"); ok {
+		t.Fatal("nil Get returned a scorecard")
+	}
+	if st.Len() != 0 || st.Bytes() != 0 || st.Entries() != nil || st.Tail(5) != nil {
+		t.Fatal("nil snapshots not empty")
+	}
+	if len(st.IssueAgreement()) != 0 || len(st.FlipStats()) != 0 {
+		t.Fatal("nil aggregates not empty")
+	}
+	if err := st.Close(); err != nil {
+		t.Fatalf("nil Close: %v", err)
+	}
+}
+
+func reportWith(verdicts map[issue.ID]issue.Verdict) *ion.Report {
+	rep := &ion.Report{Diagnoses: map[issue.ID]*ion.IssueDiagnosis{}}
+	for id, v := range verdicts {
+		rep.Diagnoses[id] = &ion.IssueDiagnosis{Issue: id, Verdict: v}
+	}
+	return rep
+}
+
+func TestScore(t *testing.T) {
+	rep := reportWith(map[issue.ID]issue.Verdict{
+		issue.SmallIO:      issue.VerdictDetected,    // agrees with drishti
+		issue.RandomAccess: issue.VerdictDetected,    // llm_only
+		issue.Metadata:     issue.VerdictMitigated,   // drishti_only (mitigated ≠ detected)
+		issue.SharedFile:   issue.VerdictNotDetected, // agrees (both silent)
+	})
+	det := &drishti.Report{Insights: []drishti.Insight{
+		{Issue: issue.SmallIO, Level: drishti.LevelHigh},
+		{Issue: issue.Metadata, Level: drishti.LevelHigh},
+		{Issue: issue.RandomAccess, Level: drishti.LevelWarn}, // WARN does not flag
+	}}
+	labels := []issue.Expectation{{Issue: issue.SmallIO, Want: issue.VerdictDetected}}
+
+	scores := Score(rep, det, labels)
+	if len(scores) != len(issue.All) {
+		t.Fatalf("Score covers %d issues, want %d", len(scores), len(issue.All))
+	}
+	byID := map[issue.ID]IssueScore{}
+	for _, s := range scores {
+		byID[s.Issue] = s
+	}
+	if s := byID[issue.SmallIO]; !s.Agree || s.Kind != "" || s.Label != issue.VerdictDetected {
+		t.Fatalf("small-io = %+v", s)
+	}
+	if s := byID[issue.RandomAccess]; s.Agree || s.Kind != KindLLMOnly {
+		t.Fatalf("random-access = %+v", s)
+	}
+	if s := byID[issue.Metadata]; s.Agree || s.Kind != KindDrishtiOnly {
+		t.Fatalf("metadata = %+v", s)
+	}
+	if s := byID[issue.SharedFile]; !s.Agree || s.Kind != "" {
+		t.Fatalf("shared-file = %+v", s)
+	}
+
+	c := Scorecard{JobID: "j-1", Issues: scores}
+	c.Summarize()
+	if c.Disagreements != 2 {
+		t.Fatalf("Disagreements = %d, want 2", c.Disagreements)
+	}
+	want := float64(len(issue.All)-2) / float64(len(issue.All))
+	if c.Agreement != want {
+		t.Fatalf("Agreement = %v, want %v", c.Agreement, want)
+	}
+}
+
+func TestFlips(t *testing.T) {
+	served := reportWith(map[issue.ID]issue.Verdict{
+		issue.SmallIO:    issue.VerdictDetected,
+		issue.SharedFile: issue.VerdictDetected,
+	})
+	shadow := reportWith(map[issue.ID]issue.Verdict{
+		issue.SmallIO: issue.VerdictDetected, // unchanged
+		// shared-file absent → not-detected → flip
+	})
+	flips := Flips(served, shadow)
+	if len(flips) != 1 || flips[0] != issue.SharedFile {
+		t.Fatalf("Flips = %v, want [shared-file]", flips)
+	}
+	if f := Flips(served, served); f != nil {
+		t.Fatalf("self Flips = %v, want none", f)
+	}
+}

@@ -106,8 +106,22 @@ type Store struct {
 	// rewritten in place.
 	lines int
 
+	// weights holds the per-dimension trust learned from shadow-rerun
+	// verdict flips: dimensions whose deltas participated in a flipped
+	// reuse decay toward weightFloor, growing the similarity penalty
+	// for future divergence along them. In-memory only; a restart
+	// resets trust to 1.
+	weights []float64
+
 	lookups, hits, conditioned, misses, evictions int64
 }
+
+// Flip-feedback tuning: each flip multiplies the implicated dimension
+// weights by weightDecay, never below weightFloor.
+const (
+	weightDecay = 0.8
+	weightFloor = 0.2
+)
 
 type storeEntry struct {
 	e    Entry
@@ -136,9 +150,10 @@ func Open(opts Options) (*Store, error) {
 	}
 
 	st := &Store{
-		opts:  opts,
-		byJob: map[string]*list.Element{},
-		order: list.New(),
+		opts:    opts,
+		byJob:   map[string]*list.Element{},
+		order:   list.New(),
+		weights: newWeights(),
 	}
 	if err := st.replay(); err != nil {
 		return nil, err
@@ -350,6 +365,11 @@ func (st *Store) compactLocked() {
 // match refreshes the neighbor's recency. Lookup itself only counts a
 // lookup; call Note with the policy outcome so hit/miss counters
 // reflect what the caller actually did with the match.
+//
+// Similarity is cosine minus a trust penalty: divergence along
+// dimensions that FlipFeedback has down-weighted subtracts
+// (1-weight)·|Δ| per dimension, pushing flip-prone matches below the
+// reuse thresholds.
 func (st *Store) Lookup(sig Signature) (Match, bool) {
 	if st == nil {
 		return Match{}, false
@@ -363,7 +383,7 @@ func (st *Store) Lookup(sig Signature) (Match, bool) {
 		bestSim = -1.0
 	)
 	for el := st.order.Front(); el != nil; el = el.Next() {
-		if sim := Cosine(q, el.Value.(*storeEntry).e.Signature); sim > bestSim {
+		if sim := st.similarityLocked(q, el.Value.(*storeEntry).e.Signature); sim > bestSim {
 			bestSim, best = sim, el
 		}
 	}
@@ -403,6 +423,82 @@ func (st *Store) Note(outcome string) {
 	case OutcomeMiss:
 		st.misses++
 	}
+}
+
+func newWeights() []float64 {
+	w := make([]float64, len(dimensions))
+	for i := range w {
+		w[i] = 1
+	}
+	return w
+}
+
+// similarityLocked scores a candidate: cosine similarity minus the
+// per-dimension trust penalty. Caller holds st.mu.
+func (st *Store) similarityLocked(q, e Signature) float64 {
+	sim := Cosine(q, e)
+	n := len(q)
+	if len(e) < n {
+		n = len(e)
+	}
+	if len(st.weights) < n {
+		n = len(st.weights)
+	}
+	for i := 0; i < n; i++ {
+		if w := st.weights[i]; w < 1 {
+			d := q[i] - e[i]
+			if d < 0 {
+				d = -d
+			}
+			sim -= (1 - w) * d
+		}
+	}
+	return clamp01(sim)
+}
+
+// FlipFeedback reports that a reuse decision whose query/neighbor
+// deltas are given produced a verdict flip under a shadow re-run. The
+// dimensions that differed are down-weighted so future matches that
+// diverge along them score lower (ROADMAP item 3 follow-up: learning
+// per-dimension weights from verdict-flip feedback).
+func (st *Store) FlipFeedback(deltas map[string]float64) {
+	if st == nil || len(deltas) == 0 {
+		return
+	}
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	for i, name := range dimensions {
+		if i >= len(st.weights) {
+			break
+		}
+		if d, ok := deltas[name]; ok && d != 0 {
+			if w := st.weights[i] * weightDecay; w > weightFloor {
+				st.weights[i] = w
+			} else {
+				st.weights[i] = weightFloor
+			}
+		}
+	}
+}
+
+// DimensionWeights returns the current per-dimension trust weights by
+// name (1 = fully trusted, lower = flip-prone).
+func (st *Store) DimensionWeights() map[string]float64 {
+	out := make(map[string]float64, len(dimensions))
+	if st == nil {
+		for _, name := range dimensions {
+			out[name] = 1
+		}
+		return out
+	}
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	for i, name := range dimensions {
+		if i < len(st.weights) {
+			out[name] = st.weights[i]
+		}
+	}
+	return out
 }
 
 // QuantStep returns the quantization grid in effect.

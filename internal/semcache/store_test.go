@@ -262,3 +262,62 @@ func TestStoreConcurrentAccess(t *testing.T) {
 		t.Fatalf("concurrent puts breached the bound: %d entries", st.Len())
 	}
 }
+
+func TestFlipFeedbackDownWeightsDimensions(t *testing.T) {
+	st := testStore(t, Options{})
+	base := make(Signature, len(Dimensions()))
+	for i := range base {
+		base[i] = 0.5
+	}
+	e := Entry{JobID: "j-base", TraceHash: "h", Trace: "t", Signature: base, CreatedAt: time.Unix(1700000000, 0)}
+	if err := st.Put(e); err != nil {
+		t.Fatal(err)
+	}
+
+	// A query diverging along one dimension.
+	q := append(Signature(nil), base...)
+	dim := Dimensions()[0]
+	q[0] = 0.75
+
+	before, ok := st.Lookup(q)
+	if !ok {
+		t.Fatal("no match")
+	}
+	if before.Deltas[dim] == 0 {
+		t.Fatalf("expected a delta on %s, got %v", dim, before.Deltas)
+	}
+
+	// Report flips along that dimension until its weight floors.
+	for i := 0; i < 10; i++ {
+		st.FlipFeedback(before.Deltas)
+	}
+	w := st.DimensionWeights()
+	if w[dim] != 0.2 {
+		t.Fatalf("weight[%s] = %v, want floor 0.2", dim, w[dim])
+	}
+	for _, name := range Dimensions()[1:] {
+		if w[name] != 1 {
+			t.Fatalf("weight[%s] = %v, want untouched 1", name, w[name])
+		}
+	}
+
+	after, ok := st.Lookup(q)
+	if !ok {
+		t.Fatal("no match after feedback")
+	}
+	if after.Similarity >= before.Similarity {
+		t.Fatalf("similarity %v not reduced from %v by flip feedback", after.Similarity, before.Similarity)
+	}
+	// Divergence-free lookups are unaffected.
+	exact, _ := st.Lookup(base)
+	if exact.Similarity != 1 {
+		t.Fatalf("exact match similarity = %v, want 1", exact.Similarity)
+	}
+
+	// Nil store: feedback is a no-op, weights read as fully trusted.
+	var nilStore *Store
+	nilStore.FlipFeedback(before.Deltas)
+	if w := nilStore.DimensionWeights(); w[dim] != 1 {
+		t.Fatalf("nil store weight = %v, want 1", w[dim])
+	}
+}

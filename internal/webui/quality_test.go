@@ -1,0 +1,278 @@
+package webui
+
+import (
+	"context"
+	"encoding/json"
+	"io"
+	"log/slog"
+	"net/http"
+	"net/http/httptest"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"ion/internal/expertsim"
+	"ion/internal/jobs"
+	"ion/internal/llm"
+	"ion/internal/obs"
+	"ion/internal/obs/flight"
+	"ion/internal/obs/series"
+	"ion/internal/quality"
+)
+
+// qualityServer builds the drift-detection stack the way ionserve
+// wires it: a scorecard store fed by the jobs service, the series
+// engine evaluating the drift rules, firing transitions capturing
+// flight bundles that embed the scorecard tail, and the quality routes
+// mounted on the server.
+func qualityServer(t *testing.T, client llm.Client, cfg jobs.Config, rules []series.Rule) (*httptest.Server, *jobs.Service, *series.Store, *quality.Store) {
+	t.Helper()
+	reg := obs.NewRegistry()
+	if client == nil {
+		client = expertsim.New()
+	}
+
+	qstore, err := quality.Open(quality.Options{Path: filepath.Join(t.TempDir(), "quality.jsonl")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { qstore.Close() })
+
+	rec, err := flight.New(flight.Options{
+		Dir:      t.TempDir(),
+		Registry: reg,
+		Cooldown: time.Hour,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec.SetQualityScorecardsFn(func() any { return qstore.Tail(50) })
+	logger := slog.New(rec.LogHandler(slog.NewTextHandler(io.Discard, nil)))
+
+	cfg.Dir = t.TempDir()
+	cfg.Client = client
+	cfg.Obs = reg
+	cfg.Logger = logger
+	cfg.Quality = qstore
+	svc, err := jobs.Open(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	store := series.New(reg, series.Options{
+		Interval:  time.Second,
+		Retention: 10 * time.Minute,
+		Rules:     rules,
+		Logger:    logger,
+		OnTransition: func(tr series.RuleTransition) {
+			if tr.To == series.StateFiring {
+				rec.Capture("alert:" + tr.Rule)
+			}
+		},
+	})
+	rec.SetAlertsFunc(func() any { return store.Alerts() })
+
+	js, err := NewJobServer(client, svc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(js.WithObs(reg, logger).WithSeries(store).WithFlight(rec).WithQuality(qstore).Handler())
+	t.Cleanup(func() {
+		srv.Close()
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		svc.Close(ctx)
+	})
+	return srv, svc, store, qstore
+}
+
+// TestVerdictDriftIncident is the observatory's end-to-end acceptance
+// path: an LLM whose verdicts contradict the deterministic baseline
+// (expertsim with every verdict forced to not-detected) diagnoses a
+// pathological workload, the scorecard journals agreement < 1, the
+// agreement gauge drops, VerdictDriftHigh walks pending → firing, the
+// firing transition captures an incident bundle that embeds the
+// scorecards, and every surface — /api/quality, /api/alerts, the job
+// page banner, /dashboard/quality — tells the same story.
+func TestVerdictDriftIncident(t *testing.T) {
+	rules := series.MustRules([]byte(`[
+	  {"name":"VerdictDriftHigh","expr":"min(ion_verdict_agreement_ratio) < 0.6","for":"2s","severity":"page"}
+	]`))
+	srv, svc, store, qstore := qualityServer(t,
+		&expertsim.Contradictor{Inner: expertsim.New()},
+		jobs.Config{Workers: 1, QualityMinSamples: 1}, rules)
+
+	sr, status := postTrace(t, srv.URL+"/api/jobs?name=ior-hard", workloadTrace(t))
+	if status != http.StatusAccepted {
+		t.Fatalf("submit status = %d", status)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	job, err := svc.Wait(ctx, sr.Job.ID)
+	if err != nil || job.State != jobs.StateDone {
+		t.Fatalf("job = %+v err = %v, want done", job, err)
+	}
+
+	card, ok := qstore.Get(job.ID)
+	if !ok || card.Agreement >= 1 {
+		t.Fatalf("scorecard = %+v ok=%v, want persisted with agreement < 1", card, ok)
+	}
+
+	// Breach → pending on the first scrape, firing once sustained past For.
+	now := time.Now()
+	store.Scrape(now.Add(-5 * time.Second))
+	var ar alertsResponse
+	if code := getJSON(t, srv.URL+"/api/alerts", &ar); code != http.StatusOK {
+		t.Fatalf("/api/alerts status = %d", code)
+	}
+	if st := alertState(ar, "VerdictDriftHigh"); st != string(series.StatePending) {
+		t.Fatalf("after first breach scrape VerdictDriftHigh = %q, want pending", st)
+	}
+	store.Scrape(now)
+	if code := getJSON(t, srv.URL+"/api/alerts", &ar); code != http.StatusOK {
+		t.Fatalf("/api/alerts status = %d", code)
+	}
+	if st := alertState(ar, "VerdictDriftHigh"); st != string(series.StateFiring) {
+		t.Fatalf("after sustained breach VerdictDriftHigh = %q, want firing", st)
+	}
+
+	// The firing transition captured a bundle embedding the scorecards.
+	var ir incidentsResponse
+	if code := getJSON(t, srv.URL+"/api/incidents", &ir); code != http.StatusOK {
+		t.Fatalf("/api/incidents status = %d", code)
+	}
+	if len(ir.Incidents) != 1 || ir.Incidents[0].Reason != "alert:VerdictDriftHigh" {
+		t.Fatalf("incidents = %+v, want one VerdictDriftHigh capture", ir.Incidents)
+	}
+	files := downloadBundle(t, srv.URL+"/api/incidents/"+ir.Incidents[0].ID+"/download", false)
+	cardsJSON, ok := files["quality_scorecards.json"]
+	if !ok {
+		t.Fatal("bundle is missing quality_scorecards.json")
+	}
+	var bundled []quality.Scorecard
+	if err := json.Unmarshal(cardsJSON, &bundled); err != nil {
+		t.Fatalf("bundle quality_scorecards.json does not parse: %v", err)
+	}
+	if len(bundled) != 1 || bundled[0].JobID != job.ID || bundled[0].Agreement >= 1 {
+		t.Fatalf("bundled scorecards = %+v, want the drifted job's", bundled)
+	}
+
+	// /api/quality lists the scorecard and the aggregates behind the gauge.
+	var qr qualityResponse
+	if code := getJSON(t, srv.URL+"/api/quality", &qr); code != http.StatusOK {
+		t.Fatalf("/api/quality status = %d", code)
+	}
+	if len(qr.Scorecards) != 1 || qr.Scorecards[0].JobID != job.ID {
+		t.Fatalf("/api/quality scorecards = %+v", qr.Scorecards)
+	}
+	drifted := false
+	for _, a := range qr.Agreement {
+		if a.DrishtiOnly > 0 {
+			drifted = true
+		}
+	}
+	if !drifted {
+		t.Fatalf("/api/quality agreement aggregates show no drishti_only drift: %+v", qr.Agreement)
+	}
+
+	// The job filter returns exactly that card; an issue filter keeps it
+	// only when the named issue disagreed.
+	if code := getJSON(t, srv.URL+"/api/quality?job="+job.ID, &qr); code != http.StatusOK || len(qr.Scorecards) != 1 {
+		t.Fatalf("job filter: status=%d cards=%d", code, len(qr.Scorecards))
+	}
+	var disagreeing, agreeing string
+	for _, sc := range card.Issues {
+		if !sc.Agree && disagreeing == "" {
+			disagreeing = string(sc.Issue)
+		}
+		if sc.Agree && agreeing == "" {
+			agreeing = string(sc.Issue)
+		}
+	}
+	if disagreeing != "" {
+		if code := getJSON(t, srv.URL+"/api/quality?issue="+disagreeing, &qr); code != http.StatusOK || len(qr.Scorecards) != 1 {
+			t.Errorf("issue filter %q: status=%d cards=%d, want the card", disagreeing, code, len(qr.Scorecards))
+		}
+	}
+	if agreeing != "" {
+		if code := getJSON(t, srv.URL+"/api/quality?issue="+agreeing, &qr); code != http.StatusOK || len(qr.Scorecards) != 0 {
+			t.Errorf("issue filter %q: status=%d cards=%d, want none", agreeing, code, len(qr.Scorecards))
+		}
+	}
+
+	// The job page carries the quality banner; the dashboard names the
+	// job in its disagreement browser.
+	page := getBody(t, srv.URL+"/jobs/"+job.ID)
+	if !strings.Contains(page, "Diagnosis quality:") {
+		t.Error("job page is missing the quality banner")
+	}
+	dash := getBody(t, srv.URL+"/dashboard/quality")
+	if !strings.Contains(dash, job.ID) || !strings.Contains(dash, "Verdict agreement by issue") {
+		t.Error("quality dashboard does not surface the drifted job")
+	}
+}
+
+// TestQualityRoutesWithoutStore: without WithQuality the quality routes
+// 404 with a JSON error pointing at the flag.
+func TestQualityRoutesWithoutStore(t *testing.T) {
+	srv, _ := jobServer(t, jobs.Config{Paused: true})
+	for _, path := range []string{"/api/quality", "/dashboard/quality"} {
+		resp, err := http.Get(srv.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var body struct {
+			Error string `json:"error"`
+		}
+		json.NewDecoder(resp.Body).Decode(&body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusNotFound || !strings.Contains(body.Error, "-quality") {
+			t.Errorf("GET %s = %d %q, want 404 pointing at -quality", path, resp.StatusCode, body.Error)
+		}
+	}
+}
+
+// TestQualityAPIBadFilters covers the 400 paths.
+func TestQualityAPIBadFilters(t *testing.T) {
+	srv, _, _, _ := qualityServer(t, nil, jobs.Config{Paused: true}, nil)
+	for _, q := range []string{"?limit=0", "?limit=x", "?issue=not-an-issue"} {
+		resp, err := http.Get(srv.URL + "/api/quality" + q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("GET /api/quality%s = %d, want 400", q, resp.StatusCode)
+		}
+	}
+}
+
+// alertState finds one rule's state in an /api/alerts response.
+func alertState(ar alertsResponse, rule string) string {
+	for _, a := range ar.Alerts {
+		if a.Rule.Name == rule {
+			return string(a.State)
+		}
+	}
+	return ""
+}
+
+// getBody fetches a URL and returns the body as a string.
+func getBody(t *testing.T, url string) string {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET %s = %d: %.200s", url, resp.StatusCode, body)
+	}
+	return string(body)
+}

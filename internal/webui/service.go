@@ -22,6 +22,7 @@ import (
 	"ion/internal/obs/flight"
 	"ion/internal/obs/prof"
 	"ion/internal/obs/series"
+	"ion/internal/quality"
 	"ion/internal/report"
 	"ion/internal/semcache"
 )
@@ -41,6 +42,7 @@ type JobServer struct {
 	flight    *flight.Recorder // nil disables the incident APIs
 	prof      *prof.Profiler   // nil disables /dashboard/profile and the prof APIs
 	llmLedger *ledger.Client   // nil disables /dashboard/llm and /api/llm/ledger
+	quality   *quality.Store   // nil disables /dashboard/quality and /api/quality
 	reqSeq    atomic.Int64     // request-id source for latency exemplars
 
 	mu       sync.Mutex
@@ -117,9 +119,11 @@ func (s *JobServer) WithFlight(rec *flight.Recorder) *JobServer {
 //	GET  /api/prof/windows     decoded profile windows (JSON; ?kind=&limit=)
 //	GET  /api/prof/flamegraph  one window as an SVG flamegraph (?window=)
 //	GET  /api/llm/ledger       LLM call audit ledger (JSON; ?limit=&backend=&job=)
+//	GET  /api/quality          diagnosis-quality scorecards (JSON; ?limit=&issue=&job=)
 //	GET  /dashboard            live self-observation page (HTML, inline SVG)
 //	GET  /dashboard/profile    continuous-profiling page (flamegraph, hot functions)
 //	GET  /dashboard/llm        LLM cost, token, and backend-health page (XML-clean HTML)
+//	GET  /dashboard/quality    verdict agreement, shadow flips, disagreements (XML-clean HTML)
 //	GET  /healthz              liveness probe (always 200 while serving)
 //	GET  /readyz               readiness probe (503 while paused or draining)
 //	GET  /metrics              Prometheus text exposition (gzip-aware)
@@ -150,9 +154,11 @@ func (s *JobServer) Handler() http.Handler {
 	handle("GET /api/prof/windows", s.handleProfWindows)
 	handle("GET /api/prof/flamegraph", s.handleProfFlamegraph)
 	handle("GET /api/llm/ledger", s.handleLLMLedger)
+	handle("GET /api/quality", s.handleQualityAPI)
 	handle("GET /dashboard", s.handleDashboard)
 	handle("GET /dashboard/profile", s.handleProfileDashboard)
 	handle("GET /dashboard/llm", s.handleLLMDashboard)
+	handle("GET /dashboard/quality", s.handleQualityDashboard)
 	handle("GET /metrics", withGzip(s.obs.Handler()).ServeHTTP)
 	// Probes bypass the instrument middleware: they are hit every few
 	// seconds by orchestrators and would dominate the request metrics.
@@ -418,7 +424,7 @@ func (s *JobServer) handleJobPage(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, err.Error(), http.StatusInternalServerError)
 		return
 	}
-	widget := ingestBanner(job) + reuseBanner(job) + costBanner(job) + navLink + chatWidgetFor("/api/jobs/"+job.ID+"/ask")
+	widget := ingestBanner(job) + reuseBanner(job) + costBanner(job) + qualityBanner(job) + navLink + chatWidgetFor("/api/jobs/"+job.ID+"/ask")
 	fmt.Fprint(w, strings.Replace(page.String(), "</body>", widget+"</body>", 1))
 }
 
